@@ -1,0 +1,42 @@
+# DDStore-Go build targets.
+
+GO ?= go
+
+.PHONY: all build test race bench vet fmt examples experiments quick-experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test ./... -race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/ising
+	$(GO) run ./examples/widthtune
+	$(GO) run ./examples/multitask
+
+# Full paper reproduction (minutes; writes aligned tables to stdout).
+experiments:
+	$(GO) run ./cmd/ddstore-bench -exp all
+
+# Scaled-down suite for CI (seconds).
+quick-experiments:
+	$(GO) run ./cmd/ddstore-bench -exp all -quick
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,76 @@
+package ddstore
+
+import (
+	"testing"
+
+	"ddstore/internal/bench"
+)
+
+// One testing.B benchmark per paper table/figure. Each iteration executes
+// the full (quick-profile) experiment; run with
+//
+//	go test -bench=. -benchmem
+//
+// for the whole suite, or e.g. -bench=BenchmarkFig4 for one artifact. The
+// full-scale reproductions (paper-sized rank counts) are run by
+// cmd/ddstore-bench; see EXPERIMENTS.md for their recorded output.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := bench.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ReportAllocs()
+	// A fixed seed lets the harness's run memoization amortize across
+	// iterations: the first iteration executes the experiment, later ones
+	// measure report generation over cached runs. The full-scale numbers
+	// live in EXPERIMENTS.md; this benchmark exists to exercise and time
+	// the harness end to end.
+	for i := 0; i < b.N; i++ {
+		r, err := e.Run(bench.Options{Quick: true, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the dataset-description table (Table 1).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig4 regenerates the normalized end-to-end speedup comparison.
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates the training-time breakdown.
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates the graph-loading latency CDFs.
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkTable2 regenerates the latency percentile table (Table 2).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkFig7 regenerates the Score-P-style profile shares.
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates the fixed-local-batch scaling study.
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates the per-function duration scaling study.
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates the fixed-global-batch scaling study.
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates the width parameter sweep.
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12 regenerates the width latency CDF comparison.
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkTable3 regenerates the width median-latency table (Table 3).
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkFig13 regenerates the convergence experiment (real GNN training).
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }

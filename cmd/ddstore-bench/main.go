@@ -1,0 +1,96 @@
+// Command ddstore-bench runs the paper-reproduction experiments: one per
+// table and figure of the DDStore paper's evaluation section.
+//
+// Usage:
+//
+//	ddstore-bench -exp fig4           # one experiment, full scale
+//	ddstore-bench -exp all -quick     # whole suite at test scale
+//	ddstore-bench -list               # show available experiments
+//	ddstore-bench -exp table2 -csv    # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"ddstore/internal/bench"
+)
+
+func main() {
+	// The at-scale experiments allocate aggressively (hundreds of thousands
+	// of decoded graphs in flight across simulated ranks); a soft memory
+	// limit makes the GC trade CPU for residency instead of dying on
+	// memory-constrained machines.
+	debug.SetMemoryLimit(10 << 30)
+	debug.SetGCPercent(50)
+
+	var (
+		exp   = flag.String("exp", "all", "experiment id (table1, fig4, ..., fig13) or 'all'")
+		quick = flag.Bool("quick", false, "run the scaled-down quick profile (seconds instead of minutes)")
+		seed  = flag.Uint64("seed", 0, "random seed (0 = default)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list  = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := bench.Options{Quick: *quick, Seed: *seed}
+	var exps []bench.Experiment
+	if *exp == "all" {
+		exps = bench.Experiments()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := bench.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ddstore-bench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	// Experiments in the same group share cached runs (fig5/fig6/table2 all
+	// analyze one suite of runs); reset memoization only across groups to
+	// bound peak memory without repeating work.
+	group := func(id string) string {
+		switch id {
+		case "fig5", "fig6", "table2":
+			return "perl64-suite"
+		case "fig12", "table3":
+			return "width-suite"
+		case "fig8", "fig9":
+			return "scaling-suite"
+		default:
+			return id
+		}
+	}
+	prevGroup := ""
+	for _, e := range exps {
+		if g := group(e.ID); g != prevGroup {
+			bench.ResetCaches()
+			prevGroup = g
+		}
+		start := time.Now()
+		report, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddstore-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s — %s\n%s\n", report.ID, report.Title, report.CSV())
+		} else {
+			fmt.Println(report.String())
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

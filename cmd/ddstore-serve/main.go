@@ -1,0 +1,118 @@
+// Command ddstore-serve exposes a slice of a dataset over the TCP data
+// plane, so DDStore chunks can be fetched between real processes — one
+// server per node, for example. Peers connect with transport.Dial /
+// transport.NewGroup (or any client speaking the simple length-prefixed
+// protocol in internal/transport).
+//
+// Usage:
+//
+//	# terminal 1-3: serve thirds of a CFF dataset
+//	ddstore-serve -cff /tmp/aisd -lo 0     -hi 33000 -addr 127.0.0.1:7001
+//	ddstore-serve -cff /tmp/aisd -lo 33000 -hi 66000 -addr 127.0.0.1:7002
+//	ddstore-serve -cff /tmp/aisd -lo 66000 -hi 99000 -addr 127.0.0.1:7003
+//
+//	# or serve a synthetic dataset directly, no files needed
+//	ddstore-serve -dataset homolumo -n 10000 -lo 0 -hi 5000 -addr 127.0.0.1:7001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ddstore/internal/cff"
+	"ddstore/internal/datasets"
+	"ddstore/internal/graph"
+	"ddstore/internal/pff"
+	"ddstore/internal/transport"
+)
+
+// sampleSource is the subset of dataset/store behaviour the server needs.
+type sampleSource interface {
+	Len() int
+	ReadSample(id int64) (*graph.Graph, error)
+}
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7001", "listen address")
+		cffDir = flag.String("cff", "", "serve from a CFF directory")
+		pffDir = flag.String("pff", "", "serve from a PFF directory")
+		dsName = flag.String("dataset", "", "serve a synthetic dataset: ising, homolumo, discrete, smooth")
+		n      = flag.Int("n", 10000, "synthetic dataset size")
+		bins   = flag.Int("bins", 0, "smooth-spectrum grid size")
+		lo     = flag.Int64("lo", 0, "first sample id served (inclusive)")
+		hi     = flag.Int64("hi", -1, "last sample id served (exclusive; -1 = dataset end)")
+	)
+	flag.Parse()
+
+	var src sampleSource
+	var err error
+	switch {
+	case *cffDir != "":
+		var st *cff.Store
+		if st, err = cff.Open(*cffDir); err == nil {
+			defer st.Close()
+			src = st
+		}
+	case *pffDir != "":
+		src, err = pff.Open(*pffDir)
+	case *dsName != "":
+		cfg := datasets.Config{NumGraphs: *n, SpectrumBins: *bins}
+		switch *dsName {
+		case "ising":
+			src = datasets.Ising(cfg)
+		case "homolumo":
+			src = datasets.HomoLumo(cfg)
+		case "discrete":
+			src = datasets.AISDExDiscrete(cfg)
+		case "smooth":
+			src = datasets.AISDExSmooth(cfg)
+		default:
+			err = fmt.Errorf("unknown dataset %q", *dsName)
+		}
+	default:
+		err = fmt.Errorf("one of -cff, -pff, or -dataset is required")
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ddstore-serve: %v\n", err)
+		os.Exit(2)
+	}
+
+	end := *hi
+	if end < 0 {
+		end = int64(src.Len())
+	}
+	if *lo < 0 || end > int64(src.Len()) || *lo >= end {
+		fmt.Fprintf(os.Stderr, "ddstore-serve: bad range [%d,%d) for %d samples\n", *lo, end, src.Len())
+		os.Exit(2)
+	}
+
+	// Materialize the served chunk (encoded) so requests are memory reads —
+	// the same preload step a DDStore rank performs.
+	graphs := make([]*graph.Graph, 0, end-*lo)
+	for id := *lo; id < end; id++ {
+		g, err := src.ReadSample(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddstore-serve: preload %d: %v\n", id, err)
+			os.Exit(1)
+		}
+		graphs = append(graphs, g)
+	}
+	chunk := transport.NewMemChunk(*lo, graphs)
+
+	srv, err := transport.Serve(*addr, chunk)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ddstore-serve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving samples [%d,%d) on %s (ctrl-c to stop)\n", *lo, end, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	fmt.Println("\nshut down")
+}

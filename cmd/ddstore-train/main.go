@@ -1,0 +1,181 @@
+// Command ddstore-train drives one distributed training run: pick a
+// machine model, a rank count, a dataset, and a data management method, and
+// it reports throughput and the per-phase time breakdown — the building
+// block the experiment suite is made of, exposed for ad-hoc exploration.
+//
+// Usage:
+//
+//	ddstore-train -machine perlmutter -ranks 64 -dataset discrete -method ddstore
+//	ddstore-train -machine summit -ranks 48 -dataset ising -method pff -epochs 2
+//	ddstore-train -ranks 4 -dataset homolumo -method ddstore -real -epochs 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"ddstore/internal/cff"
+	"ddstore/internal/cluster"
+	"ddstore/internal/comm"
+	"ddstore/internal/core"
+	"ddstore/internal/datasets"
+	"ddstore/internal/ddp"
+	"ddstore/internal/hydra"
+	"ddstore/internal/pff"
+	"ddstore/internal/pfs"
+	"ddstore/internal/trace"
+)
+
+func main() {
+	var (
+		machineName = flag.String("machine", "perlmutter", "machine model: summit, perlmutter, laptop")
+		ranks       = flag.Int("ranks", 16, "number of simulated ranks (GPUs)")
+		dsName      = flag.String("dataset", "discrete", "dataset: ising, homolumo, discrete, smooth")
+		n           = flag.Int("n", 20000, "dataset size in graphs")
+		bins        = flag.Int("bins", 375, "smooth-spectrum grid size")
+		method      = flag.String("method", "ddstore", "data management: pff, cff, ddstore")
+		width       = flag.Int("width", 0, "DDStore width (0 = all ranks, single replica)")
+		batch       = flag.Int("batch", 128, "local batch size")
+		epochs      = flag.Int("epochs", 3, "training epochs")
+		steps       = flag.Int("steps", 0, "max steps per epoch (0 = full epoch)")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		real        = flag.Bool("real", false, "train a real (scaled-down) HydraGNN instead of the cost model")
+		hidden      = flag.Int("hidden", 16, "hidden dim for -real")
+		localShuf   = flag.Bool("local-shuffle", false, "use sharding with local shuffling instead of global shuffles (the conventional baseline of paper §2.2)")
+	)
+	flag.Parse()
+
+	var machine *cluster.Machine
+	switch *machineName {
+	case "summit":
+		machine = cluster.Summit()
+	case "perlmutter":
+		machine = cluster.Perlmutter()
+	case "laptop":
+		machine = cluster.Laptop()
+	default:
+		fatalf("unknown machine %q", *machineName)
+	}
+
+	cfg := datasets.Config{NumGraphs: *n, SpectrumBins: *bins}
+	var ds *datasets.Dataset
+	switch *dsName {
+	case "ising":
+		ds = datasets.Ising(cfg)
+	case "homolumo":
+		ds = datasets.HomoLumo(cfg)
+	case "discrete":
+		ds = datasets.AISDExDiscrete(cfg)
+	case "smooth":
+		ds = datasets.AISDExSmooth(cfg)
+	default:
+		fatalf("unknown dataset %q", *dsName)
+	}
+
+	world, err := comm.NewWorld(*ranks, *seed, comm.WithMachine(machine))
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	// Baseline filesystems are registered once, outside the ranks.
+	var fs *pfs.PFS
+	var sizes []int64
+	var layout *cff.SimLayout
+	switch *method {
+	case "pff":
+		fs = pfs.New(machine, *ranks)
+		if sizes, err = pff.RegisterSim(fs, ds); err != nil {
+			fatalf("%v", err)
+		}
+	case "cff":
+		fs = pfs.New(machine, *ranks)
+		if layout, err = cff.RegisterSim(fs, ds, 6); err != nil {
+			fatalf("%v", err)
+		}
+	case "ddstore":
+	default:
+		fatalf("unknown method %q", *method)
+	}
+
+	simModel := hydra.PaperConfig(ds.NodeFeatDim(), ds.EdgeFeatDim(), ds.OutputDim())
+	merged := trace.New()
+	var res *ddp.Result
+	var mu sync.Mutex
+	err = world.Run(func(c *comm.Comm) error {
+		prof := trace.New()
+		var loader ddp.Loader
+		switch *method {
+		case "pff":
+			loader = &ddp.SourceLoader{Source: pff.NewSim(fs, ds, sizes, c.Clock(), c.RNG())}
+		case "cff":
+			loader = &ddp.SourceLoader{Source: cff.NewSim(fs, ds, layout, c.Clock(), c.RNG())}
+		case "ddstore":
+			st, err := core.Open(c, ds, core.Options{Width: *width, Profiler: prof})
+			if err != nil {
+				return err
+			}
+			loader = &ddp.StoreLoader{Store: st}
+		}
+		tc := ddp.Config{
+			Loader:           loader,
+			LocalBatch:       *batch,
+			Epochs:           *epochs,
+			MaxStepsPerEpoch: *steps,
+			Seed:             *seed,
+			LocalShuffle:     *localShuf,
+			SimModel:         simModel,
+			Profiler:         prof,
+		}
+		if *real {
+			tc.Model = hydra.New(hydra.Config{
+				NodeFeatDim: ds.NodeFeatDim(),
+				EdgeFeatDim: ds.EdgeFeatDim(),
+				HiddenDim:   *hidden,
+				ConvLayers:  2,
+				FCLayers:    2,
+				OutputDim:   ds.OutputDim(),
+				Seed:        *seed,
+			})
+			tc.LR = 1e-3
+			tc.Eval = true
+			tc.Plateau = true
+		}
+		r, err := ddp.Run(c, tc)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		merged.Merge(prof)
+		if c.Rank() == 0 {
+			res = r
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("%s | %d ranks (%d nodes) | %s | %s | batch %d\n",
+		machine.Name, *ranks, machine.Nodes(*ranks), ds.Name(), *method, *batch)
+	for _, e := range res.Epochs {
+		line := fmt.Sprintf("epoch %2d: %8.0f samples/s  (%v virtual)", e.Epoch, e.Throughput, e.Duration)
+		if *real {
+			line += fmt.Sprintf("  train %.5f  val %.5f  test %.5f", e.TrainLoss, e.ValLoss, e.TestLoss)
+			if e.LRDecayed {
+				line += "  [lr x0.5]"
+			}
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("mean throughput: %.0f samples/s over %v virtual\n\n", res.MeanThroughput, res.TotalDuration)
+	fmt.Println("per-region virtual time (all ranks):")
+	fmt.Print(merged.String())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ddstore-train: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Ising example: distributed-data-parallel training of a real (scaled-down)
+// HydraGNN on the synthetic Ising dataset — the paper's benchmark for
+// ferromagnetic materials. Four ranks each hold a chunk of the dataset in a
+// DDStore; every epoch is globally reshuffled; gradients are allreduced.
+//
+//	go run ./examples/ising
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"ddstore"
+)
+
+func main() {
+	dataset := ddstore.Ising(ddstore.DatasetConfig{NumGraphs: 400})
+	world, err := ddstore.NewWorld(4, 7, ddstore.WithMachine(ddstore.Laptop()))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var result *ddstore.TrainResult
+	var mu sync.Mutex
+	err = world.Run(func(c *ddstore.Comm) error {
+		store, err := ddstore.Open(c, dataset, ddstore.StoreOptions{})
+		if err != nil {
+			return err
+		}
+		// A small HydraGNN: enough to learn the Ising Hamiltonian's
+		// per-atom energy from spins and positions.
+		model := ddstore.NewModel(ddstore.ModelConfig{
+			NodeFeatDim: dataset.NodeFeatDim(),
+			EdgeFeatDim: dataset.EdgeFeatDim(),
+			HiddenDim:   16,
+			ConvLayers:  2,
+			FCLayers:    1,
+			OutputDim:   dataset.OutputDim(),
+			Seed:        1,
+		})
+		res, err := ddstore.Train(c, ddstore.TrainConfig{
+			Loader:     &ddstore.StoreLoader{Store: store},
+			LocalBatch: 8,
+			Epochs:     8,
+			Seed:       3,
+			Model:      model,
+			LR:         1e-3,
+			Eval:       true,
+		})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		if c.Rank() == 0 {
+			result = res
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("epoch  train-MSE   val-MSE    test-MSE")
+	for _, e := range result.Epochs {
+		fmt.Printf("%4d   %9.5f  %9.5f  %9.5f\n", e.Epoch, e.TrainLoss, e.ValLoss, e.TestLoss)
+	}
+	first, last := result.Epochs[0], result.Epochs[len(result.Epochs)-1]
+	fmt.Printf("\ntrain MSE improved %.1fx over %d epochs\n",
+		first.TrainLoss/last.TrainLoss, len(result.Epochs))
+}

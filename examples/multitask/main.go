@@ -1,0 +1,78 @@
+// Multitask example: HydraGNN's multi-headed design on the AISD-Ex
+// discrete task — one head predicts the 50 UV-vis peak positions, a second
+// head the 50 intensities, trained jointly with per-head loss weights. The
+// example also contrasts the two message-passing policies (PNA, the paper's
+// choice, and the cheaper GIN).
+//
+//	go run ./examples/multitask
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"ddstore"
+)
+
+func trainOnce(dataset *ddstore.Dataset, conv ddstore.ConvType) []ddstore.EpochStats {
+	world, err := ddstore.NewWorld(2, 5, ddstore.WithMachine(ddstore.Laptop()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var epochs []ddstore.EpochStats
+	var mu sync.Mutex
+	err = world.Run(func(c *ddstore.Comm) error {
+		store, err := ddstore.Open(c, dataset, ddstore.StoreOptions{})
+		if err != nil {
+			return err
+		}
+		model := ddstore.NewModel(ddstore.ModelConfig{
+			NodeFeatDim: dataset.NodeFeatDim(),
+			HiddenDim:   16,
+			ConvLayers:  2,
+			Conv:        conv,
+			Heads: []ddstore.ModelHead{
+				{Name: "peak-positions", OutputDim: 50, FCLayers: 1},
+				{Name: "intensities", OutputDim: 50, FCLayers: 1, Weight: 2},
+			},
+			Seed: 11,
+		})
+		res, err := ddstore.Train(c, ddstore.TrainConfig{
+			Loader:     &ddstore.StoreLoader{Store: store},
+			LocalBatch: 8,
+			Epochs:     6,
+			Seed:       2,
+			Model:      model,
+			LR:         1e-3,
+		})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		if c.Rank() == 0 {
+			epochs = res.Epochs
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return epochs
+}
+
+func main() {
+	dataset := ddstore.AISDExDiscrete(ddstore.DatasetConfig{NumGraphs: 200})
+	fmt.Println("two-headed HydraGNN on AISD-Ex discrete (50 peaks + 50 intensities)")
+	fmt.Println()
+	for _, conv := range []ddstore.ConvType{ddstore.ConvPNA, ddstore.ConvGIN} {
+		epochs := trainOnce(dataset, conv)
+		first, last := epochs[0], epochs[len(epochs)-1]
+		fmt.Printf("%-4v  weighted MSE %8.5f -> %8.5f over %d epochs\n",
+			conv, first.TrainLoss, last.TrainLoss, len(epochs))
+	}
+	fmt.Println("\nPNA's mean/min/max/std aggregators with degree scalers cost ~6x GIN's")
+	fmt.Println("sum aggregation per layer; the paper uses PNA for its accuracy on")
+	fmt.Println("atomistic property prediction")
+}

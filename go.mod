@@ -1,0 +1,3 @@
+module ddstore
+
+go 1.22

@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"ddstore/internal/vtime"
+)
+
+func machines() []*Machine {
+	return []*Machine{Summit(), Perlmutter(), Laptop()}
+}
+
+func TestValidate(t *testing.T) {
+	for _, m := range machines() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	m := Summit()
+	m.GPUsPerNode = 0
+	if m.Validate() == nil {
+		t.Error("zero GPUs per node not rejected")
+	}
+	m = Summit()
+	m.FSBandwidth = -1
+	if m.Validate() == nil {
+		t.Error("negative FS bandwidth not rejected")
+	}
+	m = Summit()
+	m.NodeMemory = 0
+	if m.Validate() == nil {
+		t.Error("zero node memory not rejected")
+	}
+}
+
+func TestNodeMapping(t *testing.T) {
+	m := Summit() // 6 GPUs per node
+	if m.NodeOf(0) != 0 || m.NodeOf(5) != 0 || m.NodeOf(6) != 1 || m.NodeOf(17) != 2 {
+		t.Fatal("NodeOf wrong for Summit")
+	}
+	if !m.SameNode(0, 5) || m.SameNode(5, 6) {
+		t.Fatal("SameNode wrong")
+	}
+	if m.Nodes(1) != 1 || m.Nodes(6) != 1 || m.Nodes(7) != 2 || m.Nodes(384) != 64 {
+		t.Fatal("Nodes wrong")
+	}
+	p := Perlmutter() // 4 GPUs per node
+	if p.Nodes(64) != 16 || p.Nodes(1024) != 256 {
+		t.Fatal("Nodes wrong for Perlmutter")
+	}
+}
+
+func TestNetTransferLocalityOrdering(t *testing.T) {
+	for _, m := range machines() {
+		intra := m.NetTransfer(1<<20, true)
+		inter := m.NetTransfer(1<<20, false)
+		if intra >= inter {
+			t.Errorf("%s: intra-node transfer (%v) not faster than inter-node (%v)", m.Name, intra, inter)
+		}
+	}
+}
+
+func TestNetTransferScalesWithSize(t *testing.T) {
+	m := Perlmutter()
+	small := m.NetTransfer(1<<10, false)
+	big := m.NetTransfer(1<<30, false)
+	if big <= small {
+		t.Fatal("transfer time not increasing with size")
+	}
+}
+
+func TestRMAGetCalibration(t *testing.T) {
+	// The paper's Table 2: DDStore median per-graph latency on Perlmutter is
+	// 0.24–0.44 ms with the default width (inter-node gets dominate). Our
+	// modeled inter-node RMA Get of a ~6 KB sample must land in that regime.
+	m := Perlmutter()
+	got := m.RMAGet(6<<10, false)
+	if got < 150*time.Microsecond || got > 600*time.Microsecond {
+		t.Fatalf("inter-node RMAGet(6KB) = %v, want 0.15–0.6 ms", got)
+	}
+	// Width=2 regime (Table 3): intra-node fetches have ~0.05 ms medians.
+	gotIntra := m.RMAGet(6<<10, true)
+	if gotIntra < 10*time.Microsecond || gotIntra > 120*time.Microsecond {
+		t.Fatalf("intra-node RMAGet(6KB) = %v, want 0.01–0.12 ms", gotIntra)
+	}
+	if gotIntra >= got {
+		t.Fatal("intra-node get not faster than inter-node")
+	}
+}
+
+func TestFSReadCalibration(t *testing.T) {
+	// PFF on Perlmutter: median ~2.4–2.8 ms per graph (open + read) at 64
+	// ranks. Check the median of our model lands near that.
+	m := Perlmutter()
+	rng := vtime.NewRNG(1)
+	const n = 2001
+	samples := make([]time.Duration, n)
+	for i := range samples {
+		samples[i] = m.FSRead(8<<10, 64, true, rng)
+	}
+	med := median(samples)
+	if med < 1500*time.Microsecond || med > 5*time.Millisecond {
+		t.Fatalf("PFF-style FSRead median = %v, want 1.5–5 ms", med)
+	}
+}
+
+func median(ds []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+func TestFSContentionMonotonic(t *testing.T) {
+	m := Summit()
+	prev := 0.0
+	for _, readers := range []int{1, 2, 8, 64, 1024} {
+		c := m.FSContention(readers)
+		if c < 1 {
+			t.Fatalf("contention(%d) = %v < 1", readers, c)
+		}
+		if c < prev {
+			t.Fatalf("contention not monotonic at %d readers", readers)
+		}
+		prev = c
+	}
+	if m.FSContention(1) != 1 {
+		t.Fatal("single reader should have no contention")
+	}
+	if m.SharedFileContention(1) != 1 {
+		t.Fatal("single shared-file reader should have no contention")
+	}
+	if m.SharedFileContention(64) <= 1 {
+		t.Fatal("shared-file contention missing")
+	}
+}
+
+func TestCacheHitFasterThanDisk(t *testing.T) {
+	m := Perlmutter()
+	rng := vtime.NewRNG(2)
+	var cache, disk time.Duration
+	for i := 0; i < 500; i++ {
+		cache += m.CacheHit(8<<10, rng)
+		disk += m.FSRead(8<<10, 64, false, rng)
+	}
+	if cache >= disk {
+		t.Fatalf("page cache (%v) not faster than disk (%v)", cache, disk)
+	}
+}
+
+func TestGPUCompute(t *testing.T) {
+	m := Perlmutter()
+	// GPUTflops teraflops take exactly one second.
+	if got := m.GPUCompute(m.GPUTflops * 1e12); got != time.Second {
+		t.Fatalf("GPUCompute = %v, want 1s", got)
+	}
+	if got := m.GPUCompute(0); got != 0 {
+		t.Fatalf("GPUCompute(0) = %v", got)
+	}
+	// Summit's V100s are slower than Perlmutter's A100s.
+	if Summit().GPUCompute(1e12) <= Perlmutter().GPUCompute(1e12) {
+		t.Fatal("V100 should be slower than A100")
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	m := Summit()
+	if got := m.Allreduce(1<<20, 1); got != 0 {
+		t.Fatalf("allreduce with 1 rank = %v", got)
+	}
+	t2 := m.Allreduce(10<<20, 2)
+	t64 := m.Allreduce(10<<20, 64)
+	if t2 <= 0 || t64 <= 0 {
+		t.Fatal("non-positive allreduce time")
+	}
+	// Latency term grows with n; bandwidth term saturates.
+	if t64 <= t2 {
+		t.Fatal("allreduce time should grow with rank count")
+	}
+	// Sanity: 10 MB over ~12.5 GB/s ring should be low single-digit ms plus
+	// latency, well under a second.
+	if t64 > 100*time.Millisecond {
+		t.Fatalf("allreduce(10MB, 64) = %v, implausibly slow", t64)
+	}
+}
+
+func TestCollectiveLatency(t *testing.T) {
+	m := Perlmutter()
+	if m.CollectiveLatency(1) != 0 {
+		t.Fatal("1-rank collective should be free")
+	}
+	if m.CollectiveLatency(1024) <= m.CollectiveLatency(4) {
+		t.Fatal("collective latency should grow with n")
+	}
+}
+
+func TestCPUBatchAndOptimizer(t *testing.T) {
+	m := Summit()
+	if m.CPUBatch(0, 0) != 0 {
+		t.Fatal("empty batch should be free")
+	}
+	if m.CPUBatch(128, 1<<20) <= m.CPUBatch(1, 1<<10) {
+		t.Fatal("batch cost should grow")
+	}
+	if m.OptimizerStep(0) != 0 {
+		t.Fatal("optimizer with 0 params should be free")
+	}
+	if m.OptimizerStep(3_000_000) <= 0 {
+		t.Fatal("optimizer cost missing")
+	}
+}
+
+func TestLocalReadFastest(t *testing.T) {
+	m := Perlmutter()
+	rng := vtime.NewRNG(3)
+	local := m.LocalRead(6 << 10)
+	rmaIntra := m.RMAGet(6<<10, true)
+	rmaInter := m.RMAGet(6<<10, false)
+	disk := m.FSRead(6<<10, 64, true, rng)
+	if !(local < rmaIntra && rmaIntra < rmaInter && rmaInter < disk) {
+		t.Fatalf("latency hierarchy violated: local=%v intra=%v inter=%v disk=%v",
+			local, rmaIntra, rmaInter, disk)
+	}
+}
+
+func TestJitterFactorDistribution(t *testing.T) {
+	m := Perlmutter()
+	rng := vtime.NewRNG(17)
+	var below, above int
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		f := m.JitterFactor(rng)
+		if f <= 0 {
+			t.Fatalf("non-positive jitter %v", f)
+		}
+		if f < 1 {
+			below++
+		} else {
+			above++
+		}
+		sum += f
+	}
+	// Log-normal with median 1: halves split evenly, mean slightly above 1.
+	if below < n*45/100 || below > n*55/100 {
+		t.Fatalf("jitter median off: %d/%d below 1", below, n)
+	}
+	if mean := sum / n; mean < 1.0 || mean > 1.3 {
+		t.Fatalf("jitter mean %v, want slightly above 1", mean)
+	}
+	// A machine with no jitter configured returns exactly 1.
+	m.NetJitterSigma = 0
+	if m.JitterFactor(rng) != 1 {
+		t.Fatal("zero-sigma jitter not 1")
+	}
+}
+
+func TestAllreduceLatencyLogarithmic(t *testing.T) {
+	// The hierarchical model's latency share must grow like log2(n), not n:
+	// quadrupling ranks on a tiny payload should far less than quadruple the
+	// cost.
+	m := Summit()
+	small := m.Allreduce(8, 96)
+	big := m.Allreduce(8, 1536)
+	if big >= 4*small {
+		t.Fatalf("allreduce latency scaling too steep: %v -> %v", small, big)
+	}
+}

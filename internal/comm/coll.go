@@ -1,0 +1,291 @@
+package comm
+
+import (
+	"fmt"
+	"time"
+)
+
+// ReduceOp is a reduction operator for Allreduce.
+type ReduceOp int
+
+// Supported reduction operators.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+func (op ReduceOp) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	default:
+		return fmt.Sprintf("ReduceOp(%d)", int(op))
+	}
+}
+
+// exchange runs one two-phase collective: every rank deposits v into its
+// slot, all ranks synchronize (charging cost to the virtual clocks exactly
+// once), read reads the slot array, and a second synchronization prevents
+// slot reuse before every rank has read. cost is evaluated by the last
+// arriving rank so straggler clocks are already final.
+func (c *Comm) exchange(v any, cost func() time.Duration, read func(slots []any)) error {
+	st := c.state
+	st.slots[c.idx] = v
+	err := st.barrier.await(func() {
+		if c.world.machine == nil {
+			return
+		}
+		var extra time.Duration
+		if cost != nil {
+			extra = cost()
+		}
+		var max time.Duration
+		for _, cl := range c.groupClocks() {
+			if t := cl.Now(); t > max {
+				max = t
+			}
+		}
+		st.syncTo = max + extra
+	})
+	if err != nil {
+		return err
+	}
+	if c.world.machine != nil {
+		c.Clock().AdvanceTo(st.syncTo)
+	}
+	if read != nil {
+		read(st.slots)
+	}
+	return st.barrier.await(nil)
+}
+
+func (c *Comm) allgatherAny(v any, recv func(i int, v any)) error {
+	return c.exchange(v, c.smallCollCost, func(slots []any) {
+		for i, s := range slots {
+			recv(i, s)
+		}
+	})
+}
+
+func (c *Comm) smallCollCost() time.Duration {
+	return c.world.machine.CollectiveLatency(c.Size())
+}
+
+// Barrier blocks until every rank of the communicator arrives.
+func (c *Comm) Barrier() error {
+	return c.exchange(nil, c.smallCollCost, nil)
+}
+
+// Bcast distributes root's buffer to every rank. Every rank must pass a
+// buffer of the same length; non-root buffers are overwritten.
+func (c *Comm) Bcast(buf []byte, root int) error {
+	if root < 0 || root >= c.Size() {
+		return fmt.Errorf("comm: Bcast root %d out of range [0,%d)", root, c.Size())
+	}
+	var send any
+	if c.idx == root {
+		send = buf
+	}
+	return c.exchange(send, func() time.Duration {
+		m := c.world.machine
+		hops := m.CollectiveLatency(c.Size())
+		return hops + m.NetTransfer(int64(len(buf)), c.Size() <= m.GPUsPerNode)
+	}, func(slots []any) {
+		if c.idx != root {
+			src := slots[root].([]byte)
+			if len(src) != len(buf) {
+				panic(fmt.Sprintf("comm: Bcast length mismatch: root has %d bytes, rank %d expects %d",
+					len(src), c.idx, len(buf)))
+			}
+			copy(buf, src)
+		}
+	})
+}
+
+// BcastInt64 broadcasts a single int64 from root and returns it.
+func (c *Comm) BcastInt64(v int64, root int) (int64, error) {
+	var out int64
+	err := c.exchange(v, c.smallCollCost, func(slots []any) {
+		out = slots[root].(int64)
+	})
+	return out, err
+}
+
+// Allreduce combines in element-wise across all ranks with op and returns
+// the result (same on every rank). All ranks must pass equal-length slices.
+func (c *Comm) Allreduce(in []float64, op ReduceOp) ([]float64, error) {
+	var out []float64
+	err := c.exchange(in, func() time.Duration {
+		return c.world.machine.Allreduce(int64(len(in)*8), c.Size())
+	}, func(slots []any) {
+		out = make([]float64, len(in))
+		first := true
+		for _, s := range slots {
+			vec := s.([]float64)
+			if len(vec) != len(in) {
+				panic(fmt.Sprintf("comm: Allreduce length mismatch: %d vs %d", len(vec), len(in)))
+			}
+			if first {
+				copy(out, vec)
+				first = false
+				continue
+			}
+			for i, v := range vec {
+				switch op {
+				case OpSum:
+					out[i] += v
+				case OpMax:
+					if v > out[i] {
+						out[i] = v
+					}
+				case OpMin:
+					if v < out[i] {
+						out[i] = v
+					}
+				}
+			}
+		}
+	})
+	return out, err
+}
+
+// AllreduceFloat32 combines float32 vectors (the gradient path) in place:
+// after the call, in holds the reduced values on every rank.
+func (c *Comm) AllreduceFloat32(in []float32, op ReduceOp) error {
+	// Each rank deposits its own slice; every rank then reduces all slices
+	// into a private buffer and copies back, so no rank's input is read
+	// after it has been overwritten. The copy-back happens before the
+	// second barrier, which is exactly the hazard the two-phase design
+	// guards against — so reduce into a temporary first.
+	var tmp []float32
+	err := c.exchange(in, func() time.Duration {
+		return c.world.machine.Allreduce(int64(len(in)*4), c.Size())
+	}, func(slots []any) {
+		tmp = make([]float32, len(in))
+		first := true
+		for _, s := range slots {
+			vec := s.([]float32)
+			if len(vec) != len(in) {
+				panic(fmt.Sprintf("comm: AllreduceFloat32 length mismatch: %d vs %d", len(vec), len(in)))
+			}
+			if first {
+				copy(tmp, vec)
+				first = false
+				continue
+			}
+			for i, v := range vec {
+				switch op {
+				case OpSum:
+					tmp[i] += v
+				case OpMax:
+					if v > tmp[i] {
+						tmp[i] = v
+					}
+				case OpMin:
+					if v < tmp[i] {
+						tmp[i] = v
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	copy(in, tmp)
+	// A trailing barrier so no rank starts the next collective while another
+	// is still copying tmp — copy happens after the exchange completed, and
+	// tmp is private, so this is only needed to keep clock alignment tight.
+	return nil
+}
+
+// AllreduceInt64 reduces a single int64 across ranks.
+func (c *Comm) AllreduceInt64(v int64, op ReduceOp) (int64, error) {
+	out, err := c.Allreduce([]float64{float64(v)}, op)
+	if err != nil {
+		return 0, err
+	}
+	return int64(out[0]), nil
+}
+
+// Allgather concatenates equal-length contributions from all ranks in rank
+// order.
+func (c *Comm) Allgather(mine []byte) ([][]byte, error) {
+	var out [][]byte
+	err := c.exchange(mine, func() time.Duration {
+		m := c.world.machine
+		vol := int64(len(mine)) * int64(c.Size()-1)
+		return m.CollectiveLatency(c.Size()) + m.NetTransfer(vol, c.Size() <= m.GPUsPerNode)
+	}, func(slots []any) {
+		out = make([][]byte, len(slots))
+		for i, s := range slots {
+			src := s.([]byte)
+			cp := make([]byte, len(src))
+			copy(cp, src)
+			out[i] = cp
+		}
+	})
+	return out, err
+}
+
+// Allgatherv concatenates variable-length byte contributions from all ranks
+// in rank order (MPI_Allgatherv).
+func (c *Comm) Allgatherv(mine []byte) ([][]byte, error) {
+	return c.Allgather(mine) // the in-process transport needs no count exchange
+}
+
+// AllgatherInt64 gathers one int64 from every rank.
+func (c *Comm) AllgatherInt64(v int64) ([]int64, error) {
+	out := make([]int64, c.Size())
+	err := c.allgatherAny(v, func(i int, s any) { out[i] = s.(int64) })
+	return out, err
+}
+
+// Gather collects contributions on root; other ranks receive nil.
+func (c *Comm) Gather(mine []byte, root int) ([][]byte, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("comm: Gather root %d out of range [0,%d)", root, c.Size())
+	}
+	var out [][]byte
+	err := c.exchange(mine, c.smallCollCost, func(slots []any) {
+		if c.idx != root {
+			return
+		}
+		out = make([][]byte, len(slots))
+		for i, s := range slots {
+			src := s.([]byte)
+			cp := make([]byte, len(src))
+			copy(cp, src)
+			out[i] = cp
+		}
+	})
+	return out, err
+}
+
+// Scatter distributes parts[i] from root to rank i. Only root's parts are
+// consulted; it must have exactly Size() entries.
+func (c *Comm) Scatter(parts [][]byte, root int) ([]byte, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("comm: Scatter root %d out of range [0,%d)", root, c.Size())
+	}
+	var send any
+	if c.idx == root {
+		if len(parts) != c.Size() {
+			return nil, fmt.Errorf("comm: Scatter root has %d parts for %d ranks", len(parts), c.Size())
+		}
+		send = parts
+	}
+	var out []byte
+	err := c.exchange(send, c.smallCollCost, func(slots []any) {
+		all := slots[root].([][]byte)
+		src := all[c.idx]
+		out = make([]byte, len(src))
+		copy(out, src)
+	})
+	return out, err
+}

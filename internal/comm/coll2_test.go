@@ -1,0 +1,390 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ddstore/internal/cluster"
+)
+
+func TestReduce(t *testing.T) {
+	run(t, 5, nil, func(c *Comm) error {
+		out, err := c.Reduce([]float64{float64(c.Rank()), 2}, OpSum, 3)
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 3 {
+			if out != nil {
+				return fmt.Errorf("non-root got a result")
+			}
+			return nil
+		}
+		if out[0] != 0+1+2+3+4 || out[1] != 10 {
+			return fmt.Errorf("Reduce = %v", out)
+		}
+		return nil
+	})
+}
+
+func TestReduceMaxAndBadRoot(t *testing.T) {
+	run(t, 3, nil, func(c *Comm) error {
+		if _, err := c.Reduce([]float64{1}, OpSum, 9); err == nil {
+			return fmt.Errorf("bad root accepted")
+		}
+		out, err := c.Reduce([]float64{float64(c.Rank() * c.Rank())}, OpMax, 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 && out[0] != 4 {
+			return fmt.Errorf("max = %v", out[0])
+		}
+		return nil
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	const n = 4
+	run(t, n, nil, func(c *Comm) error {
+		parts := make([][]byte, n)
+		for to := range parts {
+			// Payload encodes (from, to) and has variable length.
+			parts[to] = make([]byte, to+1)
+			parts[to][0] = byte(c.Rank()*16 + to)
+		}
+		got, err := c.Alltoall(parts)
+		if err != nil {
+			return err
+		}
+		for from, piece := range got {
+			if len(piece) != c.Rank()+1 {
+				return fmt.Errorf("piece from %d has %d bytes, want %d", from, len(piece), c.Rank()+1)
+			}
+			if piece[0] != byte(from*16+c.Rank()) {
+				return fmt.Errorf("piece from %d = %d", from, piece[0])
+			}
+		}
+		return nil
+	})
+}
+
+func TestAlltoallValidatesParts(t *testing.T) {
+	run(t, 2, nil, func(c *Comm) error {
+		// Both ranks must fail identically *before* entering the collective,
+		// otherwise one rank would block in the barrier forever.
+		if _, err := c.Alltoall(make([][]byte, 5)); err == nil {
+			return fmt.Errorf("wrong part count accepted")
+		}
+		return nil
+	})
+}
+
+func TestExScan(t *testing.T) {
+	run(t, 5, nil, func(c *Comm) error {
+		got, err := c.ExScan(int64(c.Rank() + 1)) // values 1,2,3,4,5
+		if err != nil {
+			return err
+		}
+		want := int64(0)
+		for r := 0; r < c.Rank(); r++ {
+			want += int64(r + 1)
+		}
+		if got != want {
+			return fmt.Errorf("rank %d ExScan = %d, want %d", c.Rank(), got, want)
+		}
+		return nil
+	})
+}
+
+func TestGetNBOverlapsTransfers(t *testing.T) {
+	m := cluster.Perlmutter()
+	w, err := NewWorld(8, 1, WithMachine(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		win, err := c.CreateWindow(make([]byte, 1<<20))
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 0 {
+			return nil
+		}
+		// Blocking path: k sequential gets pay the sum of transfer times.
+		if err := win.LockShared(7); err != nil {
+			return err
+		}
+		const k = 8
+		blockStart := c.Clock().Now()
+		for i := 0; i < k; i++ {
+			dst := make([]byte, 1<<18)
+			if err := win.Get(dst, 7, 0); err != nil {
+				return err
+			}
+		}
+		blocking := c.Clock().Now() - blockStart
+		// Non-blocking path: k outstanding gets overlap on the wire.
+		nbStart := c.Clock().Now()
+		reqs := make([]*Request, 0, k)
+		for i := 0; i < k; i++ {
+			dst := make([]byte, 1<<18)
+			req, err := win.GetNB(dst, 7, 0)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, req)
+		}
+		WaitAll(reqs)
+		nb := c.Clock().Now() - nbStart
+		if err := win.Unlock(7); err != nil {
+			return err
+		}
+		if nb >= blocking {
+			return fmt.Errorf("non-blocking gets (%v) not faster than blocking (%v)", nb, blocking)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetNBDeliversData(t *testing.T) {
+	run(t, 2, nil, func(c *Comm) error {
+		region := make([]byte, 16)
+		for i := range region {
+			region[i] = byte(c.Rank()*100 + i)
+		}
+		win, err := c.CreateWindow(region)
+		if err != nil {
+			return err
+		}
+		target := 1 - c.Rank()
+		if err := win.LockShared(target); err != nil {
+			return err
+		}
+		dst := make([]byte, 4)
+		req, err := win.GetNB(dst, target, 4)
+		if err != nil {
+			return err
+		}
+		req.Wait()
+		req.Wait() // idempotent
+		if err := win.Unlock(target); err != nil {
+			return err
+		}
+		if dst[0] != byte(target*100+4) {
+			return fmt.Errorf("GetNB data wrong: %v", dst)
+		}
+		return nil
+	})
+}
+
+func TestGetNBRequiresEpoch(t *testing.T) {
+	run(t, 2, nil, func(c *Comm) error {
+		win, err := c.CreateWindow(make([]byte, 8))
+		if err != nil {
+			return err
+		}
+		if _, err := win.GetNB(make([]byte, 4), 0, 0); err == nil {
+			return fmt.Errorf("GetNB outside epoch accepted")
+		}
+		return nil
+	})
+}
+
+func TestAccumulateSumsAtomically(t *testing.T) {
+	// All ranks accumulate into rank 0's region concurrently under shared
+	// locks; the final values must be the exact sums (no lost updates).
+	const n = 8
+	const perRank = 50
+	run(t, n, nil, func(c *Comm) error {
+		region := make([]byte, 4*8) // 4 float64s
+		win, err := c.CreateWindow(region)
+		if err != nil {
+			return err
+		}
+		if err := win.LockShared(0); err != nil {
+			return err
+		}
+		for i := 0; i < perRank; i++ {
+			if err := win.Accumulate([]float64{1, 2, 0, -1}, 0, 0); err != nil {
+				return err
+			}
+		}
+		if err := win.Unlock(0); err != nil {
+			return err
+		}
+		if err := win.Fence(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			total := float64(n * perRank)
+			for i, want := range []float64{total, 2 * total, 0, -total} {
+				got := float64frombytes(region[i*8:])
+				if got != want {
+					return fmt.Errorf("element %d = %v, want %v", i, got, want)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestAccumulateBounds(t *testing.T) {
+	run(t, 2, nil, func(c *Comm) error {
+		win, err := c.CreateWindow(make([]byte, 16))
+		if err != nil {
+			return err
+		}
+		if err := win.LockShared(0); err != nil {
+			return err
+		}
+		defer win.Unlock(0)
+		if err := win.Accumulate([]float64{1, 2, 3}, 0, 0); err == nil {
+			return fmt.Errorf("overflowing accumulate accepted")
+		}
+		return nil
+	})
+}
+
+func TestFloat64Bytes(t *testing.T) {
+	b := make([]byte, 8)
+	for _, v := range []float64{0, 1.5, -3.25, 1e300, -1e-300} {
+		putFloat64(b, v)
+		if got := float64frombytes(b); got != v {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func BenchmarkBarrier8(b *testing.B) {
+	w, err := NewWorld(8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	err = w.Run(func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkRMAGet4KB(b *testing.B) {
+	w, err := NewWorld(2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		win, err := c.CreateWindow(make([]byte, 1<<20))
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 0 {
+			return c.Barrier()
+		}
+		if err := win.LockShared(1); err != nil {
+			return err
+		}
+		dst := make([]byte, 4096)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := win.Get(dst, 1, (i*4096)%(1<<20-4096)); err != nil {
+				return err
+			}
+		}
+		b.StopTimer()
+		if err := win.Unlock(1); err != nil {
+			return err
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAllreduce1MB8Ranks(b *testing.B) {
+	w, err := NewWorld(8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]float32, 1<<18) // 1 MB
+	b.SetBytes(1 << 20)
+	err = w.Run(func(c *Comm) error {
+		local := make([]float32, len(payload))
+		for i := 0; i < b.N; i++ {
+			if err := c.AllreduceFloat32(local, OpSum); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = time.Now
+}
+
+func TestShareFromRoot(t *testing.T) {
+	run(t, 4, nil, func(c *Comm) error {
+		var big []int64
+		if c.Rank() == 2 {
+			big = []int64{10, 20, 30}
+		}
+		got, err := c.ShareFromRoot(big, 2)
+		if err != nil {
+			return err
+		}
+		shared := got.([]int64)
+		if len(shared) != 3 || shared[1] != 20 {
+			return fmt.Errorf("rank %d got %v", c.Rank(), shared)
+		}
+		return nil
+	})
+}
+
+func TestShareFromRootSameBacking(t *testing.T) {
+	// The point of ShareFromRoot is zero-copy: every rank must see the
+	// root's exact slice (same backing array).
+	run(t, 3, nil, func(c *Comm) error {
+		var data []byte
+		if c.Rank() == 0 {
+			data = []byte{1, 2, 3}
+		}
+		got, err := c.ShareFromRoot(data, 0)
+		if err != nil {
+			return err
+		}
+		shared := got.([]byte)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			data[0] = 99 // visible to everyone: shared, not copied
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if shared[0] != 99 {
+			return fmt.Errorf("rank %d got a copy, want shared backing", c.Rank())
+		}
+		return nil
+	})
+}
+
+func TestShareFromRootBadRoot(t *testing.T) {
+	run(t, 2, nil, func(c *Comm) error {
+		if _, err := c.ShareFromRoot(1, 7); err == nil {
+			return fmt.Errorf("bad root accepted")
+		}
+		return nil
+	})
+}

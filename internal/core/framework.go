@@ -1,0 +1,175 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"ddstore/internal/comm"
+	"ddstore/internal/graph"
+)
+
+// Framework selects the communication design used for remote fetches — the
+// paper's 'f' in DS = (c, w, f). The paper evaluated one-sided MPI RMA
+// against two-sided/message-broker designs and chose RMA because it
+// minimizes the target process's involvement; FrameworkTwoSided implements
+// the rejected alternative so the trade-off can be measured (see the
+// abl-comm experiment).
+type Framework int
+
+const (
+	// FrameworkRMA fetches with passive-target one-sided Gets (default).
+	FrameworkRMA Framework = iota
+	// FrameworkTwoSided fetches with request/response messages served by a
+	// responder goroutine on the owner — the owner's CPU participates in
+	// every fetch, stealing time from its own training loop.
+	FrameworkTwoSided
+)
+
+// Message tags used by the two-sided framework. They sit far above any
+// application tag.
+const (
+	tagFetchReq = 1 << 20
+	tagRespBase = 1 << 21
+)
+
+// startResponder launches the two-sided service loop: it answers fetch
+// requests for this rank's chunk until Close. Service time is charged to
+// this rank's clock — the CPU-involvement cost one-sided RMA avoids.
+func (s *Store) startResponder() {
+	s.respDone = make(chan struct{})
+	go func() {
+		defer close(s.respDone)
+		for {
+			data, from, err := s.group.Recv(comm.AnySource, tagFetchReq)
+			if err != nil {
+				return // world broken
+			}
+			if len(data) == 1 && data[0] == 0xFF {
+				return // poison pill from Close
+			}
+			if len(data) != 12 {
+				continue // malformed; drop
+			}
+			requester := int(int32(binary.LittleEndian.Uint32(data[0:])))
+			id := int64(binary.LittleEndian.Uint64(data[4:]))
+			if from >= 0 {
+				requester = from
+			}
+			payload, lookupErr := s.LocalSampleBytes(id)
+			if lookupErr != nil {
+				payload = nil // empty response signals an error to the requester
+			}
+			if m := s.world.Machine(); m != nil {
+				// The owner's CPU copies the sample out of its chunk.
+				s.world.Clock().Advance(m.LocalRead(int64(len(payload))))
+			}
+			if err := s.group.Send(requester, tagRespBase+requester, payload); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// Close shuts down the store's background machinery (the two-sided
+// responder, when active). Safe to call once per rank; a store without a
+// responder needs no Close but tolerates one.
+func (s *Store) Close() error {
+	if s.respDone == nil {
+		return nil
+	}
+	// Poison the responder via our own mailbox.
+	if err := s.group.Send(s.group.Rank(), tagFetchReq, []byte{0xFF}); err != nil {
+		return err
+	}
+	<-s.respDone
+	s.respDone = nil
+	return nil
+}
+
+// fetchTwoSided retrieves one remote sample with a request/response
+// exchange: the owner's responder must receive, look up, and send — so a
+// busy owner delays the requester (queueing the paper's design discussion
+// predicts).
+func (s *Store) fetchTwoSided(owner int, id int64) ([]byte, error) {
+	req := make([]byte, 12)
+	binary.LittleEndian.PutUint32(req[0:], uint32(s.group.Rank()))
+	binary.LittleEndian.PutUint64(req[4:], uint64(id))
+	if err := s.group.Send(owner, tagFetchReq, req); err != nil {
+		return nil, err
+	}
+	data, _, err := s.group.Recv(owner, tagRespBase+s.group.Rank())
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: owner %d has no sample %d", owner, id)
+	}
+	return data, nil
+}
+
+// loadTwoSided is the Load path for FrameworkTwoSided.
+func (s *Store) loadTwoSided(ids []int64, timed bool) ([]*graphResult, error) {
+	out := make([]*graphResult, len(ids))
+	me := s.group.Rank()
+	for pos, id := range ids {
+		owner, err := s.OwnerOf(id)
+		if err != nil {
+			return nil, err
+		}
+		before := s.world.Clock().Now()
+		var raw []byte
+		if owner == me {
+			e := s.index[id]
+			raw = s.buf[e.offset : e.offset+int64(e.length)]
+			if m := s.world.Machine(); m != nil {
+				s.world.Clock().Advance(m.LocalRead(int64(e.length)))
+			}
+			s.stats.LocalReads++
+			s.stats.BytesLocal += int64(e.length)
+		} else {
+			if raw, err = s.fetchTwoSided(owner, id); err != nil {
+				return nil, err
+			}
+			s.stats.RemoteGets++
+			s.stats.BytesRemote += int64(len(raw))
+		}
+		res := &graphResult{raw: raw}
+		if timed {
+			res.latency = s.world.Clock().Now() - before
+		}
+		out[pos] = res
+	}
+	return out, nil
+}
+
+// graphResult carries one fetched sample's bytes and timing before decode.
+type graphResult struct {
+	raw     []byte
+	latency time.Duration
+}
+
+// decodeResults runs the two-sided fetch path and decodes the results into
+// the Load return shape.
+func (s *Store) decodeResults(ids []int64, timed bool) ([]*graph.Graph, []time.Duration, error) {
+	results, err := s.loadTwoSided(ids, timed)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]*graph.Graph, len(ids))
+	var lat []time.Duration
+	if timed {
+		lat = make([]time.Duration, len(ids))
+	}
+	for pos, res := range results {
+		g, err := graph.Decode(res.raw)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: decode sample %d: %w", ids[pos], err)
+		}
+		out[pos] = g
+		if timed {
+			lat[pos] = res.latency
+		}
+	}
+	return out, lat, nil
+}

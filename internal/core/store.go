@@ -1,0 +1,507 @@
+// Package core implements DDStore, the paper's contribution: an in-memory
+// distributed data store for globally-shuffled sample loading during
+// distributed data-parallel GNN training.
+//
+// A store is defined by DS = (c, w, f) (paper §3.1):
+//
+//   - c — chunking: the dataset's T samples are striped into contiguous
+//     chunks distributed over the ranks, so all post-preload reads are
+//     memory reads.
+//   - w — width: ranks are partitioned into r = N/w replica groups of w
+//     ranks; each group holds a complete replica of the dataset striped
+//     over its members. Smaller widths mean more replicas, more memory, and
+//     shorter (often intra-node) fetch distances.
+//   - f — communication: samples are fetched from other ranks of the
+//     caller's group with one-sided RMA (MPI_Win_lock(MPI_LOCK_SHARED) +
+//     MPI_Get + MPI_Win_unlock), so the owner's CPU never participates.
+//
+// The four architecture components of paper §3.2 map to: the preloader
+// (Open reading a SampleSource), the data registry (the replica-group-wide
+// sample index built by Allgather), the data loader (Load / LoadTimed), and
+// the one-sided communication layer (internal/comm's RMA windows).
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"ddstore/internal/comm"
+	"ddstore/internal/graph"
+	"ddstore/internal/trace"
+)
+
+// SampleSource is anything the preloader can read a dataset from: the PFF
+// and CFF stores (real or simulated) and the in-memory dataset generators
+// all satisfy it.
+type SampleSource interface {
+	Name() string
+	Len() int
+	OutputDim() int
+	NodeFeatDim() int
+	EdgeFeatDim() int
+	ReadSample(id int64) (*graph.Graph, error)
+}
+
+// Options configures a Store.
+type Options struct {
+	// Width is the replica-group size w. 0 means the communicator size
+	// (a single replica striped over all ranks, the paper's default).
+	// Width must divide the communicator size.
+	Width int
+	// Profiler, if set, receives Preload and MPI-RMA region timings.
+	Profiler *trace.Profiler
+	// Framework selects the remote-fetch design: one-sided RMA (default)
+	// or the two-sided request/response alternative (see framework.go).
+	Framework Framework
+	// LockPerSample disables the per-owner lock amortization: every remote
+	// Get opens and closes its own access epoch. Exists for the abl-lock
+	// ablation; measurably slower, never better.
+	LockPerSample bool
+	// NonBlocking issues overlapped non-blocking Gets (MPI_Rget-style)
+	// within each owner epoch instead of sequential blocking Gets.
+	NonBlocking bool
+}
+
+// entry locates one sample inside its replica group.
+type entry struct {
+	offset int64
+	length int32
+}
+
+// Store is one rank's handle on a DDStore instance. Create it collectively
+// with Open; afterwards every rank can Load arbitrary sample ids.
+type Store struct {
+	world *comm.Comm
+	group *comm.Comm
+	win   *comm.Win
+
+	name      string
+	total     int // T: dataset size in samples
+	width     int // w
+	replicas  int // r = N/w
+	outputDim int
+	nodeDim   int
+	edgeDim   int
+
+	buf    []byte  // this rank's chunk: concatenated encoded samples
+	index  []entry // per sample id, within this rank's group
+	starts []int64 // chunk boundary: group rank g owns [starts[g], starts[g+1])
+	myLo   int64
+	myHi   int64
+	prof   *trace.Profiler
+	opts   Options
+
+	// respDone signals two-sided responder shutdown (nil for RMA stores).
+	respDone chan struct{}
+
+	// Stats accumulated by Load.
+	stats Stats
+}
+
+// Stats counts the loader's traffic.
+type Stats struct {
+	LocalReads   int64
+	RemoteGets   int64
+	BytesLocal   int64
+	BytesRemote  int64
+	LockAcquires int64
+}
+
+// chunkStarts computes the balanced striping of total samples over w group
+// members: member g owns [starts[g], starts[g+1]).
+func chunkStarts(total, w int) []int64 {
+	starts := make([]int64, w+1)
+	per := total / w
+	rem := total % w
+	var lo int64
+	for g := 0; g < w; g++ {
+		starts[g] = lo
+		lo += int64(per)
+		if g < rem {
+			lo++
+		}
+	}
+	starts[w] = int64(total)
+	return starts
+}
+
+// Open collectively creates the store: every rank of c must call Open with
+// the same source and options. Each rank preloads only its own chunk from
+// the source, registers it in an RMA window scoped to its replica group,
+// and builds the group-wide registry.
+func Open(c *comm.Comm, src SampleSource, opts Options) (*Store, error) {
+	n := c.Size()
+	width := opts.Width
+	if width == 0 {
+		width = n
+	}
+	if width < 1 || width > n {
+		return nil, fmt.Errorf("core: width %d out of range [1,%d]", width, n)
+	}
+	if n%width != 0 {
+		return nil, fmt.Errorf("core: width %d does not divide %d ranks", width, n)
+	}
+	total := src.Len()
+	if total == 0 {
+		return nil, fmt.Errorf("core: source %q is empty", src.Name())
+	}
+
+	s := &Store{
+		world:     c,
+		opts:      opts,
+		name:      src.Name(),
+		total:     total,
+		width:     width,
+		replicas:  n / width,
+		outputDim: src.OutputDim(),
+		nodeDim:   src.NodeFeatDim(),
+		edgeDim:   src.EdgeFeatDim(),
+		prof:      opts.Profiler,
+	}
+
+	// Replica groups: w consecutive ranks per group, matching node-packed
+	// placement so small widths become intra-node groups.
+	group, err := c.Split(c.Rank()/width, c.Rank())
+	if err != nil {
+		return nil, err
+	}
+	s.group = group
+	s.starts = chunkStarts(total, width)
+	s.myLo = s.starts[group.Rank()]
+	s.myHi = s.starts[group.Rank()+1]
+
+	// Preload: read this rank's chunk from the source and pack it.
+	preloadStart := clockNow(c)
+	lengths := make([]int32, 0, s.myHi-s.myLo)
+	for id := s.myLo; id < s.myHi; id++ {
+		g, err := src.ReadSample(id)
+		if err != nil {
+			return nil, fmt.Errorf("core: preload sample %d: %w", id, err)
+		}
+		if g.ID != id {
+			return nil, fmt.Errorf("core: source returned sample %d for id %d", g.ID, id)
+		}
+		before := len(s.buf)
+		s.buf = g.AppendTo(s.buf)
+		lengths = append(lengths, int32(len(s.buf)-before))
+	}
+	if s.prof != nil {
+		s.prof.Add(trace.RegionPreload, clockNow(c)-preloadStart)
+	}
+
+	// Registry: gather every member's sample lengths; offsets follow from
+	// prefix sums. Owners are implied by the deterministic chunk boundaries.
+	// Every member derives an identical index, so group rank 0 builds it
+	// once and the group shares the immutable result — in a real MPI
+	// deployment each process would hold its own few-MB copy (or an MPI-3
+	// shared-memory window per node); here sharing keeps a 1536-rank
+	// simulation from replicating it 1536 times.
+	manifest := make([]byte, 4*len(lengths))
+	for i, l := range lengths {
+		binary.LittleEndian.PutUint32(manifest[4*i:], uint32(l))
+	}
+	all, err := group.Allgatherv(manifest)
+	if err != nil {
+		return nil, err
+	}
+	var built []entry
+	var buildErr error
+	if group.Rank() == 0 {
+		built, buildErr = buildIndex(all, s.starts, total)
+	}
+	shared, err := group.ShareFromRoot(indexShare{index: built, err: buildErr}, 0)
+	if err != nil {
+		return nil, err
+	}
+	is := shared.(indexShare)
+	if is.err != nil {
+		return nil, is.err
+	}
+	s.index = is.index
+
+	// Communication layer: expose the chunk via an RMA window on the group.
+	win, err := group.CreateWindow(s.buf)
+	if err != nil {
+		return nil, err
+	}
+	s.win = win
+	if opts.Framework == FrameworkTwoSided {
+		s.startResponder()
+	}
+	return s, nil
+}
+
+func clockNow(c *comm.Comm) time.Duration {
+	return c.Clock().Now()
+}
+
+// indexShare carries the built registry (or the build error) from group
+// rank 0 to the rest of the group.
+type indexShare struct {
+	index []entry
+	err   error
+}
+
+// buildIndex converts the gathered per-member length manifests into the
+// group-wide registry.
+func buildIndex(all [][]byte, starts []int64, total int) ([]entry, error) {
+	index := make([]entry, total)
+	for g := 0; g < len(starts)-1; g++ {
+		lo, hi := starts[g], starts[g+1]
+		if int64(len(all[g])) != 4*(hi-lo) {
+			return nil, fmt.Errorf("core: member %d manifest has %d bytes for %d samples",
+				g, len(all[g]), hi-lo)
+		}
+		var offset int64
+		for id := lo; id < hi; id++ {
+			length := int32(binary.LittleEndian.Uint32(all[g][4*(id-lo):]))
+			index[id] = entry{offset: offset, length: length}
+			offset += int64(length)
+		}
+	}
+	return index, nil
+}
+
+// Name returns the dataset name.
+func (s *Store) Name() string { return s.name }
+
+// Len returns the dataset size in samples.
+func (s *Store) Len() int { return s.total }
+
+// Width returns the replica-group size w.
+func (s *Store) Width() int { return s.width }
+
+// Replicas returns r = N/w, the number of dataset replicas held in memory.
+func (s *Store) Replicas() int { return s.replicas }
+
+// OutputDim returns the per-graph target width.
+func (s *Store) OutputDim() int { return s.outputDim }
+
+// NodeFeatDim returns the per-node feature width.
+func (s *Store) NodeFeatDim() int { return s.nodeDim }
+
+// EdgeFeatDim returns the per-edge feature width.
+func (s *Store) EdgeFeatDim() int { return s.edgeDim }
+
+// Group returns this rank's replica-group communicator.
+func (s *Store) Group() *comm.Comm { return s.group }
+
+// LocalRange returns the sample-id range [lo, hi) held in this rank's
+// memory.
+func (s *Store) LocalRange() (lo, hi int64) { return s.myLo, s.myHi }
+
+// MemoryBytes returns the size of this rank's chunk buffer.
+func (s *Store) MemoryBytes() int64 { return int64(len(s.buf)) }
+
+// Stats returns the loader traffic counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// OwnerOf returns the group rank owning sample id.
+func (s *Store) OwnerOf(id int64) (int, error) {
+	if id < 0 || id >= int64(s.total) {
+		return 0, fmt.Errorf("core: sample %d out of range [0,%d)", id, s.total)
+	}
+	// starts is sorted; find g with starts[g] <= id < starts[g+1].
+	g := sort.Search(s.width, func(g int) bool { return s.starts[g+1] > id })
+	return g, nil
+}
+
+// Load fetches the given sample ids (a shuffled batch) and returns the
+// decoded graphs in the same order. Local ids are served from this rank's
+// memory; remote ids are fetched from their owners with one-sided Gets,
+// grouping ids by owner so each owner's window lock is acquired once.
+func (s *Store) Load(ids []int64) ([]*graph.Graph, error) {
+	out, _, err := s.load(ids, false)
+	return out, err
+}
+
+// LoadTimed is Load plus the per-sample virtual-time cost, for the latency
+// CDF experiments. The owner-lock cost lands on the first sample fetched
+// from that owner, mirroring how a real per-batch lock amortizes.
+func (s *Store) LoadTimed(ids []int64) ([]*graph.Graph, []time.Duration, error) {
+	return s.load(ids, true)
+}
+
+func (s *Store) load(ids []int64, timed bool) ([]*graph.Graph, []time.Duration, error) {
+	if s.opts.Framework == FrameworkTwoSided {
+		return s.decodeResults(ids, timed)
+	}
+	out := make([]*graph.Graph, len(ids))
+	var lat []time.Duration
+	if timed {
+		lat = make([]time.Duration, len(ids))
+	}
+	// Group requested positions by owner.
+	byOwner := make(map[int][]int)
+	for pos, id := range ids {
+		owner, err := s.OwnerOf(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		byOwner[owner] = append(byOwner[owner], pos)
+	}
+	owners := make([]int, 0, len(byOwner))
+	for owner := range byOwner {
+		owners = append(owners, owner)
+	}
+	sort.Ints(owners)
+
+	rmaStart := s.world.Clock().Now()
+	me := s.group.Rank()
+	for _, owner := range owners {
+		positions := byOwner[owner]
+		if owner == me {
+			for _, pos := range positions {
+				before := s.world.Clock().Now()
+				id := ids[pos]
+				e := s.index[id]
+				local := s.buf[e.offset : e.offset+int64(e.length)]
+				if m := s.world.Machine(); m != nil {
+					s.world.Clock().Advance(m.LocalRead(int64(e.length)))
+				}
+				g, err := graph.Decode(local)
+				if err != nil {
+					return nil, nil, fmt.Errorf("core: decode local sample %d: %w", id, err)
+				}
+				out[pos] = g
+				s.stats.LocalReads++
+				s.stats.BytesLocal += int64(e.length)
+				if timed {
+					lat[pos] = s.world.Clock().Now() - before
+				}
+			}
+			continue
+		}
+		if s.opts.LockPerSample {
+			// Ablation: a fresh access epoch per sample — the lock
+			// round-trip is paid for every Get.
+			for _, pos := range positions {
+				before := s.world.Clock().Now()
+				id := ids[pos]
+				e := s.index[id]
+				if err := s.win.LockShared(owner); err != nil {
+					return nil, nil, err
+				}
+				s.stats.LockAcquires++
+				dst := make([]byte, e.length)
+				if err := s.win.Get(dst, owner, int(e.offset)); err != nil {
+					s.win.Unlock(owner)
+					return nil, nil, fmt.Errorf("core: RMA get sample %d from %d: %w", id, owner, err)
+				}
+				if err := s.win.Unlock(owner); err != nil {
+					return nil, nil, err
+				}
+				g, err := graph.Decode(dst)
+				if err != nil {
+					return nil, nil, fmt.Errorf("core: decode remote sample %d: %w", id, err)
+				}
+				out[pos] = g
+				s.stats.RemoteGets++
+				s.stats.BytesRemote += int64(e.length)
+				if timed {
+					lat[pos] = s.world.Clock().Now() - before
+				}
+			}
+			continue
+		}
+
+		// Remote: one shared-lock epoch per owner, one Get per sample.
+		lockStart := s.world.Clock().Now()
+		if err := s.win.LockShared(owner); err != nil {
+			return nil, nil, err
+		}
+		s.stats.LockAcquires++
+		lockCost := s.world.Clock().Now() - lockStart
+
+		if s.opts.NonBlocking {
+			// Overlapped MPI_Rget-style fetches: issue everything, then
+			// wait once; wire times overlap.
+			before := s.world.Clock().Now()
+			bufs := make([][]byte, len(positions))
+			reqs := make([]*comm.Request, len(positions))
+			for i, pos := range positions {
+				e := s.index[ids[pos]]
+				bufs[i] = make([]byte, e.length)
+				req, err := s.win.GetNB(bufs[i], owner, int(e.offset))
+				if err != nil {
+					s.win.Unlock(owner)
+					return nil, nil, fmt.Errorf("core: RMA rget sample %d from %d: %w", ids[pos], owner, err)
+				}
+				reqs[i] = req
+				s.stats.RemoteGets++
+				s.stats.BytesRemote += int64(e.length)
+			}
+			comm.WaitAll(reqs)
+			elapsed := s.world.Clock().Now() - before
+			for i, pos := range positions {
+				g, err := graph.Decode(bufs[i])
+				if err != nil {
+					s.win.Unlock(owner)
+					return nil, nil, fmt.Errorf("core: decode remote sample %d: %w", ids[pos], err)
+				}
+				out[pos] = g
+				if timed {
+					lat[pos] = elapsed / time.Duration(len(positions))
+					if i == 0 {
+						lat[pos] += lockCost
+					}
+				}
+			}
+			if err := s.win.Unlock(owner); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+
+		for i, pos := range positions {
+			before := s.world.Clock().Now()
+			id := ids[pos]
+			e := s.index[id]
+			dst := make([]byte, e.length)
+			if err := s.win.Get(dst, owner, int(e.offset)); err != nil {
+				s.win.Unlock(owner)
+				return nil, nil, fmt.Errorf("core: RMA get sample %d from %d: %w", id, owner, err)
+			}
+			g, err := graph.Decode(dst)
+			if err != nil {
+				s.win.Unlock(owner)
+				return nil, nil, fmt.Errorf("core: decode remote sample %d: %w", id, err)
+			}
+			out[pos] = g
+			s.stats.RemoteGets++
+			s.stats.BytesRemote += int64(e.length)
+			if timed {
+				lat[pos] = s.world.Clock().Now() - before
+				if i == 0 {
+					lat[pos] += lockCost
+				}
+			}
+		}
+		if err := s.win.Unlock(owner); err != nil {
+			return nil, nil, err
+		}
+	}
+	if s.prof != nil {
+		s.prof.Add(trace.RegionRMA, s.world.Clock().Now()-rmaStart)
+	}
+	return out, lat, nil
+}
+
+// Fence synchronizes all ranks of the replica group between access epochs.
+func (s *Store) Fence() error { return s.win.Fence() }
+
+// Barrier synchronizes all ranks of the creating communicator.
+func (s *Store) Barrier() error { return s.world.Barrier() }
+
+// LocalSampleBytes returns the encoded bytes of a locally-held sample
+// without copying. It is the hook the TCP transport uses to serve this
+// rank's chunk to remote processes; callers must not modify the slice.
+func (s *Store) LocalSampleBytes(id int64) ([]byte, error) {
+	if id < s.myLo || id >= s.myHi {
+		return nil, fmt.Errorf("core: sample %d not in local range [%d,%d)", id, s.myLo, s.myHi)
+	}
+	e := s.index[id]
+	return s.buf[e.offset : e.offset+int64(e.length)], nil
+}

@@ -1,0 +1,75 @@
+package ddp
+
+import (
+	"time"
+
+	"ddstore/internal/core"
+	"ddstore/internal/graph"
+)
+
+// Loader is how a rank materializes a batch of samples by global id. The
+// returned latencies (one per sample, virtual time) may be nil when the
+// loader has no timing information.
+type Loader interface {
+	Len() int
+	LoadBatch(ids []int64) ([]*graph.Graph, []time.Duration, error)
+}
+
+// StoreLoader serves batches from a DDStore instance (in-memory chunks +
+// one-sided RMA).
+type StoreLoader struct {
+	Store *core.Store
+}
+
+// Len returns the dataset size.
+func (l *StoreLoader) Len() int { return l.Store.Len() }
+
+// LoadBatch implements Loader via the store's timed loader.
+func (l *StoreLoader) LoadBatch(ids []int64) ([]*graph.Graph, []time.Duration, error) {
+	return l.Store.LoadTimed(ids)
+}
+
+// TimedSource is a SampleSource that can report per-read modeled latency
+// (the simulated PFF/CFF readers implement it).
+type TimedSource interface {
+	core.SampleSource
+	ReadSampleTimed(id int64) (*graph.Graph, time.Duration, error)
+}
+
+// SourceLoader serves batches by reading each sample directly from a
+// storage backend — the PFF/CFF baseline path: every batch goes back to the
+// (simulated or real) filesystem.
+type SourceLoader struct {
+	Source core.SampleSource
+}
+
+// Len returns the dataset size.
+func (l *SourceLoader) Len() int { return l.Source.Len() }
+
+// LoadBatch implements Loader, reporting per-sample latency when the
+// backend supports it.
+func (l *SourceLoader) LoadBatch(ids []int64) ([]*graph.Graph, []time.Duration, error) {
+	out := make([]*graph.Graph, len(ids))
+	var lat []time.Duration
+	timed, hasTiming := l.Source.(TimedSource)
+	if hasTiming {
+		lat = make([]time.Duration, len(ids))
+	}
+	for i, id := range ids {
+		if hasTiming {
+			g, d, err := timed.ReadSampleTimed(id)
+			if err != nil {
+				return nil, nil, err
+			}
+			out[i] = g
+			lat[i] = d
+			continue
+		}
+		g, err := l.Source.ReadSample(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[i] = g
+	}
+	return out, lat, nil
+}

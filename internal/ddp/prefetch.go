@@ -1,0 +1,133 @@
+package ddp
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"ddstore/internal/graph"
+)
+
+// PrefetchLoader wraps a Loader with a background worker goroutine that
+// loads upcoming batches while the consumer trains on the current one —
+// the role PyTorch's DataLoader workers play in the paper's stack.
+//
+// Because the global-shuffle sampler is deterministic, the trainer can
+// Enqueue future batches' ids ahead of time; LoadBatch then returns the
+// prefetched result when the ids match (and falls back to a synchronous
+// load when they do not).
+//
+// PrefetchLoader is for real-time execution (real files, TCP transport).
+// The simulated-cluster trainer models CPU/GPU overlap analytically on the
+// virtual clocks instead, where a real background goroutine would charge
+// costs out of order.
+type PrefetchLoader struct {
+	inner Loader
+	reqs  chan []int64
+	out   chan prefetched
+	done  chan struct{}
+	// outstanding counts enqueued batches not yet consumed, so LoadBatch
+	// knows whether waiting on the worker can ever produce a result.
+	outstanding atomic.Int64
+}
+
+type prefetched struct {
+	ids     []int64
+	graphs  []*graph.Graph
+	lats    []time.Duration
+	loadErr error
+}
+
+// NewPrefetchLoader starts a prefetching wrapper with the given queue
+// depth (≥1). Call Close when done.
+func NewPrefetchLoader(inner Loader, depth int) *PrefetchLoader {
+	if depth < 1 {
+		depth = 1
+	}
+	p := &PrefetchLoader{
+		inner: inner,
+		reqs:  make(chan []int64, depth),
+		out:   make(chan prefetched, depth),
+		done:  make(chan struct{}),
+	}
+	go func() {
+		defer close(p.out)
+		for {
+			select {
+			case <-p.done:
+				return
+			case ids, ok := <-p.reqs:
+				if !ok {
+					return
+				}
+				graphs, lats, err := inner.LoadBatch(ids)
+				select {
+				case p.out <- prefetched{ids: ids, graphs: graphs, lats: lats, loadErr: err}:
+				case <-p.done:
+					return
+				}
+			}
+		}
+	}()
+	return p
+}
+
+// Len returns the dataset size.
+func (p *PrefetchLoader) Len() int { return p.inner.Len() }
+
+// Enqueue schedules a future batch. The ids slice is copied. Enqueue blocks
+// if the queue is full (depth batches already pending).
+func (p *PrefetchLoader) Enqueue(ids []int64) {
+	cp := make([]int64, len(ids))
+	copy(cp, ids)
+	select {
+	case p.reqs <- cp:
+		p.outstanding.Add(1)
+	case <-p.done:
+	}
+}
+
+// LoadBatch returns the next prefetched batch if its ids match the request
+// (the normal case when the trainer enqueues in order); otherwise it loads
+// synchronously.
+func (p *PrefetchLoader) LoadBatch(ids []int64) ([]*graph.Graph, []time.Duration, error) {
+	if p.outstanding.Load() == 0 {
+		// Nothing enqueued: plain synchronous load.
+		return p.inner.LoadBatch(ids)
+	}
+	select {
+	case res, ok := <-p.out:
+		if !ok {
+			return nil, nil, fmt.Errorf("ddp: prefetch loader closed")
+		}
+		p.outstanding.Add(-1)
+		if sameIDs(res.ids, ids) {
+			return res.graphs, res.lats, res.loadErr
+		}
+		// Out-of-order request: discard the stale result and load fresh.
+		return p.inner.LoadBatch(ids)
+	case <-p.done:
+		return nil, nil, fmt.Errorf("ddp: prefetch loader closed")
+	}
+}
+
+func sameIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Close stops the worker. Pending results are discarded.
+func (p *PrefetchLoader) Close() {
+	select {
+	case <-p.done:
+	default:
+		close(p.done)
+	}
+}

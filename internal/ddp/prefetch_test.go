@@ -1,0 +1,116 @@
+package ddp
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ddstore/internal/datasets"
+	"ddstore/internal/graph"
+)
+
+// slowLoader wraps a SourceLoader with an artificial delay and a call
+// counter.
+type slowLoader struct {
+	inner Loader
+	delay time.Duration
+	calls atomic.Int64
+}
+
+func (s *slowLoader) Len() int { return s.inner.Len() }
+
+func (s *slowLoader) LoadBatch(ids []int64) ([]*graph.Graph, []time.Duration, error) {
+	s.calls.Add(1)
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	return s.inner.LoadBatch(ids)
+}
+
+func newSlowLoader(t *testing.T, n int, delay time.Duration) *slowLoader {
+	t.Helper()
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: n})
+	return &slowLoader{inner: &SourceLoader{Source: ds}, delay: delay}
+}
+
+func TestPrefetchDeliversEnqueuedBatches(t *testing.T) {
+	inner := newSlowLoader(t, 100, 0)
+	p := NewPrefetchLoader(inner, 2)
+	defer p.Close()
+	if p.Len() != 100 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	batches := [][]int64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	for _, b := range batches {
+		p.Enqueue(b)
+	}
+	for _, want := range batches {
+		graphs, _, err := p.LoadBatch(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, g := range graphs {
+			if g.ID != want[i] {
+				t.Fatalf("got id %d want %d", g.ID, want[i])
+			}
+		}
+	}
+	// All three served by the worker, no synchronous fallbacks.
+	if got := inner.calls.Load(); got != 3 {
+		t.Fatalf("inner called %d times, want 3", got)
+	}
+}
+
+func TestPrefetchSynchronousWhenNothingEnqueued(t *testing.T) {
+	inner := newSlowLoader(t, 50, 0)
+	p := NewPrefetchLoader(inner, 1)
+	defer p.Close()
+	graphs, _, err := p.LoadBatch([]int64{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graphs) != 2 || graphs[0].ID != 5 {
+		t.Fatal("synchronous fallback wrong")
+	}
+}
+
+func TestPrefetchOutOfOrderFallsBack(t *testing.T) {
+	inner := newSlowLoader(t, 50, 0)
+	p := NewPrefetchLoader(inner, 1)
+	defer p.Close()
+	p.Enqueue([]int64{1, 2})
+	graphs, _, err := p.LoadBatch([]int64{9, 10}) // mismatched request
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graphs[0].ID != 9 || graphs[1].ID != 10 {
+		t.Fatal("fallback returned wrong batch")
+	}
+}
+
+func TestPrefetchOverlapsLoading(t *testing.T) {
+	const delay = 20 * time.Millisecond
+	inner := newSlowLoader(t, 50, delay)
+	p := NewPrefetchLoader(inner, 2)
+	defer p.Close()
+	p.Enqueue([]int64{1})
+	p.Enqueue([]int64{2})
+	time.Sleep(3 * delay) // let the worker finish both
+	start := time.Now()
+	if _, _, err := p.LoadBatch([]int64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.LoadBatch([]int64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > delay {
+		t.Fatalf("prefetched batches took %v, want ~0 (already loaded)", elapsed)
+	}
+}
+
+func TestPrefetchCloseIdempotent(t *testing.T) {
+	p := NewPrefetchLoader(newSlowLoader(t, 10, 0), 1)
+	p.Close()
+	p.Close()
+	p.Enqueue([]int64{1}) // must not block or panic after Close
+}

@@ -1,0 +1,110 @@
+package gnn
+
+import (
+	"fmt"
+
+	"ddstore/internal/graph"
+	"ddstore/internal/tensor"
+	"ddstore/internal/vtime"
+)
+
+// GIN is a Graph Isomorphism Network convolution (Xu et al. 2019):
+//
+//	h_i' = MLP((1 + ε)·h_i + Σ_{j∈N(i)} h_j)
+//
+// HydraGNN's object-oriented design supports multiple message-passing
+// policies; GIN is the second policy implemented here (PNA being the
+// paper's evaluated one). GIN is cheaper per edge — sum aggregation, no
+// degree scalers — and serves as the ablation partner for the convolution
+// choice.
+type GIN struct {
+	In, Out int
+	// Eps is the ε self-weight (learnable in the original; fixed here,
+	// like PyG's default train_eps=false).
+	Eps float32
+
+	// MLP: two dense layers with ReLU in between.
+	L1 *Linear
+	L2 *Linear
+}
+
+// NewGIN creates a GIN layer with a 2-layer update MLP of width out.
+func NewGIN(name string, in, out int, rng *vtime.RNG) *GIN {
+	return &GIN{
+		In:  in,
+		Out: out,
+		Eps: 0,
+		L1:  NewLinear(name+".mlp1", in, out, rng),
+		L2:  NewLinear(name+".mlp2", out, out, rng),
+	}
+}
+
+// Params returns the layer's learnables.
+func (g *GIN) Params() []*Param {
+	return append(g.L1.Params(), g.L2.Params()...)
+}
+
+// GINCache holds the forward intermediates for Backward.
+type GINCache struct {
+	x     *tensor.Matrix // layer input
+	agg   *tensor.Matrix // (1+eps)x + sum of neighbors
+	h1    *tensor.Matrix // post-ReLU first MLP layer
+	out   *tensor.Matrix // post-ReLU output
+	batch *graph.Batch
+}
+
+// Forward runs the convolution.
+func (g *GIN) Forward(x *tensor.Matrix, b *graph.Batch) (*tensor.Matrix, *GINCache) {
+	if x.Rows != b.NumNodes || x.Cols != g.In {
+		panic(fmt.Sprintf("gnn: gin input %dx%d for %d nodes, %d dims", x.Rows, x.Cols, b.NumNodes, g.In))
+	}
+	c := &GINCache{x: x, batch: b}
+	agg := x.Clone()
+	if g.Eps != 0 {
+		tensor.ScaleInPlace(agg, 1+g.Eps)
+	}
+	for e := 0; e < b.NumEdges(); e++ {
+		src := x.Row(int(b.EdgeSrc[e]))
+		dst := agg.Row(int(b.EdgeDst[e]))
+		for j := range src {
+			dst[j] += src[j]
+		}
+	}
+	c.agg = agg
+	h1 := g.L1.Forward(agg)
+	tensor.ReluInPlace(h1)
+	c.h1 = h1
+	out := g.L2.Forward(h1)
+	tensor.ReluInPlace(out)
+	c.out = out
+	return out, c
+}
+
+// Backward accumulates parameter gradients and returns the input gradient.
+func (g *GIN) Backward(dOut *tensor.Matrix, c *GINCache) *tensor.Matrix {
+	d := dOut.Clone()
+	tensor.ReluBackward(d, c.out)
+	d = g.L2.Backward(c.h1, d)
+	tensor.ReluBackward(d, c.h1)
+	dAgg := g.L1.Backward(c.agg, d)
+
+	// d/dx of (1+eps)x + scatter-sum: self term plus reverse scatter.
+	dX := dAgg.Clone()
+	if g.Eps != 0 {
+		tensor.ScaleInPlace(dX, 1+g.Eps)
+	}
+	b := c.batch
+	for e := 0; e < b.NumEdges(); e++ {
+		srcRow := dX.Row(int(b.EdgeSrc[e]))
+		dstRow := dAgg.Row(int(b.EdgeDst[e]))
+		for j := range srcRow {
+			srcRow[j] += dstRow[j]
+		}
+	}
+	return dX
+}
+
+// FlopsForward estimates the forward flop count for n nodes and m edges.
+func (g *GIN) FlopsForward(n, m int) float64 {
+	return float64(m)*float64(g.In)*2 + g.L1.FlopsForward(n) + g.L2.FlopsForward(n)
+}

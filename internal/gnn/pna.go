@@ -1,0 +1,292 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+
+	"ddstore/internal/graph"
+	"ddstore/internal/tensor"
+	"ddstore/internal/vtime"
+)
+
+// stdEps stabilizes the standard-deviation aggregator's square root.
+const stdEps = 1e-5
+
+// numAggregators is mean, max, min, std.
+const numAggregators = 4
+
+// numScalers is identity, amplification, attenuation.
+const numScalers = 3
+
+// PNA is a Principal Neighbourhood Aggregation convolution layer: incoming
+// messages are combined by four aggregators (mean, max, min, std), each
+// modulated by three degree scalers (identity, amplification log(d+1)/δ,
+// attenuation δ/log(d+1)), concatenated with the node's own features, and
+// projected through a dense update network with ReLU.
+type PNA struct {
+	In, Out int
+	// Delta is the degree-scaler normalizer δ (the PNA paper's average of
+	// log(d+1) over the training graphs).
+	Delta float64
+
+	Wmsg  *Linear // In -> In: message transform
+	Wedge *Linear // EdgeFeatDim -> In, nil when the dataset has no edge features
+	Wupd  *Linear // In*(1+numAggregators*numScalers) -> Out: update network
+}
+
+// NewPNA creates a PNA layer. edgeDim may be 0.
+func NewPNA(name string, in, out, edgeDim int, delta float64, rng *vtime.RNG) *PNA {
+	p := &PNA{
+		In:    in,
+		Out:   out,
+		Delta: delta,
+		Wmsg:  NewLinear(name+".msg", in, in, rng),
+		Wupd:  NewLinear(name+".upd", in*(1+numAggregators*numScalers), out, rng),
+	}
+	if edgeDim > 0 {
+		p.Wedge = NewLinear(name+".edge", edgeDim, in, rng)
+	}
+	return p
+}
+
+// Params returns the layer's learnables.
+func (p *PNA) Params() []*Param {
+	out := append(p.Wmsg.Params(), p.Wupd.Params()...)
+	if p.Wedge != nil {
+		out = append(out, p.Wedge.Params()...)
+	}
+	return out
+}
+
+// PNACache holds the forward intermediates the backward pass needs. It is
+// opaque to callers: obtain one from Forward and hand it back to Backward.
+type PNACache struct {
+	x        *tensor.Matrix // layer input
+	msgNode  *tensor.Matrix // M = Wmsg(x), per node
+	msgEdge  *tensor.Matrix // per-edge messages (after edge-feature add)
+	edgeFeat *tensor.Matrix // edge features (m×edgeDim), nil if none
+	mean     *tensor.Matrix
+	maxM     *tensor.Matrix
+	minM     *tensor.Matrix
+	stdM     *tensor.Matrix
+	argmax   []int32 // per (node, feature): edge index of the max, -1 if none
+	argmin   []int32
+	deg      []int32
+	upIn     *tensor.Matrix // concat(x, scaled aggregates)
+	out      *tensor.Matrix // post-ReLU output
+	batch    *graph.Batch
+}
+
+// scalers returns (identity, amplification, attenuation) for a degree.
+func (p *PNA) scalers(deg int32) (float32, float32, float32) {
+	if deg <= 0 {
+		return 1, 0, 0
+	}
+	l := math.Log(float64(deg) + 1)
+	return 1, float32(l / p.Delta), float32(p.Delta / l)
+}
+
+// Forward runs the convolution on batch with node features x (n×In) and
+// returns the new features (n×Out) plus the cache for Backward.
+func (p *PNA) Forward(x *tensor.Matrix, b *graph.Batch) (*tensor.Matrix, *PNACache) {
+	n := b.NumNodes
+	m := b.NumEdges()
+	if x.Rows != n || x.Cols != p.In {
+		panic(fmt.Sprintf("gnn: pna input %dx%d for %d nodes, %d dims", x.Rows, x.Cols, n, p.In))
+	}
+	c := &PNACache{x: x, batch: b}
+	c.msgNode = p.Wmsg.Forward(x)
+
+	// Per-edge messages.
+	c.msgEdge = tensor.New(m, p.In)
+	for e := 0; e < m; e++ {
+		copy(c.msgEdge.Row(e), c.msgNode.Row(int(b.EdgeSrc[e])))
+	}
+	if p.Wedge != nil && b.EdgeFeatDim > 0 {
+		c.edgeFeat = tensor.FromData(m, b.EdgeFeatDim, b.EdgeFeat)
+		tensor.AddInPlace(c.msgEdge, p.Wedge.Forward(c.edgeFeat))
+	}
+
+	// Aggregate per destination node.
+	d := p.In
+	c.mean = tensor.New(n, d)
+	c.maxM = tensor.New(n, d)
+	c.minM = tensor.New(n, d)
+	c.stdM = tensor.New(n, d)
+	sumSq := make([]float32, n*d)
+	c.argmax = make([]int32, n*d)
+	c.argmin = make([]int32, n*d)
+	for i := range c.argmax {
+		c.argmax[i] = -1
+		c.argmin[i] = -1
+	}
+	c.deg = make([]int32, n)
+	for e := 0; e < m; e++ {
+		dst := int(b.EdgeDst[e])
+		c.deg[dst]++
+		first := c.deg[dst] == 1
+		mrow := c.msgEdge.Row(e)
+		meanRow := c.mean.Row(dst)
+		maxRow := c.maxM.Row(dst)
+		minRow := c.minM.Row(dst)
+		for j, v := range mrow {
+			meanRow[j] += v
+			sumSq[dst*d+j] += v * v
+			if first || v > maxRow[j] {
+				maxRow[j] = v
+				c.argmax[dst*d+j] = int32(e)
+			}
+			if first || v < minRow[j] {
+				minRow[j] = v
+				c.argmin[dst*d+j] = int32(e)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if c.deg[i] == 0 {
+			continue
+		}
+		inv := 1 / float32(c.deg[i])
+		meanRow := c.mean.Row(i)
+		stdRow := c.stdM.Row(i)
+		for j := range meanRow {
+			meanRow[j] *= inv
+			variance := sumSq[i*d+j]*inv - meanRow[j]*meanRow[j]
+			if variance < 0 {
+				variance = 0
+			}
+			stdRow[j] = float32(math.Sqrt(float64(variance) + stdEps))
+		}
+	}
+
+	// Scale and concatenate: [x | s*mean | s*max | s*min | s*std] for the
+	// three scalers.
+	c.upIn = tensor.New(n, p.In*(1+numAggregators*numScalers))
+	aggs := []*tensor.Matrix{c.mean, c.maxM, c.minM, c.stdM}
+	for i := 0; i < n; i++ {
+		row := c.upIn.Row(i)
+		copy(row[:p.In], x.Row(i))
+		s1, s2, s3 := p.scalers(c.deg[i])
+		off := p.In
+		for _, s := range []float32{s1, s2, s3} {
+			for _, agg := range aggs {
+				arow := agg.Row(i)
+				for j, v := range arow {
+					row[off+j] = v * s
+				}
+				off += d
+			}
+		}
+	}
+	out := p.Wupd.Forward(c.upIn)
+	tensor.ReluInPlace(out)
+	c.out = out
+	return out, c
+}
+
+// Backward consumes dOut (gradient of Forward's output) and the cache,
+// accumulates parameter gradients, and returns the gradient of the layer
+// input x.
+func (p *PNA) Backward(dOut *tensor.Matrix, c *PNACache) *tensor.Matrix {
+	b := c.batch
+	n := b.NumNodes
+	m := b.NumEdges()
+	d := p.In
+
+	dAct := dOut.Clone()
+	tensor.ReluBackward(dAct, c.out)
+	dUpIn := p.Wupd.Backward(c.upIn, dAct)
+
+	// Split dUpIn into the self part and the scaled aggregate parts.
+	dX := tensor.New(n, d)
+	dMean := tensor.New(n, d)
+	dMax := tensor.New(n, d)
+	dMin := tensor.New(n, d)
+	dStd := tensor.New(n, d)
+	for i := 0; i < n; i++ {
+		row := dUpIn.Row(i)
+		copy(dX.Row(i), row[:d])
+		s1, s2, s3 := p.scalers(c.deg[i])
+		off := d
+		for _, s := range []float32{s1, s2, s3} {
+			for _, pair := range []struct{ dst *tensor.Matrix }{
+				{dMean}, {dMax}, {dMin}, {dStd},
+			} {
+				drow := pair.dst.Row(i)
+				for j := 0; j < d; j++ {
+					drow[j] += row[off+j] * s
+				}
+				off += d
+			}
+		}
+	}
+
+	// Back through the aggregators into per-edge message gradients.
+	dMsgEdge := tensor.New(m, d)
+	for e := 0; e < m; e++ {
+		dst := int(b.EdgeDst[e])
+		deg := c.deg[dst]
+		if deg == 0 {
+			continue
+		}
+		inv := 1 / float32(deg)
+		dRow := dMsgEdge.Row(e)
+		meanRow := c.mean.Row(dst)
+		stdRow := c.stdM.Row(dst)
+		dMeanRow := dMean.Row(dst)
+		dStdRow := dStd.Row(dst)
+		mRow := c.msgEdge.Row(e)
+		for j := 0; j < d; j++ {
+			// mean: dm += dmean / deg
+			g := dMeanRow[j] * inv
+			// std: s = sqrt(V+eps), V = E[m²]−E[m]²;
+			// dV/dm_e = 2/deg·(m_e − mean); ds/dV = 1/(2s).
+			g += dStdRow[j] / (2 * stdRow[j]) * 2 * inv * (mRow[j] - meanRow[j])
+			dRow[j] += g
+		}
+	}
+	// max/min route to the recorded arg edges.
+	for i := 0; i < n; i++ {
+		if c.deg[i] == 0 {
+			continue
+		}
+		dMaxRow := dMax.Row(i)
+		dMinRow := dMin.Row(i)
+		for j := 0; j < d; j++ {
+			if e := c.argmax[i*d+j]; e >= 0 {
+				dMsgEdge.Row(int(e))[j] += dMaxRow[j]
+			}
+			if e := c.argmin[i*d+j]; e >= 0 {
+				dMsgEdge.Row(int(e))[j] += dMinRow[j]
+			}
+		}
+	}
+
+	// Per-edge gradients back to the source-node messages and edge features.
+	dMsgNode := tensor.New(n, d)
+	for e := 0; e < m; e++ {
+		src := int(b.EdgeSrc[e])
+		drow := dMsgEdge.Row(e)
+		nrow := dMsgNode.Row(src)
+		for j := range drow {
+			nrow[j] += drow[j]
+		}
+	}
+	if p.Wedge != nil && c.edgeFeat != nil {
+		p.Wedge.Backward(c.edgeFeat, dMsgEdge) // edge features are inputs; their gradient is discarded
+	}
+	tensor.AddInPlace(dX, p.Wmsg.Backward(c.x, dMsgNode))
+	return dX
+}
+
+// FlopsForward estimates the layer's forward flop count for a batch with n
+// nodes and m edges.
+func (p *PNA) FlopsForward(n, m int) float64 {
+	f := p.Wmsg.FlopsForward(n)
+	f += float64(m) * float64(p.In) * 8 // message gather + aggregation
+	f += p.Wupd.FlopsForward(n)
+	if p.Wedge != nil {
+		f += p.Wedge.FlopsForward(m)
+	}
+	return f
+}

@@ -1,0 +1,77 @@
+package gnn
+
+import (
+	"fmt"
+
+	"ddstore/internal/graph"
+	"ddstore/internal/tensor"
+)
+
+// MeanPool averages node features per graph: out is NumGraphs×Cols. It is
+// the readout between the convolution stack and the fully-connected head.
+func MeanPool(x *tensor.Matrix, b *graph.Batch) *tensor.Matrix {
+	if x.Rows != b.NumNodes {
+		panic(fmt.Sprintf("gnn: pool over %d rows for %d nodes", x.Rows, b.NumNodes))
+	}
+	out := tensor.New(b.NumGraphs, x.Cols)
+	counts := make([]float32, b.NumGraphs)
+	for i := 0; i < x.Rows; i++ {
+		g := int(b.GraphIndex[i])
+		counts[g]++
+		orow := out.Row(g)
+		xrow := x.Row(i)
+		for j := range xrow {
+			orow[j] += xrow[j]
+		}
+	}
+	for g := 0; g < b.NumGraphs; g++ {
+		if counts[g] == 0 {
+			continue
+		}
+		inv := 1 / counts[g]
+		row := out.Row(g)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return out
+}
+
+// MeanPoolBackward distributes the pooled gradient back to the nodes.
+func MeanPoolBackward(dOut *tensor.Matrix, b *graph.Batch) *tensor.Matrix {
+	counts := make([]float32, b.NumGraphs)
+	for i := 0; i < b.NumNodes; i++ {
+		counts[int(b.GraphIndex[i])]++
+	}
+	dX := tensor.New(b.NumNodes, dOut.Cols)
+	for i := 0; i < b.NumNodes; i++ {
+		g := int(b.GraphIndex[i])
+		if counts[g] == 0 {
+			continue
+		}
+		inv := 1 / counts[g]
+		drow := dX.Row(i)
+		orow := dOut.Row(g)
+		for j := range drow {
+			drow[j] = orow[j] * inv
+		}
+	}
+	return dX
+}
+
+// MSELoss returns the mean squared error between pred and target (both
+// r×c) and the gradient dPred.
+func MSELoss(pred *tensor.Matrix, target []float32) (float64, *tensor.Matrix) {
+	if len(target) != len(pred.Data) {
+		panic(fmt.Sprintf("gnn: %d predictions vs %d targets", len(pred.Data), len(target)))
+	}
+	dPred := tensor.New(pred.Rows, pred.Cols)
+	var loss float64
+	n := float64(len(target))
+	for i, p := range pred.Data {
+		diff := float64(p) - float64(target[i])
+		loss += diff * diff
+		dPred.Data[i] = float32(2 * diff / n)
+	}
+	return loss / n, dPred
+}

@@ -1,0 +1,331 @@
+// Package graph defines the atomistic graph sample model used throughout
+// DDStore: a molecule or crystal configuration with atoms as nodes and
+// interatomic bonds as edges, node/edge features, and one or more prediction
+// targets (energy, HOMO-LUMO gap, UV-vis spectrum).
+//
+// The package also provides a compact binary codec (the serialized form
+// stored in PFF files, CFF containers, and DDStore memory windows) and
+// mini-batch assembly (the disjoint-union batching used by graph neural
+// networks).
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Graph is one atomistic sample.
+type Graph struct {
+	// ID is the global sample index within its dataset.
+	ID int64
+	// NumNodes is the number of atoms.
+	NumNodes int
+	// NodeFeatDim is the per-atom feature width; NodeFeat is row-major
+	// NumNodes × NodeFeatDim.
+	NodeFeatDim int
+	NodeFeat    []float32
+	// EdgeSrc/EdgeDst hold one directed edge per entry (undirected bonds are
+	// stored as two directed edges).
+	EdgeSrc []int32
+	EdgeDst []int32
+	// EdgeFeatDim is the per-edge feature width; EdgeFeat is row-major
+	// len(EdgeSrc) × EdgeFeatDim. May be zero.
+	EdgeFeatDim int
+	EdgeFeat    []float32
+	// Pos holds atom coordinates, NumNodes × 3, or nil.
+	Pos []float32
+	// Y is the prediction target vector (length = dataset's output dim).
+	Y []float32
+}
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return len(g.EdgeSrc) }
+
+// Validate checks structural invariants.
+func (g *Graph) Validate() error {
+	if g.NumNodes < 0 {
+		return fmt.Errorf("graph %d: negative node count", g.ID)
+	}
+	if g.NodeFeatDim < 0 || g.EdgeFeatDim < 0 {
+		return fmt.Errorf("graph %d: negative feature dim", g.ID)
+	}
+	if len(g.NodeFeat) != g.NumNodes*g.NodeFeatDim {
+		return fmt.Errorf("graph %d: node features %d != %d nodes × %d dims",
+			g.ID, len(g.NodeFeat), g.NumNodes, g.NodeFeatDim)
+	}
+	if len(g.EdgeSrc) != len(g.EdgeDst) {
+		return fmt.Errorf("graph %d: %d edge sources vs %d destinations",
+			g.ID, len(g.EdgeSrc), len(g.EdgeDst))
+	}
+	if len(g.EdgeFeat) != len(g.EdgeSrc)*g.EdgeFeatDim {
+		return fmt.Errorf("graph %d: edge features %d != %d edges × %d dims",
+			g.ID, len(g.EdgeFeat), len(g.EdgeSrc), g.EdgeFeatDim)
+	}
+	if g.Pos != nil && len(g.Pos) != g.NumNodes*3 {
+		return fmt.Errorf("graph %d: positions %d != %d nodes × 3", g.ID, len(g.Pos), g.NumNodes)
+	}
+	for i := range g.EdgeSrc {
+		if g.EdgeSrc[i] < 0 || int(g.EdgeSrc[i]) >= g.NumNodes ||
+			g.EdgeDst[i] < 0 || int(g.EdgeDst[i]) >= g.NumNodes {
+			return fmt.Errorf("graph %d: edge %d (%d->%d) out of range [0,%d)",
+				g.ID, i, g.EdgeSrc[i], g.EdgeDst[i], g.NumNodes)
+		}
+	}
+	return nil
+}
+
+// InDegrees returns the in-degree of every node.
+func (g *Graph) InDegrees() []int32 {
+	deg := make([]int32, g.NumNodes)
+	for _, d := range g.EdgeDst {
+		deg[d]++
+	}
+	return deg
+}
+
+// Codec constants.
+const (
+	codecMagic   = 0xDD57 // "DDSTore"
+	codecVersion = 1
+)
+
+// EncodedSize returns the exact number of bytes Encode will produce.
+func (g *Graph) EncodedSize() int {
+	n := 4 + 8 // magic+version, id
+	n += 6 * 4 // numNodes, nodeFeatDim, numEdges, edgeFeatDim, hasPos, lenY
+	n += 4 * len(g.NodeFeat)
+	n += 4 * len(g.EdgeSrc)
+	n += 4 * len(g.EdgeDst)
+	n += 4 * len(g.EdgeFeat)
+	n += 4 * len(g.Pos)
+	n += 4 * len(g.Y)
+	return n
+}
+
+// Encode serializes the graph into a fresh buffer.
+func (g *Graph) Encode() []byte {
+	return g.AppendTo(make([]byte, 0, g.EncodedSize()))
+}
+
+// AppendTo serializes the graph onto buf and returns the extended slice.
+// Layout (little endian): u16 magic, u16 version, i64 id, u32 numNodes,
+// u32 nodeFeatDim, u32 numEdges, u32 edgeFeatDim, u32 hasPos, u32 lenY,
+// then the float32/int32 payloads in declaration order.
+func (g *Graph) AppendTo(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, codecMagic)
+	buf = binary.LittleEndian.AppendUint16(buf, codecVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(g.ID))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.NumNodes))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.NodeFeatDim))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(g.EdgeSrc)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.EdgeFeatDim))
+	hasPos := uint32(0)
+	if g.Pos != nil {
+		hasPos = 1
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, hasPos)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(g.Y)))
+	buf = appendFloat32s(buf, g.NodeFeat)
+	buf = appendInt32s(buf, g.EdgeSrc)
+	buf = appendInt32s(buf, g.EdgeDst)
+	buf = appendFloat32s(buf, g.EdgeFeat)
+	buf = appendFloat32s(buf, g.Pos)
+	buf = appendFloat32s(buf, g.Y)
+	return buf
+}
+
+func appendFloat32s(buf []byte, xs []float32) []byte {
+	for _, x := range xs {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(x))
+	}
+	return buf
+}
+
+func appendInt32s(buf []byte, xs []int32) []byte {
+	for _, x := range xs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+	}
+	return buf
+}
+
+// Decode deserializes one graph from data, which must contain exactly one
+// encoded graph (as produced by Encode).
+func Decode(data []byte) (*Graph, error) {
+	g, rest, err := DecodePrefix(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("graph: %d trailing bytes after decoded graph", len(rest))
+	}
+	return g, nil
+}
+
+// DecodePrefix deserializes one graph from the front of data and returns the
+// remaining bytes, enabling streaming decode of concatenated graphs.
+func DecodePrefix(data []byte) (*Graph, []byte, error) {
+	const header = 4 + 8 + 6*4
+	if len(data) < header {
+		return nil, nil, fmt.Errorf("graph: truncated header: %d bytes", len(data))
+	}
+	if m := binary.LittleEndian.Uint16(data[0:]); m != codecMagic {
+		return nil, nil, fmt.Errorf("graph: bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint16(data[2:]); v != codecVersion {
+		return nil, nil, fmt.Errorf("graph: unsupported codec version %d", v)
+	}
+	g := &Graph{}
+	g.ID = int64(binary.LittleEndian.Uint64(data[4:]))
+	g.NumNodes = int(binary.LittleEndian.Uint32(data[12:]))
+	g.NodeFeatDim = int(binary.LittleEndian.Uint32(data[16:]))
+	numEdges := int(binary.LittleEndian.Uint32(data[20:]))
+	g.EdgeFeatDim = int(binary.LittleEndian.Uint32(data[24:]))
+	hasPos := binary.LittleEndian.Uint32(data[28:]) != 0
+	lenY := int(binary.LittleEndian.Uint32(data[32:]))
+
+	// Guard against corrupt headers requesting absurd allocations.
+	want := header + 4*(g.NumNodes*g.NodeFeatDim+2*numEdges+numEdges*g.EdgeFeatDim+lenY)
+	if hasPos {
+		want += 4 * g.NumNodes * 3
+	}
+	if g.NumNodes < 0 || numEdges < 0 || lenY < 0 || want < header || len(data) < want {
+		return nil, nil, fmt.Errorf("graph: payload needs %d bytes, have %d", want, len(data))
+	}
+	p := data[header:]
+	var err error
+	if g.NodeFeat, p, err = takeFloat32s(p, g.NumNodes*g.NodeFeatDim); err != nil {
+		return nil, nil, err
+	}
+	if g.EdgeSrc, p, err = takeInt32s(p, numEdges); err != nil {
+		return nil, nil, err
+	}
+	if g.EdgeDst, p, err = takeInt32s(p, numEdges); err != nil {
+		return nil, nil, err
+	}
+	if g.EdgeFeat, p, err = takeFloat32s(p, numEdges*g.EdgeFeatDim); err != nil {
+		return nil, nil, err
+	}
+	if hasPos {
+		if g.Pos, p, err = takeFloat32s(p, g.NumNodes*3); err != nil {
+			return nil, nil, err
+		}
+	}
+	if g.Y, p, err = takeFloat32s(p, lenY); err != nil {
+		return nil, nil, err
+	}
+	return g, p, nil
+}
+
+func takeFloat32s(data []byte, n int) ([]float32, []byte, error) {
+	if n == 0 {
+		return nil, data, nil
+	}
+	if len(data) < 4*n {
+		return nil, nil, fmt.Errorf("graph: truncated payload: need %d floats, have %d bytes", n, len(data))
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:]))
+	}
+	return out, data[4*n:], nil
+}
+
+func takeInt32s(data []byte, n int) ([]int32, []byte, error) {
+	if n == 0 {
+		return nil, data, nil
+	}
+	if len(data) < 4*n {
+		return nil, nil, fmt.Errorf("graph: truncated payload: need %d ints, have %d bytes", n, len(data))
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(data[4*i:]))
+	}
+	return out, data[4*n:], nil
+}
+
+// Batch is the disjoint union of several graphs: node and edge arrays are
+// concatenated with edge indices shifted by the node offsets, exactly like
+// PyTorch Geometric's Batch. The GNN consumes Batches.
+type Batch struct {
+	NumGraphs   int
+	NumNodes    int
+	NodeFeatDim int
+	NodeFeat    []float32
+	EdgeSrc     []int32
+	EdgeDst     []int32
+	EdgeFeatDim int
+	EdgeFeat    []float32
+	// GraphIndex maps each node to the index of its graph within the batch
+	// (used by the readout/pooling layer).
+	GraphIndex []int32
+	// YDim is the per-graph target width; Y is NumGraphs × YDim.
+	YDim int
+	Y    []float32
+	// IDs are the global sample ids of the member graphs.
+	IDs []int64
+}
+
+// NewBatch assembles graphs into one batch. All graphs must share feature
+// and target dimensions.
+func NewBatch(graphs []*Graph) (*Batch, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("graph: empty batch")
+	}
+	b := &Batch{
+		NumGraphs:   len(graphs),
+		NodeFeatDim: graphs[0].NodeFeatDim,
+		EdgeFeatDim: graphs[0].EdgeFeatDim,
+		YDim:        len(graphs[0].Y),
+	}
+	var totalNodes, totalEdges int
+	for _, g := range graphs {
+		if g.NodeFeatDim != b.NodeFeatDim {
+			return nil, fmt.Errorf("graph: batch mixes node feature dims %d and %d", b.NodeFeatDim, g.NodeFeatDim)
+		}
+		if g.EdgeFeatDim != b.EdgeFeatDim {
+			return nil, fmt.Errorf("graph: batch mixes edge feature dims %d and %d", b.EdgeFeatDim, g.EdgeFeatDim)
+		}
+		if len(g.Y) != b.YDim {
+			return nil, fmt.Errorf("graph: batch mixes target dims %d and %d", b.YDim, len(g.Y))
+		}
+		totalNodes += g.NumNodes
+		totalEdges += g.NumEdges()
+	}
+	b.NumNodes = totalNodes
+	b.NodeFeat = make([]float32, 0, totalNodes*b.NodeFeatDim)
+	b.EdgeSrc = make([]int32, 0, totalEdges)
+	b.EdgeDst = make([]int32, 0, totalEdges)
+	b.EdgeFeat = make([]float32, 0, totalEdges*b.EdgeFeatDim)
+	b.GraphIndex = make([]int32, 0, totalNodes)
+	b.Y = make([]float32, 0, len(graphs)*b.YDim)
+	b.IDs = make([]int64, 0, len(graphs))
+
+	offset := int32(0)
+	for gi, g := range graphs {
+		b.NodeFeat = append(b.NodeFeat, g.NodeFeat...)
+		for i := range g.EdgeSrc {
+			b.EdgeSrc = append(b.EdgeSrc, g.EdgeSrc[i]+offset)
+			b.EdgeDst = append(b.EdgeDst, g.EdgeDst[i]+offset)
+		}
+		b.EdgeFeat = append(b.EdgeFeat, g.EdgeFeat...)
+		for i := 0; i < g.NumNodes; i++ {
+			b.GraphIndex = append(b.GraphIndex, int32(gi))
+		}
+		b.Y = append(b.Y, g.Y...)
+		b.IDs = append(b.IDs, g.ID)
+		offset += int32(g.NumNodes)
+	}
+	return b, nil
+}
+
+// NumEdges returns the number of directed edges in the batch.
+func (b *Batch) NumEdges() int { return len(b.EdgeSrc) }
+
+// Bytes returns the approximate in-memory footprint of the batch payload,
+// used for cost accounting.
+func (b *Batch) Bytes() int64 {
+	return int64(4 * (len(b.NodeFeat) + len(b.EdgeSrc) + len(b.EdgeDst) +
+		len(b.EdgeFeat) + len(b.GraphIndex) + len(b.Y)))
+}

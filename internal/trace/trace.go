@@ -1,0 +1,149 @@
+// Package trace is a lightweight region profiler in the spirit of Score-P:
+// named regions accumulate virtual-time durations and counts, and can retain
+// raw samples for latency CDFs. One Profiler per rank; profiles merge for
+// whole-run reports (the paper's Fig. 7 time-share breakdown).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Standard region names used by the DDP training loop, matching the paper's
+// breakdown figures.
+const (
+	RegionLoading   = "CPU-Loading"
+	RegionBatching  = "CPU-Batching"
+	RegionForward   = "GPU-Forward"
+	RegionBackward  = "GPU-Backward"
+	RegionComm      = "GPU-Comm"
+	RegionOptimizer = "Optimizer"
+	RegionRMA       = "MPI-RMA"
+	RegionPreload   = "Preload"
+	RegionOther     = "Other"
+)
+
+// Profiler accumulates per-region timing.
+type Profiler struct {
+	regions map[string]*Region
+	order   []string
+	// KeepSamples enables raw-sample retention (for CDFs). Off by default to
+	// bound memory.
+	KeepSamples bool
+}
+
+// Region is the accumulated timing of one named region.
+type Region struct {
+	Name    string
+	Total   time.Duration
+	Count   int64
+	Samples []time.Duration // only if KeepSamples
+}
+
+// New returns an empty profiler.
+func New() *Profiler {
+	return &Profiler{regions: make(map[string]*Region)}
+}
+
+// NewSampling returns a profiler that retains raw samples.
+func NewSampling() *Profiler {
+	p := New()
+	p.KeepSamples = true
+	return p
+}
+
+func (p *Profiler) region(name string) *Region {
+	r, ok := p.regions[name]
+	if !ok {
+		r = &Region{Name: name}
+		p.regions[name] = r
+		p.order = append(p.order, name)
+	}
+	return r
+}
+
+// Add records one occurrence of a region taking d.
+func (p *Profiler) Add(name string, d time.Duration) {
+	r := p.region(name)
+	r.Total += d
+	r.Count++
+	if p.KeepSamples {
+		r.Samples = append(r.Samples, d)
+	}
+}
+
+// Get returns the region's accumulated state (zero Region if absent).
+func (p *Profiler) Get(name string) Region {
+	if r, ok := p.regions[name]; ok {
+		return *r
+	}
+	return Region{Name: name}
+}
+
+// Samples returns the retained samples of a region.
+func (p *Profiler) Samples(name string) []time.Duration {
+	if r, ok := p.regions[name]; ok {
+		return r.Samples
+	}
+	return nil
+}
+
+// Total returns the sum over all regions.
+func (p *Profiler) Total() time.Duration {
+	var t time.Duration
+	for _, r := range p.regions {
+		t += r.Total
+	}
+	return t
+}
+
+// Share returns a region's fraction of the profiler total (0 if empty).
+func (p *Profiler) Share(name string) float64 {
+	total := p.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(p.Get(name).Total) / float64(total)
+}
+
+// Merge accumulates other into p (used to fold per-rank profiles into a
+// whole-run profile).
+func (p *Profiler) Merge(other *Profiler) {
+	for _, name := range other.order {
+		r := other.regions[name]
+		dst := p.region(name)
+		dst.Total += r.Total
+		dst.Count += r.Count
+		if p.KeepSamples {
+			dst.Samples = append(dst.Samples, r.Samples...)
+		}
+	}
+}
+
+// Regions returns all regions in first-use order.
+func (p *Profiler) Regions() []Region {
+	out := make([]Region, 0, len(p.order))
+	for _, name := range p.order {
+		out = append(out, *p.regions[name])
+	}
+	return out
+}
+
+// String renders a table of regions sorted by total time, largest first.
+func (p *Profiler) String() string {
+	regions := p.Regions()
+	sort.Slice(regions, func(i, j int) bool { return regions[i].Total > regions[j].Total })
+	total := p.Total()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %12s %10s %7s\n", "region", "total", "count", "share")
+	for _, r := range regions {
+		share := 0.0
+		if total > 0 {
+			share = float64(r.Total) / float64(total) * 100
+		}
+		fmt.Fprintf(&b, "%-16s %12v %10d %6.1f%%\n", r.Name, r.Total.Round(time.Microsecond), r.Count, share)
+	}
+	return b.String()
+}

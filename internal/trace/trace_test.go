@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAddAndGet(t *testing.T) {
+	p := New()
+	p.Add(RegionLoading, 5*time.Millisecond)
+	p.Add(RegionLoading, 3*time.Millisecond)
+	p.Add(RegionForward, 2*time.Millisecond)
+	r := p.Get(RegionLoading)
+	if r.Total != 8*time.Millisecond || r.Count != 2 {
+		t.Fatalf("loading region: %+v", r)
+	}
+	if got := p.Get("absent"); got.Total != 0 || got.Count != 0 {
+		t.Fatalf("absent region: %+v", got)
+	}
+	if p.Total() != 10*time.Millisecond {
+		t.Fatalf("Total = %v", p.Total())
+	}
+}
+
+func TestShare(t *testing.T) {
+	p := New()
+	if p.Share(RegionLoading) != 0 {
+		t.Fatal("empty profiler share not 0")
+	}
+	p.Add(RegionLoading, 67*time.Millisecond)
+	p.Add(RegionForward, 33*time.Millisecond)
+	if s := p.Share(RegionLoading); s < 0.669 || s > 0.671 {
+		t.Fatalf("Share = %v, want 0.67", s)
+	}
+}
+
+func TestSamplesRetention(t *testing.T) {
+	p := NewSampling()
+	p.Add(RegionRMA, time.Millisecond)
+	p.Add(RegionRMA, 2*time.Millisecond)
+	if got := p.Samples(RegionRMA); len(got) != 2 || got[1] != 2*time.Millisecond {
+		t.Fatalf("Samples = %v", got)
+	}
+	plain := New()
+	plain.Add(RegionRMA, time.Millisecond)
+	if got := plain.Samples(RegionRMA); got != nil {
+		t.Fatalf("non-sampling profiler retained samples: %v", got)
+	}
+	if got := p.Samples("absent"); got != nil {
+		t.Fatal("absent region returned samples")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewSampling()
+	a.Add(RegionLoading, time.Millisecond)
+	b := NewSampling()
+	b.Add(RegionLoading, 2*time.Millisecond)
+	b.Add(RegionComm, 4*time.Millisecond)
+	a.Merge(b)
+	if r := a.Get(RegionLoading); r.Total != 3*time.Millisecond || r.Count != 2 {
+		t.Fatalf("merged loading: %+v", r)
+	}
+	if r := a.Get(RegionComm); r.Total != 4*time.Millisecond {
+		t.Fatalf("merged comm: %+v", r)
+	}
+	if len(a.Samples(RegionLoading)) != 2 {
+		t.Fatal("merge dropped samples")
+	}
+}
+
+func TestRegionsOrder(t *testing.T) {
+	p := New()
+	p.Add("z", 1)
+	p.Add("a", 1)
+	p.Add("z", 1)
+	regions := p.Regions()
+	if len(regions) != 2 || regions[0].Name != "z" || regions[1].Name != "a" {
+		t.Fatalf("Regions = %+v", regions)
+	}
+}
+
+func TestString(t *testing.T) {
+	p := New()
+	p.Add(RegionLoading, 10*time.Millisecond)
+	p.Add(RegionForward, 30*time.Millisecond)
+	s := p.String()
+	if !strings.Contains(s, RegionLoading) || !strings.Contains(s, RegionForward) {
+		t.Fatalf("String missing regions:\n%s", s)
+	}
+	// Largest first.
+	if strings.Index(s, RegionForward) > strings.Index(s, RegionLoading) {
+		t.Fatalf("String not sorted by total:\n%s", s)
+	}
+}
