@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt examples experiments quick-experiments clean
+.PHONY: all build test race bench vet fmt fuzz examples experiments quick-experiments clean
 
 all: build test
 
@@ -20,6 +20,14 @@ bench:
 
 vet:
 	$(GO) vet ./...
+
+# Fuzz the graph codec and the wire protocol (both ends). FUZZTIME is per
+# target; bump it for longer campaigns, e.g. make fuzz FUZZTIME=10m.
+FUZZTIME ?= 15s
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeGraph -fuzztime=$(FUZZTIME) ./internal/graph
+	$(GO) test -run='^$$' -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/transport
 
 fmt:
 	gofmt -w .

@@ -18,12 +18,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"ddstore/internal/cff"
 	"ddstore/internal/datasets"
+	"ddstore/internal/faultnet"
 	"ddstore/internal/graph"
 	"ddstore/internal/pff"
 	"ddstore/internal/transport"
@@ -45,6 +48,18 @@ func main() {
 		bins   = flag.Int("bins", 0, "smooth-spectrum grid size")
 		lo     = flag.Int64("lo", 0, "first sample id served (inclusive)")
 		hi     = flag.Int64("hi", -1, "last sample id served (exclusive; -1 = dataset end)")
+
+		writeTimeout = flag.Duration("write-timeout", 5*time.Second, "per-response write deadline (0 = none)")
+		idleTimeout  = flag.Duration("idle-timeout", 0, "close connections idle this long (0 = never)")
+
+		// Chaos flags wrap the listener in a faultnet injector, turning the
+		// server into a misbehaving peer for resilience drills.
+		chaosSeed      = flag.Int64("chaos-seed", 1, "fault injection RNG seed")
+		chaosReset     = flag.Float64("chaos-reset", 0, "probability of a connection reset per I/O op")
+		chaosStallProb = flag.Float64("chaos-stall-prob", 0, "probability of a stall per I/O op")
+		chaosStall     = flag.Duration("chaos-stall", 200*time.Millisecond, "stall duration when injected")
+		chaosCorrupt   = flag.Float64("chaos-corrupt", 0, "probability of flipping a byte per write")
+		chaosSlowStart = flag.Duration("chaos-slow-start", 0, "extra latency on each connection's first op")
 	)
 	flag.Parse()
 
@@ -102,17 +117,38 @@ func main() {
 		graphs = append(graphs, g)
 	}
 	chunk := transport.NewMemChunk(*lo, graphs)
+	opts := transport.ServerOptions{WriteTimeout: *writeTimeout, IdleTimeout: *idleTimeout}
 
-	srv, err := transport.Serve(*addr, chunk)
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ddstore-serve: %v\n", err)
 		os.Exit(1)
 	}
+	chaotic := *chaosReset > 0 || *chaosStallProb > 0 || *chaosCorrupt > 0 || *chaosSlowStart > 0
+	var injector *faultnet.Injector
+	if chaotic {
+		injector = faultnet.New(faultnet.Scenario{
+			Seed:      *chaosSeed,
+			ResetProb: *chaosReset,
+			StallProb: *chaosStallProb, StallFor: *chaosStall,
+			CorruptProb: *chaosCorrupt,
+			SlowStart:   *chaosSlowStart,
+		})
+		ln = injector.Listener(ln)
+	}
+	srv := transport.ServeListener(ln, chunk, opts)
 	fmt.Printf("serving samples [%d,%d) on %s (ctrl-c to stop)\n", *lo, end, srv.Addr())
+	if chaotic {
+		fmt.Printf("chaos mode: seed=%d reset=%g stall=%g/%s corrupt=%g slow-start=%s\n",
+			*chaosSeed, *chaosReset, *chaosStallProb, *chaosStall, *chaosCorrupt, *chaosSlowStart)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	srv.Close()
-	fmt.Println("\nshut down")
+	if injector != nil {
+		fmt.Printf("\ninjected faults: %+v\n", injector.Stats())
+	}
+	fmt.Println("shut down")
 }

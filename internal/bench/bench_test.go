@@ -47,7 +47,7 @@ func cellFloat(t *testing.T, r *Report, row int, col string) float64 {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"abl-comm", "abl-lock", "abl-nb",
+	want := []string{"abl-comm", "abl-lock", "abl-nb", "degraded",
 		"fig10", "fig11", "fig12", "fig13", "fig4", "fig5", "fig6",
 		"fig7", "fig8", "fig9", "table1", "table2", "table3"}
 	exps := Experiments()
@@ -431,5 +431,31 @@ func TestProfileScalesAreSane(t *testing.T) {
 			t.Fatalf("quick=%v: Ising (%d B) does not fit the cache slice (%d B) — the Table 2 effect would vanish",
 				quick, isingBytes, perRank)
 		}
+	}
+}
+
+func TestDegradedSurvivesFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("degraded-mode soak skipped in -short mode")
+	}
+	r := runExp(t, "degraded")
+	if len(r.Rows) != 5 {
+		t.Fatalf("want 5 scenarios, got %d", len(r.Rows))
+	}
+	if cell(t, r, 0, "scenario") != "healthy" {
+		t.Fatalf("first row %q, want healthy baseline", cell(t, r, 0, "scenario"))
+	}
+	// Every scenario completed the full workload (or runExp would have
+	// failed); the fault scenarios must actually have engaged the
+	// resilience machinery.
+	var engaged float64
+	for row := 1; row < 5; row++ {
+		engaged += cellFloat(t, r, row, "retries")
+	}
+	if engaged == 0 {
+		t.Fatal("fault scenarios never triggered a retry")
+	}
+	if cellFloat(t, r, 4, "failovers") == 0 {
+		t.Fatal("dead-server scenario never failed over")
 	}
 }

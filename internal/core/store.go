@@ -30,6 +30,7 @@ import (
 	"ddstore/internal/comm"
 	"ddstore/internal/graph"
 	"ddstore/internal/trace"
+	"ddstore/internal/transport"
 )
 
 // SampleSource is anything the preloader can read a dataset from: the PFF
@@ -62,6 +63,11 @@ type Options struct {
 	// NonBlocking issues overlapped non-blocking Gets (MPI_Rget-style)
 	// within each owner epoch instead of sequential blocking Gets.
 	NonBlocking bool
+	// Net is the retry/deadline policy of the TCP data plane, used when
+	// this store's chunk is served to other processes (ServeTCP) or when
+	// remote chunks are fetched (DialGroup). The zero value means the
+	// transport defaults; the in-process RMA path ignores it.
+	Net transport.RetryPolicy
 }
 
 // entry locates one sample inside its replica group.
@@ -504,4 +510,26 @@ func (s *Store) LocalSampleBytes(id int64) ([]byte, error) {
 	}
 	e := s.index[id]
 	return s.buf[e.offset : e.offset+int64(e.length)], nil
+}
+
+// NetPolicy returns the store's effective TCP retry policy.
+func (s *Store) NetPolicy() transport.RetryPolicy { return s.opts.Net }
+
+// ServeTCP exposes this rank's chunk over the TCP data plane, with the
+// server-side limits derived from the store's retry policy. One server per
+// rank (or per node) makes the store's chunks reachable across process
+// boundaries.
+func (s *Store) ServeTCP(addr string) (*transport.Server, error) {
+	return transport.ServeWith(addr, s, s.opts.Net.ServerOptions())
+}
+
+// DialGroup connects to remote chunk servers — one address list per
+// replica group — using the store's retry policy, and records the data
+// plane's retry/failover/timeout counters into the store's profiler.
+func (s *Store) DialGroup(replicas [][]string) (*transport.Group, error) {
+	opts := transport.GroupOptions{Client: transport.ClientOptions{Policy: s.opts.Net}}
+	if s.prof != nil {
+		opts.Client.Counters = s.prof
+	}
+	return transport.NewGroupReplicas(replicas, opts)
 }

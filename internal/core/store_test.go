@@ -11,6 +11,7 @@ import (
 	"ddstore/internal/comm"
 	"ddstore/internal/datasets"
 	"ddstore/internal/trace"
+	"ddstore/internal/transport"
 	"ddstore/internal/vtime"
 )
 
@@ -542,5 +543,73 @@ func BenchmarkStoreLoadBatch128(b *testing.B) {
 	})
 	if err != nil {
 		b.Fatal(err)
+	}
+}
+
+// TestDialGroupFailsOver wires the store's TCP plumbing end to end: 4 ranks
+// with width 2 give 2 replica groups, each rank serves its chunk with
+// Options.Net-derived server options, and DialGroup (counters sunk into the
+// store's profiler) keeps loading every sample after a whole replica group's
+// server dies.
+func TestDialGroupFailsOver(t *testing.T) {
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 24})
+	prof := trace.New()
+	net := transport.RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		ReadTimeout: time.Second,
+	}
+
+	servers := make([]*transport.Server, 4)
+	addrs := make([]string, 4)
+	stores := make([]*Store, 4)
+	var mu sync.Mutex
+	runWorld(t, 4, nil, func(c *comm.Comm) error {
+		st, err := Open(c, ds, Options{Width: 2, Net: net, Profiler: prof})
+		if err != nil {
+			return err
+		}
+		srv, err := st.ServeTCP("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		servers[c.Rank()] = srv
+		addrs[c.Rank()] = srv.Addr()
+		stores[c.Rank()] = st
+		mu.Unlock()
+		return c.Barrier()
+	})
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	// Ranks 0-1 form replica 0, ranks 2-3 replica 1 (width 2).
+	grp, err := stores[0].DialGroup([][]string{{addrs[0], addrs[1]}, {addrs[2], addrs[3]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer grp.Close()
+
+	verify := func(pass string) {
+		for id := int64(0); id < 24; id++ {
+			g, err := grp.Get(id)
+			if err != nil {
+				t.Fatalf("%s: sample %d: %v", pass, id, err)
+			}
+			if g.ID != id {
+				t.Fatalf("%s: sample %d returned %d", pass, id, g.ID)
+			}
+		}
+	}
+	verify("healthy")
+	servers[0].Close()
+	servers[1].Close() // all of replica 0 is now gone
+	verify("replica 0 dead")
+	if prof.Counter(transport.CounterFailovers) == 0 {
+		t.Fatalf("profiler recorded no failovers: %v", prof.Counters())
 	}
 }

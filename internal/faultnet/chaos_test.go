@@ -1,0 +1,136 @@
+package faultnet
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"ddstore/internal/datasets"
+	"ddstore/internal/graph"
+	"ddstore/internal/trace"
+	"ddstore/internal/transport"
+)
+
+// chaosChunk encodes ds samples [lo, hi) into a servable chunk.
+func chaosChunk(t *testing.T, ds *datasets.Dataset, lo, hi int64) *transport.MemChunk {
+	t.Helper()
+	gs := make([]*graph.Graph, 0, hi-lo)
+	for id := lo; id < hi; id++ {
+		g, err := ds.Sample(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs = append(gs, g)
+	}
+	return transport.NewMemChunk(lo, gs)
+}
+
+// TestGroupSurvivesChaos is the chaos soak: 4 servers in 2 replica groups
+// run under a seeded fault scenario (5% connection resets, 1% corrupt
+// payloads, occasional stalls longer than the client deadline), and one
+// server is killed mid-run. Every sample must still load correctly on
+// every pass, with the failover machinery demonstrably engaged. The
+// scenario RNG is seeded, so each seed replays the same fault mix.
+func TestGroupSurvivesChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 40})
+
+	// Union of fault kinds over the fixed seeds; each kind must fire in at
+	// least one seed (reset, stall -> deadline, corrupt -> checksum
+	// reject, dead server -> replica failover is asserted per seed).
+	var union Stats
+	var unionTimeouts, unionChecksum int64
+
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			in := New(Scenario{
+				Seed:      seed,
+				ResetProb: 0.05,
+				StallProb: 0.01, StallFor: 250 * time.Millisecond,
+				CorruptProb: 0.01,
+			})
+
+			// 2 replica groups x 2 servers, all accepting through the
+			// injector.
+			bounds := [][2]int64{{0, 20}, {20, 40}}
+			servers := make([][]*transport.Server, 2)
+			addrs := make([][]string, 2)
+			for r := 0; r < 2; r++ {
+				for _, bd := range bounds {
+					ln, err := net.Listen("tcp", "127.0.0.1:0")
+					if err != nil {
+						t.Fatal(err)
+					}
+					srv := transport.ServeListener(in.Listener(ln), chaosChunk(t, ds, bd[0], bd[1]),
+						transport.ServerOptions{WriteTimeout: time.Second})
+					defer srv.Close()
+					servers[r] = append(servers[r], srv)
+					addrs[r] = append(addrs[r], srv.Addr())
+				}
+			}
+
+			prof := trace.New()
+			grp, err := transport.NewGroupReplicas(addrs, transport.GroupOptions{
+				Client: transport.ClientOptions{
+					Policy: transport.RetryPolicy{
+						MaxAttempts: 8,
+						BaseDelay:   time.Millisecond,
+						MaxDelay:    10 * time.Millisecond,
+						DialTimeout: time.Second,
+						ReadTimeout: 60 * time.Millisecond,
+						Seed:        seed,
+					},
+					Counters: prof,
+				},
+				FailoverCooldown: 300 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer grp.Close()
+
+			verifyAll := func(pass string) {
+				for id := int64(0); id < 40; id++ {
+					g, err := grp.Get(id)
+					if err != nil {
+						t.Fatalf("%s: sample %d: %v", pass, id, err)
+					}
+					want, _ := ds.Sample(id)
+					if g.ID != id || g.NumNodes != want.NumNodes || g.Y[0] != want.Y[0] {
+						t.Fatalf("%s: sample %d corrupted end to end", pass, id)
+					}
+				}
+			}
+
+			verifyAll("healthy pass")
+			// Kill one server mid-run: replica 0's owner of [0,20).
+			servers[0][0].Close()
+			verifyAll("degraded pass 1")
+			verifyAll("degraded pass 2")
+
+			if prof.Counter(transport.CounterFailovers) == 0 {
+				t.Fatalf("dead server never triggered failover: %v", prof.Counters())
+			}
+			st := in.Stats()
+			t.Logf("seed %d: injector %+v, counters %v", seed, st, prof.Counters())
+			union.Resets += st.Resets
+			union.Stalls += st.Stalls
+			union.Corruptions += st.Corruptions
+			unionTimeouts += prof.Counter(transport.CounterTimeouts)
+			unionChecksum += prof.Counter(transport.CounterChecksumErrors)
+		})
+	}
+
+	if union.Resets == 0 {
+		t.Error("no seed injected a connection reset")
+	}
+	if union.Stalls == 0 || unionTimeouts == 0 {
+		t.Errorf("no seed exercised stall -> deadline (stalls=%d timeouts=%d)", union.Stalls, unionTimeouts)
+	}
+	if union.Corruptions == 0 || unionChecksum == 0 {
+		t.Errorf("no seed exercised corrupt -> checksum reject (corruptions=%d rejects=%d)", union.Corruptions, unionChecksum)
+	}
+}

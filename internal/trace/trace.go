@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -25,10 +26,16 @@ const (
 	RegionOther     = "Other"
 )
 
-// Profiler accumulates per-region timing.
+// Profiler accumulates per-region timing plus named event counters (the
+// resilience events of the TCP data plane: retries, failovers, timeouts).
+// All methods are safe for concurrent use — network callbacks record into
+// the profiler from multiple goroutines.
 type Profiler struct {
-	regions map[string]*Region
-	order   []string
+	mu       sync.Mutex
+	regions  map[string]*Region
+	order    []string
+	counters map[string]int64
+	corder   []string
 	// KeepSamples enables raw-sample retention (for CDFs). Off by default to
 	// bound memory.
 	KeepSamples bool
@@ -44,7 +51,7 @@ type Region struct {
 
 // New returns an empty profiler.
 func New() *Profiler {
-	return &Profiler{regions: make(map[string]*Region)}
+	return &Profiler{regions: make(map[string]*Region), counters: make(map[string]int64)}
 }
 
 // NewSampling returns a profiler that retains raw samples.
@@ -66,6 +73,8 @@ func (p *Profiler) region(name string) *Region {
 
 // Add records one occurrence of a region taking d.
 func (p *Profiler) Add(name string, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	r := p.region(name)
 	r.Total += d
 	r.Count++
@@ -74,8 +83,40 @@ func (p *Profiler) Add(name string, d time.Duration) {
 	}
 }
 
+// Inc adds delta to a named event counter. It satisfies the data plane's
+// transport.Counters interface, so one profiler carries both the paper's
+// region timings and the resilience counters of a run.
+func (p *Profiler) Inc(name string, delta int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.counters[name]; !ok {
+		p.corder = append(p.corder, name)
+	}
+	p.counters[name] += delta
+}
+
+// Counter returns the value of a named event counter (0 if absent).
+func (p *Profiler) Counter(name string) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counters[name]
+}
+
+// Counters returns a copy of all event counters.
+func (p *Profiler) Counters() map[string]int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int64, len(p.counters))
+	for k, v := range p.counters {
+		out[k] = v
+	}
+	return out
+}
+
 // Get returns the region's accumulated state (zero Region if absent).
 func (p *Profiler) Get(name string) Region {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if r, ok := p.regions[name]; ok {
 		return *r
 	}
@@ -84,6 +125,8 @@ func (p *Profiler) Get(name string) Region {
 
 // Samples returns the retained samples of a region.
 func (p *Profiler) Samples(name string) []time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if r, ok := p.regions[name]; ok {
 		return r.Samples
 	}
@@ -92,6 +135,12 @@ func (p *Profiler) Samples(name string) []time.Duration {
 
 // Total returns the sum over all regions.
 func (p *Profiler) Total() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total()
+}
+
+func (p *Profiler) total() time.Duration {
 	var t time.Duration
 	for _, r := range p.regions {
 		t += r.Total
@@ -101,29 +150,56 @@ func (p *Profiler) Total() time.Duration {
 
 // Share returns a region's fraction of the profiler total (0 if empty).
 func (p *Profiler) Share(name string) float64 {
-	total := p.Total()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := p.total()
 	if total == 0 {
 		return 0
 	}
-	return float64(p.Get(name).Total) / float64(total)
+	if r, ok := p.regions[name]; ok {
+		return float64(r.Total) / float64(total)
+	}
+	return 0
 }
 
 // Merge accumulates other into p (used to fold per-rank profiles into a
 // whole-run profile).
 func (p *Profiler) Merge(other *Profiler) {
-	for _, name := range other.order {
-		r := other.regions[name]
+	other.mu.Lock()
+	names := append([]string(nil), other.order...)
+	regions := make([]Region, 0, len(names))
+	for _, name := range names {
+		regions = append(regions, *other.regions[name])
+	}
+	cnames := append([]string(nil), other.corder...)
+	counts := make([]int64, 0, len(cnames))
+	for _, name := range cnames {
+		counts = append(counts, other.counters[name])
+	}
+	other.mu.Unlock()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, name := range names {
 		dst := p.region(name)
-		dst.Total += r.Total
-		dst.Count += r.Count
+		dst.Total += regions[i].Total
+		dst.Count += regions[i].Count
 		if p.KeepSamples {
-			dst.Samples = append(dst.Samples, r.Samples...)
+			dst.Samples = append(dst.Samples, regions[i].Samples...)
 		}
+	}
+	for i, name := range cnames {
+		if _, ok := p.counters[name]; !ok {
+			p.corder = append(p.corder, name)
+		}
+		p.counters[name] += counts[i]
 	}
 }
 
 // Regions returns all regions in first-use order.
 func (p *Profiler) Regions() []Region {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	out := make([]Region, 0, len(p.order))
 	for _, name := range p.order {
 		out = append(out, *p.regions[name])
@@ -144,6 +220,16 @@ func (p *Profiler) String() string {
 			share = float64(r.Total) / float64(total) * 100
 		}
 		fmt.Fprintf(&b, "%-16s %12v %10d %6.1f%%\n", r.Name, r.Total.Round(time.Microsecond), r.Count, share)
+	}
+	p.mu.Lock()
+	cnames := append([]string(nil), p.corder...)
+	counts := make([]int64, 0, len(cnames))
+	for _, name := range cnames {
+		counts = append(counts, p.counters[name])
+	}
+	p.mu.Unlock()
+	for i, name := range cnames {
+		fmt.Fprintf(&b, "%-16s %12s %10d\n", name, "-", counts[i])
 	}
 	return b.String()
 }

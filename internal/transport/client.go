@@ -1,0 +1,262 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"ddstore/internal/graph"
+)
+
+// ErrChecksum marks a response whose payload failed CRC32 verification.
+// It is transport-level and therefore retried.
+var ErrChecksum = errors.New("transport: response checksum mismatch")
+
+// ErrClosed is returned by operations on a closed client.
+var ErrClosed = errors.New("transport: client closed")
+
+// RemoteError is an application-level error reported by the server (e.g.
+// a sample outside its chunk). It arrived over a healthy connection, so it
+// is not retried: every retry would get the same answer.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "transport: remote error: " + e.Msg }
+
+// DialFunc opens a connection to addr. Custom dialers let tests route
+// through in-memory pipes or faultnet-wrapped connections.
+type DialFunc func(addr string) (net.Conn, error)
+
+// ClientOptions configure a Client's resilience behaviour.
+type ClientOptions struct {
+	// Policy is the retry/deadline policy; zero value = defaults.
+	Policy RetryPolicy
+	// Counters, if set, receives retry/timeout/checksum event counts.
+	Counters Counters
+	// Dialer overrides the TCP dialer (nil = net.DialTimeout).
+	Dialer DialFunc
+}
+
+// Client is a connection to one chunk server. Safe for concurrent use:
+// the request/response exchange is serialized per connection, and a broken
+// connection is transparently re-dialed on the next attempt.
+type Client struct {
+	addr     string
+	policy   RetryPolicy
+	counters Counters
+	dialer   DialFunc
+
+	mu     sync.Mutex
+	conn   net.Conn
+	rng    *rand.Rand
+	closed bool
+}
+
+// Dial connects to a server with default options.
+func Dial(addr string) (*Client, error) {
+	return DialOptions(addr, ClientOptions{})
+}
+
+// DialOptions connects to a server with explicit resilience options. The
+// initial connection is established eagerly so configuration errors
+// surface immediately; later reconnects are transparent.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
+	c := &Client{
+		addr:     addr,
+		policy:   opts.Policy.withDefaults(),
+		counters: opts.Counters,
+		dialer:   opts.Dialer,
+	}
+	if c.counters == nil {
+		c.counters = nopCounters{}
+	}
+	if c.dialer == nil {
+		timeout := c.policy.DialTimeout
+		c.dialer = func(addr string) (net.Conn, error) {
+			if timeout > 0 {
+				return net.DialTimeout("tcp", addr, timeout)
+			}
+			return net.Dial("tcp", addr)
+		}
+	}
+	c.rng = rand.New(rand.NewSource(c.policy.Seed))
+	conn, err := c.dialer(addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	c.conn = conn
+	return c, nil
+}
+
+// Addr returns the server address this client targets.
+func (c *Client) Addr() string { return c.addr }
+
+// Close releases the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// roundTrip performs one request with the client's retry policy: each
+// transport-level failure (broken conn, deadline, checksum reject) drops
+// the connection, backs off, re-dials, and retries. Remote application
+// errors are returned immediately. All ops are idempotent reads, so a
+// retry is always safe.
+func (c *Client) roundTrip(op byte, a, b int64) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < c.policy.MaxAttempts; attempt++ {
+		if c.closed {
+			return nil, ErrClosed
+		}
+		if attempt > 0 {
+			c.counters.Inc(CounterRetries, 1)
+			time.Sleep(c.policy.delay(attempt, c.rng))
+			if c.closed {
+				return nil, ErrClosed
+			}
+		}
+		if c.conn == nil {
+			conn, err := c.dialer(c.addr)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			c.conn = conn
+			if attempt > 0 {
+				c.counters.Inc(CounterReconnects, 1)
+			}
+		}
+		payload, err := c.exchange(op, a, b)
+		if err == nil {
+			return payload, nil
+		}
+		var rerr *RemoteError
+		if errors.As(err, &rerr) {
+			return nil, err
+		}
+		lastErr = err
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			c.counters.Inc(CounterTimeouts, 1)
+		}
+		if errors.Is(err, ErrChecksum) {
+			c.counters.Inc(CounterChecksumErrors, 1)
+		}
+		// The stream may hold a half-read frame; only a fresh connection
+		// is safe to reuse.
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.counters.Inc(CounterGiveUps, 1)
+	return nil, fmt.Errorf("transport: op %d to %s failed after %d attempts: %w",
+		op, c.addr, c.policy.MaxAttempts, lastErr)
+}
+
+// exchange performs one framed request/response on the live connection,
+// with per-operation deadlines and CRC verification.
+func (c *Client) exchange(op byte, a, b int64) ([]byte, error) {
+	var header [reqHeaderSize]byte
+	header[0] = op
+	binary.LittleEndian.PutUint64(header[1:], uint64(a))
+	binary.LittleEndian.PutUint64(header[9:], uint64(b))
+	if c.policy.WriteTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.policy.WriteTimeout))
+	}
+	if _, err := c.conn.Write(header[:]); err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	if c.policy.ReadTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.policy.ReadTimeout))
+	}
+	var head [respHeaderSize]byte
+	if _, err := io.ReadFull(c.conn, head[:]); err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(head[1:])
+	if n > maxPayload {
+		return nil, fmt.Errorf("transport: oversized response (%d bytes)", n)
+	}
+	wantCRC := binary.LittleEndian.Uint32(head[5:])
+	// Grow the buffer as bytes arrive rather than trusting the advertised
+	// length: a corrupt or hostile head must not make us allocate gigabytes
+	// for data that never comes.
+	var buf bytes.Buffer
+	if n < eagerPayload {
+		buf.Grow(int(n))
+	} else {
+		buf.Grow(eagerPayload)
+	}
+	if _, err := io.CopyN(&buf, c.conn, int64(n)); err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	payload := buf.Bytes()
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return nil, ErrChecksum
+	}
+	switch head[0] {
+	case statusOK:
+		return payload, nil
+	case statusError:
+		return nil, &RemoteError{Msg: string(payload)}
+	default:
+		return nil, fmt.Errorf("transport: unknown response status %d", head[0])
+	}
+}
+
+// Meta fetches the server's chunk range.
+func (c *Client) Meta() (lo, hi int64, err error) {
+	payload, err := c.roundTrip(opMeta, 0, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(payload) != 16 {
+		return 0, 0, errors.New("transport: malformed meta response")
+	}
+	return int64(binary.LittleEndian.Uint64(payload[0:])),
+		int64(binary.LittleEndian.Uint64(payload[8:])), nil
+}
+
+// Get fetches and decodes one sample.
+func (c *Client) Get(id int64) (*graph.Graph, error) {
+	payload, err := c.roundTrip(opGet, id, 0)
+	if err != nil {
+		return nil, err
+	}
+	return graph.Decode(payload)
+}
+
+// GetRange fetches and decodes samples [lo, hi).
+func (c *Client) GetRange(lo, hi int64) ([]*graph.Graph, error) {
+	payload, err := c.roundTrip(opMulti, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*graph.Graph, 0, hi-lo)
+	rest := payload
+	for len(rest) > 0 {
+		var g *graph.Graph
+		if g, rest, err = graph.DecodePrefix(rest); err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	if int64(len(out)) != hi-lo {
+		return nil, fmt.Errorf("transport: got %d samples for range [%d,%d)", len(out), lo, hi)
+	}
+	return out, nil
+}

@@ -1,0 +1,252 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ddstore/internal/graph"
+)
+
+// GroupOptions configure a Group's clients and failover behaviour.
+type GroupOptions struct {
+	// Client configures every peer connection (policy, counters, dialer).
+	Client ClientOptions
+	// FailoverCooldown quarantines a peer after it exhausts its retries:
+	// for this long the group prefers other replicas for that peer's range
+	// instead of paying the full retry schedule against a dead host on
+	// every Get. Quarantined peers are still tried as a last resort.
+	// Default 1s; negative disables quarantine.
+	FailoverCooldown time.Duration
+}
+
+// member is one peer of one replica group.
+type member struct {
+	cl     *Client
+	lo, hi int64
+}
+
+// replicaSet is one complete copy of the dataset, striped over members.
+type replicaSet struct {
+	members []*member
+	lo, hi  int64
+}
+
+// ownerOf returns the member index holding sample id, or -1.
+func (r *replicaSet) ownerOf(id int64) int {
+	for i, m := range r.members {
+		if id >= m.lo && id < m.hi {
+			return i
+		}
+	}
+	return -1
+}
+
+// Group is a set of chunk servers holding the dataset — the cross-process
+// analogue of DDStore's replica groups. With one replica it routes Gets by
+// owner arithmetic exactly like the in-process store; with several
+// replicas (width w < N gives r = N/w full copies, paper §3.1) it spreads
+// load over the replicas and fails a sample over to the corresponding
+// owner in another replica when its preferred owner is unreachable.
+type Group struct {
+	replicas []*replicaSet
+	counters Counters
+	cooldown time.Duration
+
+	mu      sync.Mutex
+	suspect map[[2]int]time.Time // {replica, member} -> quarantine expiry
+}
+
+// NewGroup dials every peer address of a single replica and verifies the
+// chunks tile a contiguous range.
+func NewGroup(addrs []string) (*Group, error) {
+	return NewGroupReplicas([][]string{addrs}, GroupOptions{})
+}
+
+// NewGroupReplicas dials one address list per replica group. Every replica
+// must tile the same contiguous sample range (chunk boundaries may differ
+// between replicas).
+func NewGroupReplicas(replicas [][]string, opts GroupOptions) (*Group, error) {
+	if len(replicas) == 0 {
+		return nil, errors.New("transport: no replicas given")
+	}
+	g := &Group{
+		counters: opts.Client.Counters,
+		cooldown: opts.FailoverCooldown,
+		suspect:  map[[2]int]time.Time{},
+	}
+	if g.counters == nil {
+		g.counters = nopCounters{}
+	}
+	if g.cooldown == 0 {
+		g.cooldown = time.Second
+	}
+	for ri, addrs := range replicas {
+		rs := &replicaSet{}
+		for _, addr := range addrs {
+			cl, err := DialOptions(addr, opts.Client)
+			if err != nil {
+				g.Close()
+				return nil, err
+			}
+			lo, hi, err := cl.Meta()
+			if err != nil {
+				g.Close()
+				cl.Close()
+				return nil, err
+			}
+			rs.members = append(rs.members, &member{cl: cl, lo: lo, hi: hi})
+		}
+		for i := 1; i < len(rs.members); i++ {
+			if rs.members[i].lo != rs.members[i-1].hi {
+				g.Close()
+				return nil, fmt.Errorf("transport: chunk gap in replica %d: peer %d starts at %d, previous ends at %d",
+					ri, i, rs.members[i].lo, rs.members[i-1].hi)
+			}
+		}
+		if len(rs.members) > 0 {
+			rs.lo = rs.members[0].lo
+			rs.hi = rs.members[len(rs.members)-1].hi
+		}
+		g.replicas = append(g.replicas, rs)
+	}
+	for ri, rs := range g.replicas[1:] {
+		if rs.lo != g.replicas[0].lo || rs.hi != g.replicas[0].hi {
+			g.Close()
+			return nil, fmt.Errorf("transport: replica %d spans [%d,%d), replica 0 spans [%d,%d)",
+				ri+1, rs.lo, rs.hi, g.replicas[0].lo, g.replicas[0].hi)
+		}
+	}
+	return g, nil
+}
+
+// Close releases all connections of all replicas.
+func (g *Group) Close() {
+	for _, rs := range g.replicas {
+		for _, m := range rs.members {
+			m.cl.Close()
+		}
+	}
+}
+
+// Replicas returns the number of full dataset copies the group can reach.
+func (g *Group) Replicas() int { return len(g.replicas) }
+
+// Len returns the total number of samples in the dataset.
+func (g *Group) Len() int64 {
+	if len(g.replicas) == 0 {
+		return 0
+	}
+	return g.replicas[0].hi - g.replicas[0].lo
+}
+
+// inCooldown reports whether the peer is quarantined.
+func (g *Group) inCooldown(ri, mi int) bool {
+	if g.cooldown < 0 {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	until, ok := g.suspect[[2]int{ri, mi}]
+	if !ok {
+		return false
+	}
+	if time.Now().After(until) {
+		delete(g.suspect, [2]int{ri, mi})
+		return false
+	}
+	return true
+}
+
+func (g *Group) markSuspect(ri, mi int) {
+	if g.cooldown < 0 {
+		return
+	}
+	g.mu.Lock()
+	g.suspect[[2]int{ri, mi}] = time.Now().Add(g.cooldown)
+	g.mu.Unlock()
+}
+
+func (g *Group) clearSuspect(ri, mi int) {
+	g.mu.Lock()
+	delete(g.suspect, [2]int{ri, mi})
+	g.mu.Unlock()
+}
+
+// Get fetches one sample. The preferred replica rotates with the sample id
+// to spread load; on failure the sample is retried against the owning peer
+// of each other replica before an error surfaces. Quarantined peers are
+// deferred to a last-resort pass so a dead host does not cost the full
+// retry schedule on every sample.
+func (g *Group) Get(id int64) (*graph.Graph, error) {
+	n := len(g.replicas)
+	if n == 0 || id < g.replicas[0].lo || id >= g.replicas[0].hi {
+		return nil, fmt.Errorf("transport: no peer holds sample %d", id)
+	}
+	start := int(id) % n
+	if start < 0 {
+		start = 0
+	}
+	var lastErr error
+	attempts := 0
+	for _, lastResort := range []bool{false, true} {
+		for k := 0; k < n; k++ {
+			ri := (start + k) % n
+			mi := g.replicas[ri].ownerOf(id)
+			if mi < 0 {
+				continue
+			}
+			if g.inCooldown(ri, mi) != lastResort {
+				continue
+			}
+			gph, err := g.replicas[ri].members[mi].cl.Get(id)
+			if err == nil {
+				if attempts > 0 {
+					g.counters.Inc(CounterFailovers, 1)
+				}
+				g.clearSuspect(ri, mi)
+				return gph, nil
+			}
+			attempts++
+			lastErr = err
+			var rerr *RemoteError
+			if !errors.As(err, &rerr) {
+				// Transport-level failure: the peer may be down.
+				g.markSuspect(ri, mi)
+			}
+		}
+	}
+	return nil, fmt.Errorf("transport: sample %d failed on all %d replicas: %w", id, n, lastErr)
+}
+
+// Load fetches a batch of samples (any order), like core.Store.Load but
+// over TCP with failover.
+func (g *Group) Load(ids []int64) ([]*graph.Graph, error) {
+	out := make([]*graph.Graph, len(ids))
+	for i, id := range ids {
+		gph, err := g.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = gph
+	}
+	return out, nil
+}
+
+// GroupLoader adapts a Group to the batch-loading contract of the DDP
+// trainer (ddp.Loader): batches are fetched sample-by-sample from the
+// owning peers over TCP. Latency reporting is nil — wall-clock timing of a
+// real network needs no model.
+type GroupLoader struct {
+	Group *Group
+}
+
+// Len returns the total number of samples across the group.
+func (l *GroupLoader) Len() int { return int(l.Group.Len()) }
+
+// LoadBatch fetches the given sample ids from their owners.
+func (l *GroupLoader) LoadBatch(ids []int64) ([]*graph.Graph, []time.Duration, error) {
+	graphs, err := l.Group.Load(ids)
+	return graphs, nil, err
+}

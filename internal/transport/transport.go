@@ -3,7 +3,16 @@
 // instead of the in-process runtime. Each process runs a Server exposing
 // its chunk (sample id range plus per-sample encoded bytes); peers Dial it
 // and Get samples by id. A Group stitches several peers into one replica
-// group with the same owner arithmetic as the in-process store.
+// group with the same owner arithmetic as the in-process store, and can
+// span multiple replica groups for failover.
+//
+// Unlike the paper's reliable-MPI fabric, a TCP fabric fails: peers crash,
+// connections reset, reads stall, bytes corrupt. The data plane is
+// therefore hardened end to end — per-operation deadlines, capped
+// exponential backoff with jitter, transparent reconnect, CRC32 payload
+// checksums, and replica failover (see retry.go, client.go, group.go).
+// internal/faultnet injects exactly these faults deterministically to
+// prove the behaviour.
 //
 // The in-process runtime remains the default (the paper's MPI RMA has no
 // server-side CPU involvement, which goroutine shared memory models
@@ -13,8 +22,8 @@ package transport
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
@@ -23,8 +32,11 @@ import (
 	"ddstore/internal/graph"
 )
 
-// Protocol constants. Every message is a fixed 17-byte header
-// (op u8, a i64, b i64) followed by a length-prefixed payload in responses.
+// Protocol constants. Every request is a fixed 17-byte header
+// (op u8, a i64, b i64); every response is a 9-byte head
+// (status u8, len u32, crc32 u32) followed by the payload. The CRC is
+// IEEE CRC32 over the payload, so a flipped bit anywhere in the frame is
+// detected by either the length bound or the checksum.
 const (
 	opMeta  = 1 // request chunk metadata; response payload: lo i64, hi i64
 	opGet   = 2 // request sample a; response payload: encoded graph
@@ -32,11 +44,18 @@ const (
 
 	statusOK    = 0
 	statusError = 1
+
+	reqHeaderSize  = 17
+	respHeaderSize = 9
 )
 
 // maxPayload bounds a response so a corrupt peer cannot make us allocate
-// unbounded memory.
-const maxPayload = 1 << 30
+// unbounded memory; eagerPayload bounds how much of that a client will
+// allocate before any payload bytes have actually arrived.
+const (
+	maxPayload   = 1 << 30
+	eagerPayload = 1 << 20
+)
 
 // ChunkSource is what a Server exposes: a contiguous range of samples with
 // access to their encoded bytes. core.Store implements it for its local
@@ -73,41 +92,71 @@ func (m *MemChunk) LocalSampleBytes(id int64) ([]byte, error) {
 	return m.Encoded[id-m.Lo], nil
 }
 
-// Server serves one chunk over TCP.
-type Server struct {
-	ln    net.Listener
-	src   ChunkSource
-	wg    sync.WaitGroup
-	mu    sync.Mutex
-	conns map[net.Conn]struct{}
-	done  chan struct{}
+// ServerOptions configure a Server's defensive limits.
+type ServerOptions struct {
+	// WriteTimeout bounds each response write, so a stalled client cannot
+	// pin a handler goroutine forever. 0 means no limit.
+	WriteTimeout time.Duration
+	// IdleTimeout closes a connection that sends no request for this long.
+	// 0 means no limit.
+	IdleTimeout time.Duration
 }
 
-// Serve starts a server on addr (use "127.0.0.1:0" for an ephemeral port).
+// Server serves one chunk over TCP.
+type Server struct {
+	ln        net.Listener
+	src       ChunkSource
+	opts      ServerOptions
+	wg        sync.WaitGroup
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// Serve starts a server on addr (use "127.0.0.1:0" for an ephemeral port)
+// with default options.
 func Serve(addr string, src ChunkSource) (*Server, error) {
+	return ServeWith(addr, src, ServerOptions{})
+}
+
+// ServeWith starts a server on addr with explicit options.
+func ServeWith(addr string, src ChunkSource, opts ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
 	}
-	s := &Server{ln: ln, src: src, conns: map[net.Conn]struct{}{}, done: make(chan struct{})}
+	return ServeListener(ln, src, opts), nil
+}
+
+// ServeListener serves on an existing listener. This is the hook for
+// wrapping the accept path — faultnet wraps a real listener to inject
+// resets, stalls, and corruption into every accepted connection.
+func ServeListener(ln net.Listener, src ChunkSource, opts ServerOptions) *Server {
+	s := &Server{ln: ln, src: src, opts: opts, conns: map[net.Conn]struct{}{}, done: make(chan struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and its connections.
+// Close stops the server and its connections. It is idempotent, so a
+// server killed mid-run (chaos tests, signal handlers) can be closed again
+// by deferred cleanup.
 func (s *Server) Close() error {
-	close(s.done)
-	err := s.ln.Close()
-	s.mu.Lock()
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
-	s.wg.Wait()
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.done)
+		err = s.ln.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	})
 	return err
 }
 
@@ -135,9 +184,44 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// checkHeader validates a request header against the served chunk before
+// any payload work happens — a malformed or hostile header must not make
+// the server allocate or touch the source.
+func (s *Server) checkHeader(op byte, a, b int64) error {
+	lo, hi := s.src.LocalRange()
+	switch op {
+	case opMeta:
+		return nil
+	case opGet:
+		if a < 0 {
+			return fmt.Errorf("negative sample id %d", a)
+		}
+		if a < lo || a >= hi {
+			return fmt.Errorf("sample %d outside chunk [%d,%d)", a, lo, hi)
+		}
+		return nil
+	case opMulti:
+		if a < 0 || b < 0 {
+			return fmt.Errorf("negative range [%d,%d)", a, b)
+		}
+		if b < a {
+			return fmt.Errorf("inverted range [%d,%d)", a, b)
+		}
+		if a < lo || b > hi {
+			return fmt.Errorf("range [%d,%d) outside chunk [%d,%d)", a, b, lo, hi)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown op %d", op)
+	}
+}
+
 func (s *Server) handle(conn net.Conn) {
-	var header [17]byte
+	var header [reqHeaderSize]byte
 	for {
+		if s.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
 		if _, err := io.ReadFull(conn, header[:]); err != nil {
 			return
 		}
@@ -145,39 +229,34 @@ func (s *Server) handle(conn net.Conn) {
 		a := int64(binary.LittleEndian.Uint64(header[1:]))
 		b := int64(binary.LittleEndian.Uint64(header[9:]))
 		var payload []byte
-		var err error
-		switch op {
-		case opMeta:
-			lo, hi := s.src.LocalRange()
-			payload = make([]byte, 16)
-			binary.LittleEndian.PutUint64(payload[0:], uint64(lo))
-			binary.LittleEndian.PutUint64(payload[8:], uint64(hi))
-		case opGet:
-			payload, err = s.src.LocalSampleBytes(a)
-		case opMulti:
-			lo, hi := s.src.LocalRange()
-			if a < lo || b > hi || a > b {
-				err = fmt.Errorf("range [%d,%d) outside chunk [%d,%d)", a, b, lo, hi)
-				break
-			}
-			for id := a; id < b; id++ {
-				var one []byte
-				if one, err = s.src.LocalSampleBytes(id); err != nil {
-					break
+		err := s.checkHeader(op, a, b)
+		if err == nil {
+			switch op {
+			case opMeta:
+				lo, hi := s.src.LocalRange()
+				payload = make([]byte, 16)
+				binary.LittleEndian.PutUint64(payload[0:], uint64(lo))
+				binary.LittleEndian.PutUint64(payload[8:], uint64(hi))
+			case opGet:
+				payload, err = s.src.LocalSampleBytes(a)
+			case opMulti:
+				for id := a; id < b; id++ {
+					var one []byte
+					if one, err = s.src.LocalSampleBytes(id); err != nil {
+						break
+					}
+					payload = append(payload, one...)
 				}
-				payload = append(payload, one...)
 			}
-		default:
-			err = fmt.Errorf("unknown op %d", op)
 		}
-		if werr := writeResponse(conn, payload, err); werr != nil {
+		if werr := s.writeResponse(conn, payload, err); werr != nil {
 			return
 		}
 	}
 }
 
-func writeResponse(conn net.Conn, payload []byte, err error) error {
-	var head [5]byte
+func (s *Server) writeResponse(conn net.Conn, payload []byte, err error) error {
+	var head [respHeaderSize]byte
 	if err != nil {
 		payload = []byte(err.Error())
 		head[0] = statusError
@@ -185,203 +264,13 @@ func writeResponse(conn net.Conn, payload []byte, err error) error {
 		head[0] = statusOK
 	}
 	binary.LittleEndian.PutUint32(head[1:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(head[5:], crc32.ChecksumIEEE(payload))
+	if s.opts.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+	}
 	if _, werr := conn.Write(head[:]); werr != nil {
 		return werr
 	}
 	_, werr := conn.Write(payload)
 	return werr
-}
-
-// Client is a connection to one chunk server. Safe for concurrent use (the
-// request/response exchange is serialized per connection).
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-}
-
-// Dial connects to a server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: %w", err)
-	}
-	return &Client{conn: conn}, nil
-}
-
-// Close releases the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-func (c *Client) roundTrip(op byte, a, b int64) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var header [17]byte
-	header[0] = op
-	binary.LittleEndian.PutUint64(header[1:], uint64(a))
-	binary.LittleEndian.PutUint64(header[9:], uint64(b))
-	if _, err := c.conn.Write(header[:]); err != nil {
-		return nil, fmt.Errorf("transport: %w", err)
-	}
-	var head [5]byte
-	if _, err := io.ReadFull(c.conn, head[:]); err != nil {
-		return nil, fmt.Errorf("transport: %w", err)
-	}
-	n := binary.LittleEndian.Uint32(head[1:])
-	if n > maxPayload {
-		return nil, fmt.Errorf("transport: oversized response (%d bytes)", n)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(c.conn, payload); err != nil {
-		return nil, fmt.Errorf("transport: %w", err)
-	}
-	if head[0] != statusOK {
-		return nil, fmt.Errorf("transport: remote error: %s", payload)
-	}
-	return payload, nil
-}
-
-// Meta fetches the server's chunk range.
-func (c *Client) Meta() (lo, hi int64, err error) {
-	payload, err := c.roundTrip(opMeta, 0, 0)
-	if err != nil {
-		return 0, 0, err
-	}
-	if len(payload) != 16 {
-		return 0, 0, errors.New("transport: malformed meta response")
-	}
-	return int64(binary.LittleEndian.Uint64(payload[0:])),
-		int64(binary.LittleEndian.Uint64(payload[8:])), nil
-}
-
-// Get fetches and decodes one sample.
-func (c *Client) Get(id int64) (*graph.Graph, error) {
-	payload, err := c.roundTrip(opGet, id, 0)
-	if err != nil {
-		return nil, err
-	}
-	return graph.Decode(payload)
-}
-
-// GetRange fetches and decodes samples [lo, hi).
-func (c *Client) GetRange(lo, hi int64) ([]*graph.Graph, error) {
-	payload, err := c.roundTrip(opMulti, lo, hi)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]*graph.Graph, 0, hi-lo)
-	rest := payload
-	for len(rest) > 0 {
-		var g *graph.Graph
-		if g, rest, err = graph.DecodePrefix(rest); err != nil {
-			return nil, err
-		}
-		out = append(out, g)
-	}
-	if int64(len(out)) != hi-lo {
-		return nil, fmt.Errorf("transport: got %d samples for range [%d,%d)", len(out), lo, hi)
-	}
-	return out, nil
-}
-
-// Group is a set of chunk servers that together hold one dataset replica —
-// the cross-process analogue of a DDStore replica group. It discovers each
-// peer's range at construction and routes Gets by id.
-type Group struct {
-	clients []*Client
-	los     []int64
-	his     []int64
-}
-
-// NewGroup dials every peer address and verifies the chunks tile a
-// contiguous range.
-func NewGroup(addrs []string) (*Group, error) {
-	g := &Group{}
-	for _, addr := range addrs {
-		cl, err := Dial(addr)
-		if err != nil {
-			g.Close()
-			return nil, err
-		}
-		lo, hi, err := cl.Meta()
-		if err != nil {
-			g.Close()
-			cl.Close()
-			return nil, err
-		}
-		g.clients = append(g.clients, cl)
-		g.los = append(g.los, lo)
-		g.his = append(g.his, hi)
-	}
-	for i := 1; i < len(g.los); i++ {
-		if g.los[i] != g.his[i-1] {
-			g.Close()
-			return nil, fmt.Errorf("transport: chunk gap: peer %d starts at %d, previous ends at %d",
-				i, g.los[i], g.his[i-1])
-		}
-	}
-	return g, nil
-}
-
-// Close releases all connections.
-func (g *Group) Close() {
-	for _, c := range g.clients {
-		c.Close()
-	}
-}
-
-// Len returns the total number of samples across the group.
-func (g *Group) Len() int64 {
-	if len(g.his) == 0 {
-		return 0
-	}
-	return g.his[len(g.his)-1] - g.los[0]
-}
-
-// ownerOf returns the peer index holding sample id.
-func (g *Group) ownerOf(id int64) (int, error) {
-	for i := range g.clients {
-		if id >= g.los[i] && id < g.his[i] {
-			return i, nil
-		}
-	}
-	return 0, fmt.Errorf("transport: no peer holds sample %d", id)
-}
-
-// Get fetches one sample from its owning peer.
-func (g *Group) Get(id int64) (*graph.Graph, error) {
-	owner, err := g.ownerOf(id)
-	if err != nil {
-		return nil, err
-	}
-	return g.clients[owner].Get(id)
-}
-
-// Load fetches a batch of samples (any order), like core.Store.Load but
-// over TCP.
-func (g *Group) Load(ids []int64) ([]*graph.Graph, error) {
-	out := make([]*graph.Graph, len(ids))
-	for i, id := range ids {
-		gph, err := g.Get(id)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = gph
-	}
-	return out, nil
-}
-
-// GroupLoader adapts a Group to the batch-loading contract of the DDP
-// trainer (ddp.Loader): batches are fetched sample-by-sample from the
-// owning peers over TCP. Latency reporting is nil — wall-clock timing of a
-// real network needs no model.
-type GroupLoader struct {
-	Group *Group
-}
-
-// Len returns the total number of samples across the group.
-func (l *GroupLoader) Len() int { return int(l.Group.Len()) }
-
-// LoadBatch fetches the given sample ids from their owners.
-func (l *GroupLoader) LoadBatch(ids []int64) ([]*graph.Graph, []time.Duration, error) {
-	graphs, err := l.Group.Load(ids)
-	return graphs, nil, err
 }

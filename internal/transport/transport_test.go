@@ -1,4 +1,4 @@
-package transport
+package transport_test
 
 import (
 	"strings"
@@ -11,9 +11,10 @@ import (
 	"ddstore/internal/ddp"
 	"ddstore/internal/graph"
 	"ddstore/internal/hydra"
+	"ddstore/internal/transport"
 )
 
-func chunkFor(t *testing.T, ds *datasets.Dataset, lo, hi int64) *MemChunk {
+func chunkFor(t *testing.T, ds *datasets.Dataset, lo, hi int64) *transport.MemChunk {
 	t.Helper()
 	gs := make([]*graph.Graph, 0, hi-lo)
 	for id := lo; id < hi; id++ {
@@ -23,18 +24,18 @@ func chunkFor(t *testing.T, ds *datasets.Dataset, lo, hi int64) *MemChunk {
 		}
 		gs = append(gs, g)
 	}
-	return NewMemChunk(lo, gs)
+	return transport.NewMemChunk(lo, gs)
 }
 
 func TestServerClientGet(t *testing.T) {
 	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 20})
-	srv, err := Serve("127.0.0.1:0", chunkFor(t, ds, 0, 20))
+	srv, err := transport.Serve("127.0.0.1:0", chunkFor(t, ds, 0, 20))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
 
-	cl, err := Dial(srv.Addr())
+	cl, err := transport.Dial(srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,12 +62,12 @@ func TestServerClientGet(t *testing.T) {
 
 func TestGetOutOfRange(t *testing.T) {
 	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 5})
-	srv, err := Serve("127.0.0.1:0", chunkFor(t, ds, 0, 5))
+	srv, err := transport.Serve("127.0.0.1:0", chunkFor(t, ds, 0, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	cl, err := Dial(srv.Addr())
+	cl, err := transport.Dial(srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,12 +83,12 @@ func TestGetOutOfRange(t *testing.T) {
 
 func TestGetRange(t *testing.T) {
 	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 12})
-	srv, err := Serve("127.0.0.1:0", chunkFor(t, ds, 0, 12))
+	srv, err := transport.Serve("127.0.0.1:0", chunkFor(t, ds, 0, 12))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	cl, err := Dial(srv.Addr())
+	cl, err := transport.Dial(srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestGetRange(t *testing.T) {
 
 func TestConcurrentClients(t *testing.T) {
 	ds := datasets.AISDExDiscrete(datasets.Config{NumGraphs: 50})
-	srv, err := Serve("127.0.0.1:0", chunkFor(t, ds, 0, 50))
+	srv, err := transport.Serve("127.0.0.1:0", chunkFor(t, ds, 0, 50))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			cl, err := Dial(srv.Addr())
+			cl, err := transport.Dial(srv.Addr())
 			if err != nil {
 				errs[w] = err
 				return
@@ -156,14 +157,14 @@ func TestGroupAcrossServers(t *testing.T) {
 	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 30})
 	var addrs []string
 	for i := 0; i < 3; i++ {
-		srv, err := Serve("127.0.0.1:0", chunkFor(t, ds, int64(i*10), int64((i+1)*10)))
+		srv, err := transport.Serve("127.0.0.1:0", chunkFor(t, ds, int64(i*10), int64((i+1)*10)))
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer srv.Close()
 		addrs = append(addrs, srv.Addr())
 	}
-	grp, err := NewGroup(addrs)
+	grp, err := transport.NewGroup(addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,17 +190,17 @@ func TestGroupAcrossServers(t *testing.T) {
 
 func TestGroupRejectsGaps(t *testing.T) {
 	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 30})
-	s1, err := Serve("127.0.0.1:0", chunkFor(t, ds, 0, 10))
+	s1, err := transport.Serve("127.0.0.1:0", chunkFor(t, ds, 0, 10))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s1.Close()
-	s2, err := Serve("127.0.0.1:0", chunkFor(t, ds, 15, 30)) // gap [10,15)
+	s2, err := transport.Serve("127.0.0.1:0", chunkFor(t, ds, 15, 30)) // gap [10,15)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	if _, err := NewGroup([]string{s1.Addr(), s2.Addr()}); err == nil {
+	if _, err := transport.NewGroup([]string{s1.Addr(), s2.Addr()}); err == nil {
 		t.Fatal("gapped group accepted")
 	}
 }
@@ -220,7 +221,7 @@ func TestServeDDStoreChunk(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		srv, err := Serve("127.0.0.1:0", st)
+		srv, err := st.ServeTCP("127.0.0.1:0")
 		if err != nil {
 			return err
 		}
@@ -233,7 +234,7 @@ func TestServeDDStoreChunk(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	grp, err := NewGroup(addrs)
+	grp, err := transport.NewGroup(addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,19 +270,19 @@ func TestGroupLoaderTrainsAModel(t *testing.T) {
 	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 60})
 	var addrs []string
 	for i := 0; i < 3; i++ {
-		srv, err := Serve("127.0.0.1:0", chunkFor(t, ds, int64(i*20), int64((i+1)*20)))
+		srv, err := transport.Serve("127.0.0.1:0", chunkFor(t, ds, int64(i*20), int64((i+1)*20)))
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer srv.Close()
 		addrs = append(addrs, srv.Addr())
 	}
-	grp, err := NewGroup(addrs)
+	grp, err := transport.NewGroup(addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer grp.Close()
-	loader := &GroupLoader{Group: grp}
+	loader := &transport.GroupLoader{Group: grp}
 	if loader.Len() != 60 {
 		t.Fatalf("Len = %d", loader.Len())
 	}

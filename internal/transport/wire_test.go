@@ -1,0 +1,150 @@
+package transport
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"ddstore/internal/graph"
+)
+
+// wireChunk builds a tiny in-memory chunk of hand-made graphs covering
+// ids [lo, hi), without importing dataset packages (which would cycle).
+func wireChunk(lo, hi int64) *MemChunk {
+	gs := make([]*graph.Graph, 0, hi-lo)
+	for id := lo; id < hi; id++ {
+		gs = append(gs, &graph.Graph{
+			ID: id, NumNodes: 2, NodeFeatDim: 1, NodeFeat: []float32{1, 2},
+			EdgeSrc: []int32{0}, EdgeDst: []int32{1}, EdgeFeatDim: 1,
+			EdgeFeat: []float32{3}, Y: []float32{float32(id)},
+		})
+	}
+	return NewMemChunk(lo, gs)
+}
+
+// rawRequest writes a hand-crafted header and reads back one response.
+func rawRequest(t *testing.T, conn net.Conn, op byte, a, b int64) (status byte, payload []byte) {
+	t.Helper()
+	var header [reqHeaderSize]byte
+	header[0] = op
+	binary.LittleEndian.PutUint64(header[1:], uint64(a))
+	binary.LittleEndian.PutUint64(header[9:], uint64(b))
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Write(header[:]); err != nil {
+		t.Fatalf("write header: %v", err)
+	}
+	var head [respHeaderSize]byte
+	if _, err := io.ReadFull(conn, head[:]); err != nil {
+		t.Fatalf("read response head: %v", err)
+	}
+	n := binary.LittleEndian.Uint32(head[1:])
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		t.Fatalf("read response payload: %v", err)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(head[5:]); got != want {
+		t.Fatalf("response CRC %#x, header says %#x", got, want)
+	}
+	return head[0], payload
+}
+
+// TestRejectsMalformedHeaders drives the server with hostile raw headers:
+// each must be rejected before any payload work, with the connection and
+// server surviving.
+func TestRejectsMalformedHeaders(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", wireChunk(10, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	cases := []struct {
+		name    string
+		op      byte
+		a, b    int64
+		wantErr string
+	}{
+		{"unknown op", 42, 0, 0, "unknown op"},
+		{"negative get id", opGet, -3, 0, "negative sample id"},
+		{"get below chunk", opGet, 5, 0, "outside chunk"},
+		{"get above chunk", opGet, 20, 0, "outside chunk"},
+		{"negative multi lo", opMulti, -1, 5, "negative range"},
+		{"negative multi hi", opMulti, 12, -9, "negative range [12,-9)"},
+		{"inverted range", opMulti, 15, 12, "inverted range"},
+		{"range below chunk", opMulti, 8, 12, "outside chunk"},
+		{"range above chunk", opMulti, 15, 25, "outside chunk"},
+		{"huge range", opMulti, 10, 1 << 40, "outside chunk"},
+	}
+	for _, tc := range cases {
+		status, payload := rawRequest(t, conn, tc.op, tc.a, tc.b)
+		if status != statusError {
+			t.Fatalf("%s: status = %d, want error", tc.name, status)
+		}
+		if !strings.Contains(string(payload), tc.wantErr) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, payload, tc.wantErr)
+		}
+	}
+
+	// The same connection still serves valid requests afterwards.
+	status, payload := rawRequest(t, conn, opMeta, 0, 0)
+	if status != statusOK || len(payload) != 16 {
+		t.Fatalf("meta after rejections: status %d, %d bytes", status, len(payload))
+	}
+	status, _ = rawRequest(t, conn, opGet, 12, 0)
+	if status != statusOK {
+		t.Fatalf("valid get after rejections: status %d", status)
+	}
+}
+
+// TestResponsesCarryCRC pins the wire format: every response head carries
+// the payload's IEEE CRC32 (verified inside rawRequest), for both OK and
+// error responses.
+func TestResponsesCarryCRC(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", wireChunk(0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if status, _ := rawRequest(t, conn, opGet, 2, 0); status != statusOK {
+		t.Fatalf("get: status %d", status)
+	}
+	if status, _ := rawRequest(t, conn, opGet, 99, 0); status != statusError {
+		t.Fatalf("bad get: status %d", status)
+	}
+}
+
+// TestRetryPolicyBackoff pins the backoff schedule: capped exponential
+// growth, deterministic under a fixed seed.
+func TestRetryPolicyBackoff(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond,
+		Multiplier: 2, Jitter: -1, Seed: 7}.withDefaults()
+	// Jitter < 0 is kept as-is by withDefaults and disables jitter in delay.
+	rng := rand.New(rand.NewSource(7))
+	for i, want := range []time.Duration{10, 20, 40, 40, 40} {
+		if got := p.delay(i+1, rng); got != want*time.Millisecond {
+			t.Fatalf("delay(%d) = %v, want %v", i+1, got, want*time.Millisecond)
+		}
+	}
+	d := DefaultRetryPolicy()
+	if d.MaxAttempts != 4 || d.BaseDelay != 5*time.Millisecond || d.ReadTimeout != 5*time.Second {
+		t.Fatalf("defaults = %+v", d)
+	}
+	if so := d.ServerOptions(); so.WriteTimeout != d.WriteTimeout {
+		t.Fatalf("ServerOptions = %+v", so)
+	}
+}
