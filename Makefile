@@ -28,6 +28,7 @@ FUZZTIME ?= 15s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeGraph -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/transport
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeGetBatch -fuzztime=$(FUZZTIME) ./internal/transport
 
 fmt:
 	gofmt -w .

@@ -29,11 +29,13 @@ func main() {
 	debug.SetGCPercent(50)
 
 	var (
-		exp   = flag.String("exp", "all", "experiment id (table1, fig4, ..., fig13) or 'all'")
-		quick = flag.Bool("quick", false, "run the scaled-down quick profile (seconds instead of minutes)")
-		seed  = flag.Uint64("seed", 0, "random seed (0 = default)")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		list  = flag.Bool("list", false, "list available experiments and exit")
+		exp        = flag.String("exp", "all", "experiment id (table1, fig4, ..., fig13) or 'all'")
+		quick      = flag.Bool("quick", false, "run the scaled-down quick profile (seconds instead of minutes)")
+		seed       = flag.Uint64("seed", 0, "random seed (0 = default)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		cacheBytes = flag.Int64("cache-bytes", 0, "per-rank remote-sample cache budget for DDStore runs (0 = no cache)")
+		cachePol   = flag.String("cache-policy", "lru", "cache eviction policy: lru, fifo, clock")
 	)
 	flag.Parse()
 
@@ -44,7 +46,7 @@ func main() {
 		return
 	}
 
-	opts := bench.Options{Quick: *quick, Seed: *seed}
+	opts := bench.Options{Quick: *quick, Seed: *seed, CacheBytes: *cacheBytes, CachePolicy: *cachePol}
 	var exps []bench.Experiment
 	if *exp == "all" {
 		exps = bench.Experiments()

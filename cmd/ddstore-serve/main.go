@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"ddstore/internal/cache"
 	"ddstore/internal/cff"
 	"ddstore/internal/datasets"
 	"ddstore/internal/faultnet"
@@ -36,6 +37,32 @@ import (
 type sampleSource interface {
 	Len() int
 	ReadSample(id int64) (*graph.Graph, error)
+}
+
+// lazyChunk is a ChunkSource that encodes samples on demand through a
+// byte-budgeted cache instead of preloading the whole range — the
+// -cache-bytes serving mode for ranges too large to hold encoded in
+// memory. Concurrent requests for the same cold sample are coalesced into
+// one backing read.
+type lazyChunk struct {
+	src    sampleSource
+	lo, hi int64
+	c      *cache.Cache
+}
+
+func (l *lazyChunk) LocalRange() (int64, int64) { return l.lo, l.hi }
+
+func (l *lazyChunk) LocalSampleBytes(id int64) ([]byte, error) {
+	if id < l.lo || id >= l.hi {
+		return nil, fmt.Errorf("sample %d not in chunk [%d,%d)", id, l.lo, l.hi)
+	}
+	return l.c.GetOrFetch(id, func() ([]byte, error) {
+		g, err := l.src.ReadSample(id)
+		if err != nil {
+			return nil, err
+		}
+		return g.Encode(), nil
+	})
 }
 
 func main() {
@@ -51,6 +78,11 @@ func main() {
 
 		writeTimeout = flag.Duration("write-timeout", 5*time.Second, "per-response write deadline (0 = none)")
 		idleTimeout  = flag.Duration("idle-timeout", 0, "close connections idle this long (0 = never)")
+
+		// Cache flags switch from eager preload to lazy on-demand serving
+		// through a byte-budgeted hot-sample cache.
+		cacheBytes = flag.Int64("cache-bytes", 0, "serve lazily through a cache of this many bytes instead of preloading the range (0 = preload)")
+		cachePol   = flag.String("cache-policy", "lru", "cache eviction policy: lru, fifo, clock")
 
 		// Chaos flags wrap the listener in a faultnet injector, turning the
 		// server into a misbehaving peer for resilience drills.
@@ -105,18 +137,32 @@ func main() {
 		os.Exit(2)
 	}
 
-	// Materialize the served chunk (encoded) so requests are memory reads —
-	// the same preload step a DDStore rank performs.
-	graphs := make([]*graph.Graph, 0, end-*lo)
-	for id := *lo; id < end; id++ {
-		g, err := src.ReadSample(id)
+	var chunk transport.ChunkSource
+	var hotCache *cache.Cache
+	if *cacheBytes > 0 {
+		// Lazy mode: no preload; samples are read and encoded on first
+		// request and held under the cache's byte budget.
+		pol, err := cache.ParsePolicy(*cachePol)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ddstore-serve: preload %d: %v\n", id, err)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "ddstore-serve: %v\n", err)
+			os.Exit(2)
 		}
-		graphs = append(graphs, g)
+		hotCache = cache.New(cache.Options{MaxBytes: *cacheBytes, Policy: pol})
+		chunk = &lazyChunk{src: src, lo: *lo, hi: end, c: hotCache}
+	} else {
+		// Materialize the served chunk (encoded) so requests are memory
+		// reads — the same preload step a DDStore rank performs.
+		graphs := make([]*graph.Graph, 0, end-*lo)
+		for id := *lo; id < end; id++ {
+			g, err := src.ReadSample(id)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ddstore-serve: preload %d: %v\n", id, err)
+				os.Exit(1)
+			}
+			graphs = append(graphs, g)
+		}
+		chunk = transport.NewMemChunk(*lo, graphs)
 	}
-	chunk := transport.NewMemChunk(*lo, graphs)
 	opts := transport.ServerOptions{WriteTimeout: *writeTimeout, IdleTimeout: *idleTimeout}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -138,6 +184,9 @@ func main() {
 	}
 	srv := transport.ServeListener(ln, chunk, opts)
 	fmt.Printf("serving samples [%d,%d) on %s (ctrl-c to stop)\n", *lo, end, srv.Addr())
+	if hotCache != nil {
+		fmt.Printf("lazy mode: %s cache, %d byte budget\n", hotCache.Policy(), *cacheBytes)
+	}
 	if chaotic {
 		fmt.Printf("chaos mode: seed=%d reset=%g stall=%g/%s corrupt=%g slow-start=%s\n",
 			*chaosSeed, *chaosReset, *chaosStallProb, *chaosStall, *chaosCorrupt, *chaosSlowStart)
@@ -149,6 +198,11 @@ func main() {
 	srv.Close()
 	if injector != nil {
 		fmt.Printf("\ninjected faults: %+v\n", injector.Stats())
+	}
+	if hotCache != nil {
+		st := hotCache.Stats()
+		fmt.Printf("\ncache: %.1f%% hit rate, %d hits, %d misses, %d evictions, %d coalesced, %d entries / %d B resident\n",
+			100*st.HitRate(), st.Hits, st.Misses, st.Evictions, st.Coalesced, st.Entries, st.Bytes)
 	}
 	fmt.Println("shut down")
 }

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"ddstore/internal/cache"
+	"ddstore/internal/datasets"
+	"ddstore/internal/transport"
+)
+
+// TestLazyChunkServes drives the -cache-bytes serving mode end to end: a
+// lazyChunk behind a real TCP server answers repeated Gets correctly, the
+// second pass over the ids is all cache hits, and ids outside the served
+// range are rejected without touching the backing source.
+func TestLazyChunkServes(t *testing.T) {
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 100})
+	hot := cache.New(cache.Options{MaxBytes: 1 << 20})
+	chunk := &lazyChunk{src: ds, lo: 10, hi: 40, c: hot}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := transport.ServeListener(ln, chunk, transport.ServerOptions{WriteTimeout: time.Second})
+	defer srv.Close()
+
+	cl, err := transport.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for pass := 0; pass < 2; pass++ {
+		for id := int64(10); id < 40; id++ {
+			g, err := cl.Get(id)
+			if err != nil {
+				t.Fatalf("pass %d get %d: %v", pass, id, err)
+			}
+			if g.ID != id {
+				t.Fatalf("pass %d get %d returned sample %d", pass, id, g.ID)
+			}
+		}
+	}
+	st := hot.Stats()
+	if st.Misses != 30 {
+		t.Fatalf("%d cache misses over two passes, want 30 (one per id)", st.Misses)
+	}
+	if st.Hits != 30 {
+		t.Fatalf("%d cache hits on the repeat pass, want 30", st.Hits)
+	}
+
+	for _, id := range []int64{9, 40} {
+		if _, err := cl.Get(id); err == nil {
+			t.Fatalf("get %d outside the served range succeeded", id)
+		}
+	}
+	if after := hot.Stats(); after.Misses != st.Misses {
+		t.Fatal("out-of-range gets reached the cache")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"os"
 	"sync"
 
+	"ddstore/internal/cache"
 	"ddstore/internal/cff"
 	"ddstore/internal/cluster"
 	"ddstore/internal/comm"
@@ -44,8 +45,15 @@ func main() {
 		real        = flag.Bool("real", false, "train a real (scaled-down) HydraGNN instead of the cost model")
 		hidden      = flag.Int("hidden", 16, "hidden dim for -real")
 		localShuf   = flag.Bool("local-shuffle", false, "use sharding with local shuffling instead of global shuffles (the conventional baseline of paper §2.2)")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "per-rank remote-sample cache budget for -method ddstore (0 = no cache)")
+		cachePol    = flag.String("cache-policy", "lru", "cache eviction policy: lru, fifo, clock")
 	)
 	flag.Parse()
+
+	cachePolicy, err := cache.ParsePolicy(*cachePol)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	var machine *cluster.Machine
 	switch *machineName {
@@ -102,20 +110,26 @@ func main() {
 	simModel := hydra.PaperConfig(ds.NodeFeatDim(), ds.EdgeFeatDim(), ds.OutputDim())
 	merged := trace.New()
 	var res *ddp.Result
+	var cacheStats cache.Stats
 	var mu sync.Mutex
 	err = world.Run(func(c *comm.Comm) error {
 		prof := trace.New()
 		var loader ddp.Loader
+		var store *core.Store
 		switch *method {
 		case "pff":
 			loader = &ddp.SourceLoader{Source: pff.NewSim(fs, ds, sizes, c.Clock(), c.RNG())}
 		case "cff":
 			loader = &ddp.SourceLoader{Source: cff.NewSim(fs, ds, layout, c.Clock(), c.RNG())}
 		case "ddstore":
-			st, err := core.Open(c, ds, core.Options{Width: *width, Profiler: prof})
+			st, err := core.Open(c, ds, core.Options{
+				Width: *width, Profiler: prof,
+				CacheBytes: *cacheBytes, CachePolicy: cachePolicy,
+			})
 			if err != nil {
 				return err
 			}
+			store = st
 			loader = &ddp.StoreLoader{Store: st}
 		}
 		tc := ddp.Config{
@@ -150,6 +164,9 @@ func main() {
 		merged.Merge(prof)
 		if c.Rank() == 0 {
 			res = r
+			if store != nil {
+				cacheStats = store.CacheStats()
+			}
 		}
 		mu.Unlock()
 		return nil
@@ -170,7 +187,13 @@ func main() {
 		}
 		fmt.Println(line)
 	}
-	fmt.Printf("mean throughput: %.0f samples/s over %v virtual\n\n", res.MeanThroughput, res.TotalDuration)
+	fmt.Printf("mean throughput: %.0f samples/s over %v virtual\n", res.MeanThroughput, res.TotalDuration)
+	if *cacheBytes > 0 {
+		fmt.Printf("rank 0 cache (%s, %d B): %.1f%% hit rate, %d hits, %d misses, %d evictions, %d coalesced\n",
+			cachePolicy, *cacheBytes, 100*cacheStats.HitRate(),
+			cacheStats.Hits, cacheStats.Misses, cacheStats.Evictions, cacheStats.Coalesced)
+	}
+	fmt.Println()
 	fmt.Println("per-region virtual time (all ranks):")
 	fmt.Print(merged.String())
 }

@@ -44,11 +44,11 @@ func runAblComm(o Options) (*Report, error) {
 
 	twoSided := spec
 	twoSided.framework = core.FrameworkTwoSided
-	ts, err := runCached(twoSided)
+	ts, err := runCached(o, twoSided)
 	if err != nil {
 		return nil, err
 	}
-	rma, err := runCached(spec)
+	rma, err := runCached(o, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -69,11 +69,11 @@ func runAblLock(o Options) (*Report, error) {
 
 	perSample := spec
 	perSample.lockPerSample = true
-	ps, err := runCached(perSample)
+	ps, err := runCached(o, perSample)
 	if err != nil {
 		return nil, err
 	}
-	amortized, err := runCached(spec)
+	amortized, err := runCached(o, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -89,13 +89,13 @@ func runAblNB(o Options) (*Report, error) {
 	_, spec := ablSpec(o)
 	r := &Report{ID: "abl-nb", Title: "Non-blocking Get ablation (Perlmutter, AISD-Ex discrete)", Columns: ablColumns}
 
-	blocking, err := runCached(spec)
+	blocking, err := runCached(o, spec)
 	if err != nil {
 		return nil, err
 	}
 	nb := spec
 	nb.nonBlocking = true
-	nbOut, err := runCached(nb)
+	nbOut, err := runCached(o, nb)
 	if err != nil {
 		return nil, err
 	}

@@ -47,7 +47,7 @@ func cellFloat(t *testing.T, r *Report, row int, col string) float64 {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"abl-comm", "abl-lock", "abl-nb", "degraded",
+	want := []string{"abl-comm", "abl-lock", "abl-nb", "cached", "degraded",
 		"fig10", "fig11", "fig12", "fig13", "fig4", "fig5", "fig6",
 		"fig7", "fig8", "fig9", "table1", "table2", "table3"}
 	exps := Experiments()
@@ -333,12 +333,12 @@ func TestRunCacheHits(t *testing.T) {
 		machine: clusterLaptop(), ranks: 2, method: MethodDDStore,
 		ds: p.dataset(dsHomoLumo, nil), localBatch: 4, epochs: 1, maxSteps: 1, seed: 1,
 	}
-	a, err := runCached(spec)
+	a, err := runCached(quickOpts(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	b, err := runCached(spec)
+	b, err := runCached(quickOpts(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -457,5 +457,35 @@ func TestDegradedSurvivesFaults(t *testing.T) {
 	}
 	if cellFloat(t, r, 4, "failovers") == 0 {
 		t.Fatal("dead-server scenario never failed over")
+	}
+}
+
+func TestCachedExperimentShape(t *testing.T) {
+	r := runExp(t, "cached")
+	if len(r.Rows) != 18 { // 6 configs x 3 epochs
+		t.Fatalf("want 18 rows, got %d", len(r.Rows))
+	}
+	for row := range r.Rows {
+		label := cell(t, r, row, "cache")
+		epoch := cellFloat(t, r, row, "epoch")
+		trips := cellFloat(t, r, row, "round trips")
+		switch {
+		case label == "off":
+			// No cache: every epoch refetches everything over the wire.
+			if hr := cell(t, r, row, "hit rate"); hr != "-" {
+				t.Fatalf("row %d: cacheless hit rate %q", row, hr)
+			}
+			if trips == 0 {
+				t.Fatalf("row %d: cacheless epoch cost zero round trips", row)
+			}
+		case label == "100%" && epoch >= 2:
+			// Whole dataset cached: a repeat epoch never touches the wire.
+			if trips != 0 {
+				t.Fatalf("row %d: fully cached repeat epoch cost %v round trips", row, trips)
+			}
+			if hr := cell(t, r, row, "hit rate"); hr != "100%" {
+				t.Fatalf("row %d: fully cached repeat epoch hit rate %q, want 100%%", row, hr)
+			}
+		}
 	}
 }

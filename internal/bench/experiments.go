@@ -238,7 +238,7 @@ func runFig4(o Options) (*Report, error) {
 			ds := p.dataset(kind, mc.machine)
 			tp := map[Method]float64{}
 			for _, m := range AllMethods {
-				out, err := runCached(runSpec{
+				out, err := runCached(o, runSpec{
 					machine: mc.machine, ranks: mc.ranks, method: m, ds: ds,
 					localBatch: p.localBatch, epochs: p.epochs, maxSteps: p.maxSteps,
 					seed: o.seed(), keepLat: true,
@@ -272,7 +272,7 @@ func fig5Runs(o Options) (profile, map[dsKind]map[Method]*runOut, error) {
 	for _, kind := range allKinds {
 		outs[kind] = map[Method]*runOut{}
 		for _, m := range AllMethods {
-			out, err := runCached(runSpec{
+			out, err := runCached(o, runSpec{
 				machine: perl, ranks: p.perlRanks, method: m,
 				ds: p.dataset(kind, perl), localBatch: p.localBatch, epochs: p.epochs,
 				maxSteps: p.maxSteps, seed: o.seed(), keepLat: true,
@@ -386,7 +386,7 @@ func runTable2(o Options) (*Report, error) {
 // MPI RMA time for DDStore training on Summit.
 func runFig7(o Options) (*Report, error) {
 	p := profileFor(o)
-	out, err := runCached(runSpec{
+	out, err := runCached(o, runSpec{
 		machine: p.machine("Summit"), ranks: p.summitRanks, method: MethodDDStore,
 		ds: p.dataset(dsDiscrete, nil), localBatch: p.localBatch, epochs: p.epochs,
 		maxSteps: p.maxSteps, seed: o.seed(), keepLat: true,
@@ -441,7 +441,7 @@ func runFig8(o Options) (*Report, error) {
 				var pts []stats.ScalingPoint
 				var rows [][]any
 				for _, ranks := range machineScales(p, machine) {
-					out, err := runCached(runSpec{
+					out, err := runCached(o, runSpec{
 						machine: machine, ranks: ranks, method: m, ds: ds,
 						localBatch: p.localBatch, epochs: p.epochs, maxSteps: 1,
 						seed: o.seed(),
@@ -481,7 +481,7 @@ func runFig9(o Options) (*Report, error) {
 	}
 	summit := p.machine("Summit")
 	for _, ranks := range machineScales(p, summit) {
-		out, err := runCached(runSpec{
+		out, err := runCached(o, runSpec{
 			machine: summit, ranks: ranks, method: MethodDDStore, ds: ds,
 			localBatch: p.localBatch, epochs: p.epochs, maxSteps: 1, seed: o.seed(),
 		})
@@ -522,7 +522,7 @@ func runFig10(o Options) (*Report, error) {
 				continue
 			}
 			for _, m := range AllMethods {
-				out, err := runCached(runSpec{
+				out, err := runCached(o, runSpec{
 					machine: mc.machine, ranks: ranks, method: m, ds: ds,
 					localBatch: local, epochs: p.epochs, maxSteps: 2, seed: o.seed(),
 				})
@@ -556,7 +556,7 @@ func runFig11(o Options) (*Report, error) {
 	} {
 		results := make(map[int]float64, len(mc.widths))
 		for _, w := range mc.widths {
-			out, err := runCached(runSpec{
+			out, err := runCached(o, runSpec{
 				machine: mc.machine, ranks: mc.ranks, method: MethodDDStore,
 				ds: datasetFor(dsDiscrete, p.widthMolN, 0), width: w,
 				localBatch: p.localBatch, epochs: p.epochs, maxSteps: p.maxSteps,
@@ -603,7 +603,7 @@ func fig12Runs(o Options) (profile, map[dsKind]map[int][]time.Duration, error) {
 	for _, kind := range allKinds {
 		out[kind] = map[int][]time.Duration{}
 		for _, w := range widths {
-			res, err := runCached(runSpec{
+			res, err := runCached(o, runSpec{
 				machine: perl, ranks: ranks, method: MethodDDStore,
 				ds: widthDataset(kind), width: w, localBatch: p.localBatch,
 				epochs: p.epochs, maxSteps: p.maxSteps, seed: o.seed(), keepLat: true,

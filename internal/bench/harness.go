@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"ddstore/internal/cache"
 	"ddstore/internal/cff"
 	"ddstore/internal/cluster"
 	"ddstore/internal/comm"
@@ -153,6 +154,11 @@ type runSpec struct {
 	framework     core.Framework
 	lockPerSample bool
 	nonBlocking   bool
+
+	// Remote-sample cache (filled in from Options by runCached unless the
+	// experiment sets them explicitly).
+	cacheBytes  int64
+	cachePolicy cache.Policy
 }
 
 // runOut is the aggregated outcome of one run.
@@ -227,6 +233,8 @@ func runOne(spec runSpec) (*runOut, error) {
 				Framework:     spec.framework,
 				LockPerSample: spec.lockPerSample,
 				NonBlocking:   spec.nonBlocking,
+				CacheBytes:    spec.cacheBytes,
+				CachePolicy:   spec.cachePolicy,
 			})
 			if err != nil {
 				return err
@@ -293,11 +301,21 @@ var runCache = struct {
 	m map[string]*runOut
 }{m: map[string]*runOut{}}
 
-func runCached(spec runSpec) (*runOut, error) {
-	key := fmt.Sprintf("%s/%d/%s/%s-%d-%d/%d/%d/%d/%d/%d/%v/%d-%v-%v",
+// runCached memoizes runOne, applying the suite-wide cache configuration
+// from Options to any spec that does not set its own.
+func runCached(o Options, spec runSpec) (*runOut, error) {
+	if spec.cacheBytes == 0 && o.CacheBytes > 0 {
+		pol, err := cache.ParsePolicy(o.CachePolicy)
+		if err != nil {
+			return nil, err
+		}
+		spec.cacheBytes = o.CacheBytes
+		spec.cachePolicy = pol
+	}
+	key := fmt.Sprintf("%s/%d/%s/%s-%d-%d/%d/%d/%d/%d/%d/%v/%d-%v-%v/%d-%v",
 		spec.machine.Name, spec.ranks, spec.method, spec.ds.Name(), spec.ds.Len(), spec.ds.OutputDim(),
 		spec.localBatch, spec.epochs, spec.maxSteps, spec.width, spec.seed, spec.keepLat,
-		spec.framework, spec.lockPerSample, spec.nonBlocking)
+		spec.framework, spec.lockPerSample, spec.nonBlocking, spec.cacheBytes, spec.cachePolicy)
 	runCache.Lock()
 	if out, ok := runCache.m[key]; ok {
 		runCache.Unlock()

@@ -98,6 +98,14 @@ type Options struct {
 	Quick bool
 	// Seed makes runs reproducible.
 	Seed uint64
+	// CacheBytes, if positive, gives every DDStore rank in the simulated
+	// runs a byte-budgeted remote-sample cache of this size (see
+	// core.Options.CacheBytes). Zero keeps the paper-faithful cacheless
+	// configuration.
+	CacheBytes int64
+	// CachePolicy selects the cache eviction policy when CacheBytes is
+	// set: "lru" (default), "fifo", or "clock".
+	CachePolicy string
 }
 
 func (o Options) seed() uint64 {

@@ -1,0 +1,446 @@
+// Package cache implements the data plane's hot-sample cache: a
+// byte-budgeted, sharded cache over fetched remote sample bytes with
+// singleflight-style request coalescing, so that (a) a repeat visit to a
+// sample costs a memory read instead of a network round trip, and (b)
+// concurrent misses for the same id trigger exactly one upstream fetch.
+//
+// DDStore's workload (paper §3) is globally-shuffled training: every epoch
+// issues huge numbers of tiny remote reads, and the same bytes are re-read
+// epoch after epoch. The cache converts that re-read traffic into local
+// memory reads; the coalescing flight table keeps prefetching workers and
+// the training loop from duplicating in-flight fetches.
+//
+// Eviction is pluggable: LRU is the default; FIFO and Clock (second
+// chance) exist for the eviction ablation. Hit/miss/coalesce/evict event
+// counts flow into any Counters sink — *trace.Profiler satisfies it, so a
+// run's cache behaviour lands next to its region timings.
+//
+// Values are treated as immutable: callers must not modify a returned
+// slice (the same contract transport.ChunkSource has for served bytes).
+package cache
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Policy selects the eviction policy of a Cache.
+type Policy int
+
+const (
+	// LRU evicts the least-recently-used entry (default). Best when the
+	// hot set shifts over time, as with shuffled epoch sampling.
+	LRU Policy = iota
+	// FIFO evicts in insertion order regardless of use. Cheapest bookkeeping;
+	// the ablation baseline.
+	FIFO
+	// Clock is the second-chance approximation of LRU: a used entry gets
+	// one extra lap of the queue before it can be evicted.
+	Clock
+)
+
+// String returns the flag-friendly policy name.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case Clock:
+		return "clock"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts a flag value into a Policy. The empty string means
+// the default (LRU).
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "lru":
+		return LRU, nil
+	case "fifo":
+		return FIFO, nil
+	case "clock":
+		return Clock, nil
+	default:
+		return 0, fmt.Errorf("cache: unknown policy %q (want lru, fifo, or clock)", s)
+	}
+}
+
+// Counters receives cache event counts. *trace.Profiler implements it, so
+// one profiler carries region timings, network resilience counters, and
+// cache behaviour for the same run.
+type Counters interface {
+	Inc(name string, delta int64)
+}
+
+// Counter names recorded by the cache.
+const (
+	CounterHits      = "cache-hits"      // lookups served from cached bytes
+	CounterMisses    = "cache-misses"    // lookups that became fetch leaders
+	CounterCoalesced = "cache-coalesced" // lookups that joined an in-flight fetch
+	CounterEvictions = "cache-evictions" // entries evicted to hold the byte budget
+)
+
+type nopCounters struct{}
+
+func (nopCounters) Inc(string, int64) {}
+
+// Options configures a Cache.
+type Options struct {
+	// MaxBytes is the total byte budget over cached values (metadata
+	// overhead is not charged). Zero or negative means nothing is retained,
+	// but request coalescing still works.
+	MaxBytes int64
+	// Shards is the number of independently locked shards (default 8).
+	Shards int
+	// Policy is the eviction policy (default LRU).
+	Policy Policy
+	// Counters, if set, receives hit/miss/coalesce/evict event counts.
+	Counters Counters
+}
+
+// Stats is a point-in-time aggregate over all shards.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Coalesced int64
+	Evictions int64
+	Entries   int
+	Bytes     int64
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookups.
+// Coalesced lookups count as neither: they were misses someone else paid for.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a sharded, byte-budgeted sample cache with request coalescing.
+// All methods are safe for concurrent use.
+type Cache struct {
+	shards   []*shard
+	policy   Policy
+	counters Counters
+}
+
+// New returns a cache with the given options.
+func New(opts Options) *Cache {
+	n := opts.Shards
+	if n <= 0 {
+		n = 8
+	}
+	cnt := opts.Counters
+	if cnt == nil {
+		cnt = nopCounters{}
+	}
+	c := &Cache{policy: opts.Policy, counters: cnt}
+	budget := opts.MaxBytes
+	if budget < 0 {
+		budget = 0
+	}
+	per := budget / int64(n)
+	rem := budget % int64(n)
+	for i := 0; i < n; i++ {
+		max := per
+		if int64(i) < rem {
+			max++
+		}
+		c.shards = append(c.shards, &shard{
+			max:      max,
+			policy:   opts.Policy,
+			entries:  map[int64]*entry{},
+			flights:  map[int64]*flight{},
+			counters: cnt,
+		})
+	}
+	return c
+}
+
+// Policy returns the cache's eviction policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+func (c *Cache) shardFor(id int64) *shard {
+	// Fibonacci hashing spreads sequential ids (the common access pattern
+	// after an owner-grouped batch) evenly over the shards.
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return c.shards[h%uint64(len(c.shards))]
+}
+
+// Get returns the cached bytes for id, if present, updating the policy's
+// recency state. It records a hit or a miss.
+func (c *Cache) Get(id int64) ([]byte, bool) {
+	s := c.shardFor(id)
+	s.mu.Lock()
+	val, ok := s.get(id)
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	s.mu.Unlock()
+	if ok {
+		c.counters.Inc(CounterHits, 1)
+	} else {
+		c.counters.Inc(CounterMisses, 1)
+	}
+	return val, ok
+}
+
+// Put inserts (or refreshes) id, evicting entries as needed to hold the
+// byte budget. A value larger than the shard budget is not cached at all.
+func (c *Cache) Put(id int64, val []byte) {
+	s := c.shardFor(id)
+	s.mu.Lock()
+	s.put(id, val)
+	s.mu.Unlock()
+}
+
+// Flight is a claim on a cache miss. Exactly one claimant per id is the
+// leader (Leader() == true) and must complete the flight with Deliver or
+// Fail; every other concurrent claimant is a follower and receives the
+// leader's result from Wait.
+type Flight struct {
+	s      *shard
+	cnt    Counters
+	id     int64
+	leader bool
+	fl     *flight
+}
+
+// flight is the shared state of one in-flight fetch.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Claim looks up id. On a hit it returns (bytes, nil). On a miss it
+// returns (nil, *Flight): the caller checks Leader() to learn whether it
+// must perform the fetch (and then Deliver/Fail) or wait for someone
+// else's (Wait). This is the batch-friendly form of GetOrFetch — a loader
+// can claim a whole batch, fetch all its leader misses in one round trip,
+// deliver them, and only then wait on the followers.
+func (c *Cache) Claim(id int64) ([]byte, *Flight) {
+	s := c.shardFor(id)
+	s.mu.Lock()
+	if val, ok := s.get(id); ok {
+		s.hits++
+		s.mu.Unlock()
+		c.counters.Inc(CounterHits, 1)
+		return val, nil
+	}
+	if fl, ok := s.flights[id]; ok {
+		s.coalesced++
+		s.mu.Unlock()
+		c.counters.Inc(CounterCoalesced, 1)
+		return nil, &Flight{s: s, cnt: c.counters, id: id, fl: fl}
+	}
+	fl := &flight{done: make(chan struct{})}
+	s.flights[id] = fl
+	s.misses++
+	s.mu.Unlock()
+	c.counters.Inc(CounterMisses, 1)
+	return nil, &Flight{s: s, cnt: c.counters, id: id, leader: true, fl: fl}
+}
+
+// Leader reports whether this claimant must perform the fetch.
+func (f *Flight) Leader() bool { return f.leader }
+
+// Deliver completes a leader's flight: the value is cached and every
+// follower waiting on the same id is woken with it.
+func (f *Flight) Deliver(val []byte) {
+	f.fl.val = val
+	f.s.mu.Lock()
+	f.s.put(f.id, val)
+	if f.s.flights[f.id] == f.fl {
+		delete(f.s.flights, f.id)
+	}
+	f.s.mu.Unlock()
+	close(f.fl.done)
+}
+
+// Fail completes a leader's flight with an error: nothing is cached, and
+// every follower is woken with the error (the next claimant will lead a
+// fresh flight).
+func (f *Flight) Fail(err error) {
+	f.fl.err = err
+	f.s.mu.Lock()
+	if f.s.flights[f.id] == f.fl {
+		delete(f.s.flights, f.id)
+	}
+	f.s.mu.Unlock()
+	close(f.fl.done)
+}
+
+// Wait blocks until the flight's leader calls Deliver or Fail and returns
+// the result.
+func (f *Flight) Wait() ([]byte, error) {
+	<-f.fl.done
+	return f.fl.val, f.fl.err
+}
+
+// GetOrFetch returns the cached bytes for id, fetching (and caching) them
+// with fetch on a miss. Concurrent calls for the same id are coalesced
+// into a single fetch; a fetch error is propagated to every coalesced
+// caller and nothing is cached.
+func (c *Cache) GetOrFetch(id int64, fetch func() ([]byte, error)) ([]byte, error) {
+	val, f := c.Claim(id)
+	if f == nil {
+		return val, nil
+	}
+	if !f.Leader() {
+		return f.Wait()
+	}
+	val, err := fetch()
+	if err != nil {
+		f.Fail(err)
+		return nil, err
+	}
+	f.Deliver(val)
+	return val, nil
+}
+
+// Stats aggregates event counts and occupancy over all shards.
+func (c *Cache) Stats() Stats {
+	var st Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Coalesced += s.coalesced
+		st.Evictions += s.evictions
+		st.Entries += len(s.entries)
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int { return c.Stats().Entries }
+
+// Bytes returns the total cached value bytes.
+func (c *Cache) Bytes() int64 { return c.Stats().Bytes }
+
+// shard is one independently locked slice of the cache. The linked list
+// orders entries head (newest / most recently used) to tail (eviction
+// candidate).
+type shard struct {
+	mu         sync.Mutex
+	max        int64
+	policy     Policy
+	entries    map[int64]*entry
+	head, tail *entry
+	bytes      int64
+	flights    map[int64]*flight
+	counters   Counters
+
+	hits, misses, coalesced, evictions int64
+}
+
+type entry struct {
+	id         int64
+	val        []byte
+	prev, next *entry // prev is toward the head
+	ref        bool   // Clock's second-chance bit
+}
+
+func (s *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard) moveToFront(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// get looks up id and applies the policy's use bookkeeping. Caller holds mu.
+func (s *shard) get(id int64) ([]byte, bool) {
+	e, ok := s.entries[id]
+	if !ok {
+		return nil, false
+	}
+	switch s.policy {
+	case LRU:
+		s.moveToFront(e)
+	case Clock:
+		e.ref = true
+	}
+	return e.val, true
+}
+
+// put inserts or refreshes id and evicts down to the budget. Caller holds mu.
+func (s *shard) put(id int64, val []byte) {
+	if int64(len(val)) > s.max {
+		// The value can never fit; caching it would just flush the shard.
+		return
+	}
+	if e, ok := s.entries[id]; ok {
+		s.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		switch s.policy {
+		case LRU:
+			s.moveToFront(e)
+		case Clock:
+			e.ref = true
+		}
+	} else {
+		e := &entry{id: id, val: val}
+		s.entries[id] = e
+		s.pushFront(e)
+		s.bytes += int64(len(val))
+	}
+	s.evict()
+}
+
+// evict removes entries until the shard is within budget. Caller holds mu.
+func (s *shard) evict() {
+	for s.bytes > s.max && s.tail != nil {
+		victim := s.tail
+		if s.policy == Clock {
+			// Second chance: a referenced victim is unreferenced and sent
+			// around again. Each pass clears one bit, so this terminates.
+			for victim.ref {
+				victim.ref = false
+				s.moveToFront(victim)
+				victim = s.tail
+			}
+		}
+		s.unlink(victim)
+		delete(s.entries, victim.id)
+		s.bytes -= int64(len(victim.val))
+		s.evictions++
+		s.counters.Inc(CounterEvictions, 1)
+	}
+}

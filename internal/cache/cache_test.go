@@ -1,0 +1,388 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// val returns a distinguishable payload of the given size for id.
+func val(id int64, size int) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte(id) + byte(i)
+	}
+	return b
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Policy
+		wantErr bool
+	}{
+		{"", LRU, false},
+		{"lru", LRU, false},
+		{"fifo", FIFO, false},
+		{"clock", Clock, false},
+		{"LRU", 0, true},
+		{"random", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParsePolicy(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParsePolicy(%q): want error, got %v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	for _, p := range []Policy{LRU, FIFO, Clock} {
+		back, err := ParsePolicy(p.String())
+		if err != nil || back != p {
+			t.Errorf("round trip %v -> %q -> %v, %v", p, p.String(), back, err)
+		}
+	}
+}
+
+func TestGetPutAndStats(t *testing.T) {
+	c := New(Options{MaxBytes: 1 << 20, Shards: 4})
+	if _, ok := c.Get(7); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(7, val(7, 100))
+	got, ok := c.Get(7)
+	if !ok || len(got) != 100 || got[0] != val(7, 100)[0] {
+		t.Fatalf("Get(7) = %v, %v after Put", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 100 {
+		t.Fatalf("stats = %+v; want 1 hit, 1 miss, 1 entry, 100 bytes", st)
+	}
+	if hr := st.HitRate(); hr != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", hr)
+	}
+}
+
+// TestByteBudgetBound proves occupancy never exceeds the budget under a
+// stream of inserts, for every policy.
+func TestByteBudgetBound(t *testing.T) {
+	for _, pol := range []Policy{LRU, FIFO, Clock} {
+		t.Run(pol.String(), func(t *testing.T) {
+			const budget = 4096
+			c := New(Options{MaxBytes: budget, Shards: 4, Policy: pol})
+			for id := int64(0); id < 500; id++ {
+				c.Put(id, val(id, 64))
+				if b := c.Bytes(); b > budget {
+					t.Fatalf("after Put(%d): %d bytes cached, budget %d", id, b, budget)
+				}
+			}
+			if c.Stats().Evictions == 0 {
+				t.Fatal("expected evictions under a 500x64B stream into a 4KiB budget")
+			}
+		})
+	}
+}
+
+// TestOversizeEntrySkipped proves a value that cannot fit a shard budget is
+// not cached and does not flush existing entries.
+func TestOversizeEntrySkipped(t *testing.T) {
+	c := New(Options{MaxBytes: 1000, Shards: 1})
+	c.Put(1, val(1, 100))
+	c.Put(2, val(2, 5000)) // larger than the whole budget
+	if _, ok := c.Get(2); ok {
+		t.Fatal("oversize entry was cached")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("oversize Put flushed an existing entry")
+	}
+	if c.Stats().Evictions != 0 {
+		t.Fatal("oversize Put caused evictions")
+	}
+}
+
+// TestZeroBudget proves a zero-byte cache retains nothing but still
+// coalesces concurrent fetches.
+func TestZeroBudget(t *testing.T) {
+	c := New(Options{MaxBytes: 0, Shards: 2})
+	c.Put(1, val(1, 10))
+	if _, ok := c.Get(1); ok {
+		t.Fatal("zero-budget cache retained an entry")
+	}
+	var fetches atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			got, err := c.GetOrFetch(42, func() ([]byte, error) {
+				fetches.Add(1)
+				return val(42, 10), nil
+			})
+			if err != nil || len(got) != 10 {
+				t.Errorf("GetOrFetch: %v, %v", got, err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	// All 8 run concurrently against one flight: at most a couple of
+	// fetches (goroutines that claim after the flight completed re-fetch,
+	// since nothing is retained), but coalescing must have collapsed most.
+	if n := fetches.Load(); n > 8 || n < 1 {
+		t.Fatalf("fetches = %d", n)
+	}
+}
+
+// TestEvictionOrderLRU: touching an entry saves it; the coldest goes first.
+func TestEvictionOrderLRU(t *testing.T) {
+	c := New(Options{MaxBytes: 300, Shards: 1, Policy: LRU})
+	c.Put(1, val(1, 100))
+	c.Put(2, val(2, 100))
+	c.Put(3, val(3, 100))
+	c.Get(1)              // 1 is now most recent; 2 is coldest
+	c.Put(4, val(4, 100)) // evicts 2
+	if _, ok := c.Get(2); ok {
+		t.Fatal("LRU kept the least-recently-used entry")
+	}
+	for _, id := range []int64{1, 3, 4} {
+		if _, ok := c.Get(id); !ok {
+			t.Fatalf("LRU evicted %d, which was more recent than 2", id)
+		}
+	}
+}
+
+// TestEvictionOrderFIFO: use does not save an entry; insertion order rules.
+func TestEvictionOrderFIFO(t *testing.T) {
+	c := New(Options{MaxBytes: 300, Shards: 1, Policy: FIFO})
+	c.Put(1, val(1, 100))
+	c.Put(2, val(2, 100))
+	c.Put(3, val(3, 100))
+	c.Get(1)              // does not matter under FIFO
+	c.Put(4, val(4, 100)) // evicts 1, the oldest insert
+	if _, ok := c.Get(1); ok {
+		t.Fatal("FIFO kept the oldest insert despite a Get")
+	}
+	for _, id := range []int64{2, 3, 4} {
+		if _, ok := c.Get(id); !ok {
+			t.Fatalf("FIFO evicted %d out of order", id)
+		}
+	}
+}
+
+// TestEvictionOrderClock: a referenced entry gets a second chance; an
+// unreferenced one is evicted.
+func TestEvictionOrderClock(t *testing.T) {
+	c := New(Options{MaxBytes: 300, Shards: 1, Policy: Clock})
+	c.Put(1, val(1, 100))
+	c.Put(2, val(2, 100))
+	c.Put(3, val(3, 100))
+	c.Get(1)              // sets 1's reference bit
+	c.Put(4, val(4, 100)) // clock hand passes 1 (referenced), evicts 2
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("clock evicted a referenced entry without a second chance")
+	}
+	if _, ok := c.Get(2); ok {
+		t.Fatal("clock kept the unreferenced eviction candidate")
+	}
+}
+
+// TestCoalescing proves N concurrent misses for one id result in exactly
+// one fetch, with the other N-1 counted as coalesced.
+func TestCoalescing(t *testing.T) {
+	c := New(Options{MaxBytes: 1 << 20, Shards: 4})
+	const workers = 16
+	var fetches atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := c.GetOrFetch(99, func() ([]byte, error) {
+				fetches.Add(1)
+				<-gate // hold the flight open until all workers have claimed
+				return val(99, 50), nil
+			})
+			if err != nil || len(got) != 50 {
+				t.Errorf("GetOrFetch: %v, %v", got, err)
+			}
+		}()
+	}
+	// Wait until every worker is either the leader (inside fetch) or a
+	// follower (blocked in Wait): misses + coalesced == workers.
+	for {
+		st := c.Stats()
+		if st.Misses+st.Coalesced == workers {
+			break
+		}
+	}
+	close(gate)
+	wg.Wait()
+	if n := fetches.Load(); n != 1 {
+		t.Fatalf("fetches = %d, want 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Coalesced != workers-1 {
+		t.Fatalf("stats = %+v; want 1 miss, %d coalesced", st, workers-1)
+	}
+	if _, ok := c.Get(99); !ok {
+		t.Fatal("delivered value was not cached")
+	}
+}
+
+// TestFlightFailure proves a fetch error reaches every coalesced waiter,
+// nothing is cached, and the id can be fetched again afterwards.
+func TestFlightFailure(t *testing.T) {
+	c := New(Options{MaxBytes: 1 << 20, Shards: 1})
+	boom := errors.New("boom")
+	const workers = 8
+	gate := make(chan struct{})
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.GetOrFetch(5, func() ([]byte, error) {
+				<-gate
+				return nil, boom
+			})
+			errs <- err
+		}()
+	}
+	for {
+		st := c.Stats()
+		if st.Misses+st.Coalesced == workers {
+			break
+		}
+	}
+	close(gate)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("waiter got %v, want boom", err)
+		}
+	}
+	if _, ok := c.Get(5); ok {
+		t.Fatal("failed fetch left a cached value")
+	}
+	// A later claim leads a fresh flight and can succeed.
+	got, err := c.GetOrFetch(5, func() ([]byte, error) { return val(5, 10), nil })
+	if err != nil || len(got) != 10 {
+		t.Fatalf("retry after failure: %v, %v", got, err)
+	}
+}
+
+// TestClaimBatchStyle exercises the leader/follower API the way the batch
+// loaders use it: claim every id in the batch, fetch all leader misses,
+// deliver them, and only then wait on the followers. A duplicated id in
+// one batch must yield one leader and one follower — never a self-deadlock.
+func TestClaimBatchStyle(t *testing.T) {
+	c := New(Options{MaxBytes: 1 << 20, Shards: 4})
+	c.Put(1, val(1, 10))
+	ids := []int64{1, 2, 2, 3} // 1 is a hit; the duplicate 2 coalesces
+	out := make([][]byte, len(ids))
+	leaders := map[int]*Flight{}
+	followers := map[int]*Flight{}
+	for i, id := range ids {
+		v, f := c.Claim(id)
+		switch {
+		case f == nil:
+			out[i] = v
+		case f.Leader():
+			leaders[i] = f
+		default:
+			followers[i] = f
+		}
+	}
+	if len(leaders) != 2 || len(followers) != 1 {
+		t.Fatalf("leaders = %d, followers = %d; want 2 and 1", len(leaders), len(followers))
+	}
+	for i, f := range leaders {
+		out[i] = val(ids[i], 20)
+		f.Deliver(out[i])
+	}
+	for i, f := range followers {
+		v, err := f.Wait()
+		if err != nil {
+			t.Fatalf("follower %d: %v", i, err)
+		}
+		out[i] = v
+	}
+	for i := range ids {
+		if len(out[i]) == 0 {
+			t.Fatalf("slot %d unfilled", i)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Coalesced != 1 {
+		t.Fatalf("stats = %+v; want 1 hit, 2 misses, 1 coalesced", st)
+	}
+}
+
+// TestConcurrentMixedUse hammers the cache from many goroutines to flush
+// out races (run with -race).
+func TestConcurrentMixedUse(t *testing.T) {
+	c := New(Options{MaxBytes: 1 << 14, Shards: 8})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := int64((w*17 + i) % 64)
+				got, err := c.GetOrFetch(id, func() ([]byte, error) {
+					if id%13 == 12 {
+						return nil, fmt.Errorf("synthetic failure for %d", id)
+					}
+					return val(id, 32+int(id)), nil
+				})
+				if err == nil && len(got) != 32+int(id) {
+					t.Errorf("id %d: got %d bytes", id, len(got))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b := c.Bytes(); b > 1<<14 {
+		t.Fatalf("budget exceeded: %d", b)
+	}
+}
+
+// recordingCounters captures Inc calls for counter-plumbing assertions.
+type recordingCounters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func (r *recordingCounters) Inc(name string, delta int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.m == nil {
+		r.m = map[string]int64{}
+	}
+	r.m[name] += delta
+}
+
+func TestCountersSink(t *testing.T) {
+	rc := &recordingCounters{}
+	c := New(Options{MaxBytes: 150, Shards: 1, Counters: rc})
+	c.Put(1, val(1, 100))
+	c.Get(1)              // hit
+	c.Get(2)              // miss
+	c.Put(2, val(2, 100)) // evicts 1
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.m[CounterHits] != 1 || rc.m[CounterMisses] != 1 || rc.m[CounterEvictions] != 1 {
+		t.Fatalf("counters = %v", rc.m)
+	}
+}

@@ -3,8 +3,10 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"time"
 
+	"ddstore/internal/cache"
 	"ddstore/internal/comm"
 	"ddstore/internal/graph"
 )
@@ -33,9 +35,50 @@ const (
 	tagRespBase = 1 << 21
 )
 
-// startResponder launches the two-sided service loop: it answers fetch
-// requests for this rank's chunk until Close. Service time is charged to
-// this rank's clock — the CPU-involvement cost one-sided RMA avoids.
+// CounterTwoSidedRPCs counts owner-directed request/response exchanges on
+// the two-sided framework. With multi-get batching, a batch touching k
+// owners costs k RPCs, however many samples it carries — the counter the
+// batching tests assert on.
+const CounterTwoSidedRPCs = "twosided-rpcs"
+
+// Two-sided multi-get wire format. A request is
+// [requester u32][count u32][ids u64 × count]; the response is count
+// entries of [len u32][bytes], in request order, with missingMarker as the
+// length of any sample the owner does not hold.
+const missingMarker = ^uint32(0)
+
+func encodeFetchReq(requester int, ids []int64) []byte {
+	req := make([]byte, 8+8*len(ids))
+	binary.LittleEndian.PutUint32(req[0:], uint32(requester))
+	binary.LittleEndian.PutUint32(req[4:], uint32(len(ids)))
+	for i, id := range ids {
+		binary.LittleEndian.PutUint64(req[8+8*i:], uint64(id))
+	}
+	return req
+}
+
+// decodeFetchReq validates and unpacks a fetch request; ok is false for
+// malformed frames (which the responder drops, like any hostile message).
+func decodeFetchReq(data []byte) (requester int, ids []int64, ok bool) {
+	if len(data) < 16 {
+		return 0, nil, false
+	}
+	requester = int(int32(binary.LittleEndian.Uint32(data[0:])))
+	count := int(binary.LittleEndian.Uint32(data[4:]))
+	if count < 1 || len(data) != 8+8*count {
+		return 0, nil, false
+	}
+	ids = make([]int64, count)
+	for i := range ids {
+		ids[i] = int64(binary.LittleEndian.Uint64(data[8+8*i:]))
+	}
+	return requester, ids, true
+}
+
+// startResponder launches the two-sided service loop: it answers multi-get
+// fetch requests for this rank's chunk until Close. Service time is
+// charged to this rank's clock — the CPU-involvement cost one-sided RMA
+// avoids.
 func (s *Store) startResponder() {
 	s.respDone = make(chan struct{})
 	go func() {
@@ -48,21 +91,31 @@ func (s *Store) startResponder() {
 			if len(data) == 1 && data[0] == 0xFF {
 				return // poison pill from Close
 			}
-			if len(data) != 12 {
+			requester, ids, ok := decodeFetchReq(data)
+			if !ok {
 				continue // malformed; drop
 			}
-			requester := int(int32(binary.LittleEndian.Uint32(data[0:])))
-			id := int64(binary.LittleEndian.Uint64(data[4:]))
 			if from >= 0 {
 				requester = from
 			}
-			payload, lookupErr := s.LocalSampleBytes(id)
-			if lookupErr != nil {
-				payload = nil // empty response signals an error to the requester
+			var payload []byte
+			var served int64
+			var lenBuf [4]byte
+			for _, id := range ids {
+				one, lookupErr := s.LocalSampleBytes(id)
+				if lookupErr != nil {
+					binary.LittleEndian.PutUint32(lenBuf[:], missingMarker)
+					payload = append(payload, lenBuf[:]...)
+					continue
+				}
+				binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(one)))
+				payload = append(payload, lenBuf[:]...)
+				payload = append(payload, one...)
+				served += int64(len(one))
 			}
 			if m := s.world.Machine(); m != nil {
-				// The owner's CPU copies the sample out of its chunk.
-				s.world.Clock().Advance(m.LocalRead(int64(len(payload))))
+				// The owner's CPU copies the samples out of its chunk.
+				s.world.Clock().Advance(m.LocalRead(served))
 			}
 			if err := s.group.Send(requester, tagRespBase+requester, payload); err != nil {
 				return
@@ -87,58 +140,123 @@ func (s *Store) Close() error {
 	return nil
 }
 
-// fetchTwoSided retrieves one remote sample with a request/response
-// exchange: the owner's responder must receive, look up, and send — so a
-// busy owner delays the requester (queueing the paper's design discussion
-// predicts).
-func (s *Store) fetchTwoSided(owner int, id int64) ([]byte, error) {
-	req := make([]byte, 12)
-	binary.LittleEndian.PutUint32(req[0:], uint32(s.group.Rank()))
-	binary.LittleEndian.PutUint64(req[4:], uint64(id))
-	if err := s.group.Send(owner, tagFetchReq, req); err != nil {
+// fetchTwoSidedBatch retrieves a batch of remote samples from one owner in
+// a single request/response exchange: the owner's responder must receive,
+// look up, and send — so a busy owner delays the requester (queueing the
+// paper's design discussion predicts), but only once per owner per batch.
+func (s *Store) fetchTwoSidedBatch(owner int, ids []int64) ([][]byte, error) {
+	me := s.group.Rank()
+	if err := s.group.Send(owner, tagFetchReq, encodeFetchReq(me, ids)); err != nil {
 		return nil, err
 	}
-	data, _, err := s.group.Recv(owner, tagRespBase+s.group.Rank())
+	if s.prof != nil {
+		s.prof.Inc(CounterTwoSidedRPCs, 1)
+	}
+	data, _, err := s.group.Recv(owner, tagRespBase+me)
 	if err != nil {
 		return nil, err
 	}
-	if len(data) == 0 {
-		return nil, fmt.Errorf("core: owner %d has no sample %d", owner, id)
+	out := make([][]byte, len(ids))
+	rest := data
+	for i, id := range ids {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("core: truncated response from owner %d (%d of %d samples)", owner, i, len(ids))
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if n == missingMarker {
+			return nil, fmt.Errorf("core: owner %d has no sample %d", owner, id)
+		}
+		if uint64(n) > uint64(len(rest)) {
+			return nil, fmt.Errorf("core: owner %d response entry claims %d bytes, %d remain", owner, n, len(rest))
+		}
+		out[i] = rest[:n:n]
+		rest = rest[n:]
 	}
-	return data, nil
+	return out, nil
 }
 
-// loadTwoSided is the Load path for FrameworkTwoSided.
-func (s *Store) loadTwoSided(ids []int64, timed bool) ([]*graphResult, error) {
+// loadTwoSided is the Load path for FrameworkTwoSided: remote misses are
+// grouped per owner and fetched with one multi-get RPC per owner per
+// batch, mirroring the per-owner lock amortization of the RMA path.
+func (s *Store) loadTwoSided(ids []int64, timed bool, resolved map[int64][]byte, flights map[int64]*cache.Flight, followers map[int64]*cache.Flight) ([]*graphResult, error) {
 	out := make([]*graphResult, len(ids))
 	me := s.group.Rank()
+	byOwner := make(map[int][]int)
 	for pos, id := range ids {
 		owner, err := s.OwnerOf(id)
 		if err != nil {
 			return nil, err
 		}
 		before := s.world.Clock().Now()
-		var raw []byte
 		if owner == me {
 			e := s.index[id]
-			raw = s.buf[e.offset : e.offset+int64(e.length)]
+			raw := s.buf[e.offset : e.offset+int64(e.length)]
 			if m := s.world.Machine(); m != nil {
 				s.world.Clock().Advance(m.LocalRead(int64(e.length)))
 			}
 			s.stats.LocalReads++
 			s.stats.BytesLocal += int64(e.length)
-		} else {
-			if raw, err = s.fetchTwoSided(owner, id); err != nil {
-				return nil, err
+			res := &graphResult{raw: raw}
+			if timed {
+				res.latency = s.world.Clock().Now() - before
 			}
+			out[pos] = res
+			continue
+		}
+		if raw, ok := resolved[id]; ok {
+			// Cache hit: a memory read, no owner involvement.
+			if m := s.world.Machine(); m != nil {
+				s.world.Clock().Advance(m.LocalRead(int64(len(raw))))
+			}
+			res := &graphResult{raw: raw}
+			if timed {
+				res.latency = s.world.Clock().Now() - before
+			}
+			out[pos] = res
+			continue
+		}
+		if _, ok := followers[id]; ok {
+			continue // another loader is fetching it; filled after Wait
+		}
+		byOwner[owner] = append(byOwner[owner], pos)
+	}
+
+	owners := make([]int, 0, len(byOwner))
+	for owner := range byOwner {
+		owners = append(owners, owner)
+	}
+	sort.Ints(owners)
+	for _, owner := range owners {
+		positions := byOwner[owner]
+		// One multi-get per owner, over the unique ids of this batch.
+		uniq := make([]int64, 0, len(positions))
+		slot := make(map[int64]int, len(positions))
+		for _, pos := range positions {
+			if _, ok := slot[ids[pos]]; !ok {
+				slot[ids[pos]] = len(uniq)
+				uniq = append(uniq, ids[pos])
+			}
+		}
+		before := s.world.Clock().Now()
+		raws, err := s.fetchTwoSidedBatch(owner, uniq)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := s.world.Clock().Now() - before
+		for i, id := range uniq {
+			s.deliverFlight(flights, id, raws[i])
 			s.stats.RemoteGets++
-			s.stats.BytesRemote += int64(len(raw))
+			s.stats.BytesRemote += int64(len(raws[i]))
 		}
-		res := &graphResult{raw: raw}
-		if timed {
-			res.latency = s.world.Clock().Now() - before
+		for _, pos := range positions {
+			res := &graphResult{raw: raws[slot[ids[pos]]]}
+			if timed {
+				// The exchange cost is shared by the samples it carried.
+				res.latency = elapsed / time.Duration(len(positions))
+			}
+			out[pos] = res
 		}
-		out[pos] = res
 	}
 	return out, nil
 }
@@ -150,9 +268,10 @@ type graphResult struct {
 }
 
 // decodeResults runs the two-sided fetch path and decodes the results into
-// the Load return shape.
-func (s *Store) decodeResults(ids []int64, timed bool) ([]*graph.Graph, []time.Duration, error) {
-	results, err := s.loadTwoSided(ids, timed)
+// the Load return shape. Follower positions (nil results) are left for
+// fillFollowers.
+func (s *Store) decodeResults(ids []int64, timed bool, resolved map[int64][]byte, flights map[int64]*cache.Flight, followers map[int64]*cache.Flight) ([]*graph.Graph, []time.Duration, error) {
+	results, err := s.loadTwoSided(ids, timed, resolved, flights, followers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -162,6 +281,9 @@ func (s *Store) decodeResults(ids []int64, timed bool) ([]*graph.Graph, []time.D
 		lat = make([]time.Duration, len(ids))
 	}
 	for pos, res := range results {
+		if res == nil {
+			continue // coalesced follower; filled after Wait
+		}
 		g, err := graph.Decode(res.raw)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: decode sample %d: %w", ids[pos], err)

@@ -27,6 +27,7 @@ import (
 	"sort"
 	"time"
 
+	"ddstore/internal/cache"
 	"ddstore/internal/comm"
 	"ddstore/internal/graph"
 	"ddstore/internal/trace"
@@ -68,6 +69,16 @@ type Options struct {
 	// remote chunks are fetched (DialGroup). The zero value means the
 	// transport defaults; the in-process RMA path ignores it.
 	Net transport.RetryPolicy
+	// CacheBytes, if positive, adds a byte-budgeted cache over remotely
+	// fetched sample bytes: repeat loads of a cached id cost a memory read
+	// instead of a fetch, and concurrent misses for the same id (e.g. the
+	// prefetch worker racing the training loop) coalesce into one fetch.
+	// Local-chunk reads bypass the cache — they are already memory reads.
+	// The same budget is threaded into DialGroup for the TCP plane.
+	CacheBytes int64
+	// CachePolicy selects the cache's eviction policy (default LRU; FIFO
+	// and Clock exist for the eviction ablation).
+	CachePolicy cache.Policy
 }
 
 // entry locates one sample inside its replica group.
@@ -98,6 +109,7 @@ type Store struct {
 	myHi   int64
 	prof   *trace.Profiler
 	opts   Options
+	cache  *cache.Cache // remote-sample cache; nil when CacheBytes <= 0
 
 	// respDone signals two-sided responder shutdown (nil for RMA stores).
 	respDone chan struct{}
@@ -165,6 +177,13 @@ func Open(c *comm.Comm, src SampleSource, opts Options) (*Store, error) {
 		nodeDim:   src.NodeFeatDim(),
 		edgeDim:   src.EdgeFeatDim(),
 		prof:      opts.Profiler,
+	}
+	if opts.CacheBytes > 0 {
+		copts := cache.Options{MaxBytes: opts.CacheBytes, Policy: opts.CachePolicy}
+		if s.prof != nil {
+			copts.Counters = s.prof
+		}
+		s.cache = cache.New(copts)
 	}
 
 	// Replica groups: w consecutive ranks per group, matching node-packed
@@ -304,6 +323,19 @@ func (s *Store) MemoryBytes() int64 { return int64(len(s.buf)) }
 // Stats returns the loader traffic counters.
 func (s *Store) Stats() Stats { return s.stats }
 
+// Cache returns the store's remote-sample cache, or nil when the store
+// was opened without one (Options.CacheBytes <= 0).
+func (s *Store) Cache() *cache.Cache { return s.cache }
+
+// CacheStats returns the remote-sample cache's counters; the zero Stats
+// when the store has no cache.
+func (s *Store) CacheStats() cache.Stats {
+	if s.cache == nil {
+		return cache.Stats{}
+	}
+	return s.cache.Stats()
+}
+
 // OwnerOf returns the group rank owning sample id.
 func (s *Store) OwnerOf(id int64) (int, error) {
 	if id < 0 || id >= int64(s.total) {
@@ -331,20 +363,153 @@ func (s *Store) LoadTimed(ids []int64) ([]*graph.Graph, []time.Duration, error) 
 }
 
 func (s *Store) load(ids []int64, timed bool) ([]*graph.Graph, []time.Duration, error) {
+	// Claim remote ids against the cache first: hits are served from
+	// memory, and exactly one loader (here or in another goroutine) leads
+	// the fetch of each missing id.
+	resolved, flights, followers := s.claimRemote(ids)
+	var out []*graph.Graph
+	var lat []time.Duration
+	var err error
 	if s.opts.Framework == FrameworkTwoSided {
-		return s.decodeResults(ids, timed)
+		out, lat, err = s.decodeResults(ids, timed, resolved, flights, followers)
+	} else {
+		out, lat, err = s.loadRMA(ids, timed, resolved, flights, followers)
 	}
+	if err != nil {
+		// Complete the flights this load leads, or every coalesced waiter
+		// would block forever.
+		for _, f := range flights {
+			f.Fail(err)
+		}
+		return nil, nil, err
+	}
+	if len(followers) > 0 {
+		if err := s.fillFollowers(ids, out, lat, followers); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, lat, nil
+}
+
+// claimRemote claims every unique remote id in the batch against the
+// cache. Local ids bypass the cache entirely — they are already memory
+// reads. Returns cache-hit bytes, the flights this load must complete
+// (leader), and the flights another loader is completing (follower). All
+// returns are nil when the store has no cache.
+func (s *Store) claimRemote(ids []int64) (resolved map[int64][]byte, flights, followers map[int64]*cache.Flight) {
+	if s.cache == nil {
+		return nil, nil, nil
+	}
+	me := s.group.Rank()
+	seen := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		owner, err := s.OwnerOf(id)
+		if err != nil || owner == me {
+			continue // invalid ids error in the loader; local reads bypass
+		}
+		val, f := s.cache.Claim(id)
+		switch {
+		case f == nil:
+			if resolved == nil {
+				resolved = map[int64][]byte{}
+			}
+			resolved[id] = val
+		case f.Leader():
+			if flights == nil {
+				flights = map[int64]*cache.Flight{}
+			}
+			flights[id] = f
+		default:
+			if followers == nil {
+				followers = map[int64]*cache.Flight{}
+			}
+			followers[id] = f
+		}
+	}
+	return resolved, flights, followers
+}
+
+// deliverFlight completes the flight for id (if this load leads one) with
+// freshly fetched, decode-validated bytes: the cache keeps them and every
+// coalesced waiter is woken.
+func (s *Store) deliverFlight(flights map[int64]*cache.Flight, id int64, raw []byte) {
+	if f, ok := flights[id]; ok {
+		f.Deliver(raw)
+		delete(flights, id)
+	}
+}
+
+// fillFollowers waits for the fetches another loader leads and fills their
+// positions. Reading the delivered bytes costs a local memory read.
+func (s *Store) fillFollowers(ids []int64, out []*graph.Graph, lat []time.Duration, followers map[int64]*cache.Flight) error {
+	for id, f := range followers {
+		before := s.world.Clock().Now()
+		raw, err := f.Wait()
+		if err != nil {
+			return fmt.Errorf("core: coalesced fetch of sample %d: %w", id, err)
+		}
+		if m := s.world.Machine(); m != nil {
+			s.world.Clock().Advance(m.LocalRead(int64(len(raw))))
+		}
+		g, err := graph.Decode(raw)
+		if err != nil {
+			return fmt.Errorf("core: decode coalesced sample %d: %w", id, err)
+		}
+		elapsed := s.world.Clock().Now() - before
+		for pos, pid := range ids {
+			if pid != id {
+				continue
+			}
+			out[pos] = g
+			if lat != nil {
+				lat[pos] = elapsed
+			}
+		}
+	}
+	return nil
+}
+
+// loadRMA is the Load path for FrameworkRMA (the paper's design).
+func (s *Store) loadRMA(ids []int64, timed bool, resolved map[int64][]byte, flights, followers map[int64]*cache.Flight) ([]*graph.Graph, []time.Duration, error) {
 	out := make([]*graph.Graph, len(ids))
 	var lat []time.Duration
 	if timed {
 		lat = make([]time.Duration, len(ids))
 	}
-	// Group requested positions by owner.
+	rmaStart := s.world.Clock().Now()
+	me := s.group.Rank()
+	// Group requested positions by owner. Cache-hit positions are served
+	// inline (a memory read, no owner involvement); follower positions are
+	// left for fillFollowers.
 	byOwner := make(map[int][]int)
 	for pos, id := range ids {
 		owner, err := s.OwnerOf(id)
 		if err != nil {
 			return nil, nil, err
+		}
+		if owner != me {
+			if raw, ok := resolved[id]; ok {
+				before := s.world.Clock().Now()
+				if m := s.world.Machine(); m != nil {
+					s.world.Clock().Advance(m.LocalRead(int64(len(raw))))
+				}
+				g, derr := graph.Decode(raw)
+				if derr != nil {
+					return nil, nil, fmt.Errorf("core: decode cached sample %d: %w", id, derr)
+				}
+				out[pos] = g
+				if timed {
+					lat[pos] = s.world.Clock().Now() - before
+				}
+				continue
+			}
+			if _, ok := followers[id]; ok {
+				continue
+			}
 		}
 		byOwner[owner] = append(byOwner[owner], pos)
 	}
@@ -353,9 +518,6 @@ func (s *Store) load(ids []int64, timed bool) ([]*graph.Graph, []time.Duration, 
 		owners = append(owners, owner)
 	}
 	sort.Ints(owners)
-
-	rmaStart := s.world.Clock().Now()
-	me := s.group.Rank()
 	for _, owner := range owners {
 		positions := byOwner[owner]
 		if owner == me {
@@ -403,6 +565,7 @@ func (s *Store) load(ids []int64, timed bool) ([]*graph.Graph, []time.Duration, 
 				if err != nil {
 					return nil, nil, fmt.Errorf("core: decode remote sample %d: %w", id, err)
 				}
+				s.deliverFlight(flights, id, dst)
 				out[pos] = g
 				s.stats.RemoteGets++
 				s.stats.BytesRemote += int64(e.length)
@@ -447,6 +610,7 @@ func (s *Store) load(ids []int64, timed bool) ([]*graph.Graph, []time.Duration, 
 					s.win.Unlock(owner)
 					return nil, nil, fmt.Errorf("core: decode remote sample %d: %w", ids[pos], err)
 				}
+				s.deliverFlight(flights, ids[pos], bufs[i])
 				out[pos] = g
 				if timed {
 					lat[pos] = elapsed / time.Duration(len(positions))
@@ -475,6 +639,7 @@ func (s *Store) load(ids []int64, timed bool) ([]*graph.Graph, []time.Duration, 
 				s.win.Unlock(owner)
 				return nil, nil, fmt.Errorf("core: decode remote sample %d: %w", id, err)
 			}
+			s.deliverFlight(flights, id, dst)
 			out[pos] = g
 			s.stats.RemoteGets++
 			s.stats.BytesRemote += int64(e.length)
@@ -527,7 +692,11 @@ func (s *Store) ServeTCP(addr string) (*transport.Server, error) {
 // replica group — using the store's retry policy, and records the data
 // plane's retry/failover/timeout counters into the store's profiler.
 func (s *Store) DialGroup(replicas [][]string) (*transport.Group, error) {
-	opts := transport.GroupOptions{Client: transport.ClientOptions{Policy: s.opts.Net}}
+	opts := transport.GroupOptions{
+		Client:      transport.ClientOptions{Policy: s.opts.Net},
+		CacheBytes:  s.opts.CacheBytes,
+		CachePolicy: s.opts.CachePolicy,
+	}
 	if s.prof != nil {
 		opts.Client.Counters = s.prof
 	}

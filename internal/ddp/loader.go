@@ -3,6 +3,7 @@ package ddp
 import (
 	"time"
 
+	"ddstore/internal/cache"
 	"ddstore/internal/core"
 	"ddstore/internal/graph"
 )
@@ -28,6 +29,11 @@ func (l *StoreLoader) Len() int { return l.Store.Len() }
 func (l *StoreLoader) LoadBatch(ids []int64) ([]*graph.Graph, []time.Duration, error) {
 	return l.Store.LoadTimed(ids)
 }
+
+// CacheStats reports the store's remote-sample cache counters — the zero
+// Stats when the store was opened without a cache (core.Options.CacheBytes
+// <= 0).
+func (l *StoreLoader) CacheStats() cache.Stats { return l.Store.CacheStats() }
 
 // TimedSource is a SampleSource that can report per-read modeled latency
 // (the simulated PFF/CFF readers implement it).

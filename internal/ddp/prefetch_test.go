@@ -108,6 +108,60 @@ func TestPrefetchOverlapsLoading(t *testing.T) {
 	}
 }
 
+// TestPrefetchMismatchDrainsOutstanding hammers the out-of-order path: a
+// stream of Enqueue/LoadBatch pairs whose ids never match must drain the
+// outstanding counter one stale result at a time (each mismatch consumes
+// one prefetched batch and falls back synchronously), leave no results
+// queued, and never wedge a Close behind a stuck worker.
+func TestPrefetchMismatchDrainsOutstanding(t *testing.T) {
+	inner := newSlowLoader(t, 100, 0)
+	p := NewPrefetchLoader(inner, 2)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := int64(0); i < 20; i++ {
+			p.Enqueue([]int64{i})
+			// Always request different ids than were enqueued.
+			graphs, _, err := p.LoadBatch([]int64{50 + i})
+			if err != nil {
+				t.Errorf("mismatched load %d: %v", i, err)
+				return
+			}
+			if len(graphs) != 1 || graphs[0].ID != 50+i {
+				t.Errorf("mismatched load %d returned wrong batch", i)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("mismatched enqueue/load stream deadlocked")
+	}
+	if t.Failed() {
+		return
+	}
+	if n := p.outstanding.Load(); n != 0 {
+		t.Fatalf("outstanding = %d after draining every mismatch, want 0", n)
+	}
+
+	// Refill the queue to capacity and abandon it: Close must still return
+	// promptly, and the loader must stay safe to use for synchronous loads.
+	p.Enqueue([]int64{1})
+	p.Enqueue([]int64{2})
+	closed := make(chan struct{})
+	go func() {
+		p.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close deadlocked behind abandoned prefetched batches")
+	}
+}
+
 func TestPrefetchCloseIdempotent(t *testing.T) {
 	p := NewPrefetchLoader(newSlowLoader(t, 10, 0), 1)
 	p.Close()

@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Multi-get framing. A batch request is the fixed 17-byte header
+// (op=opGetBatch, a=count, b=reserved) followed by count little-endian
+// u64 sample ids. The response payload is count length-prefixed entries:
+// u32 byte length, then that many encoded-graph bytes, in request order.
+// The whole response still rides the standard 9-byte head, so the existing
+// CRC32 checksum, deadline, and retry machinery covers batches unchanged.
+
+// maxBatchIDs bounds how many ids one batch request may carry, so a
+// hostile count cannot make the server read or allocate without limit
+// (4096 ids = a 32 KiB request body).
+const maxBatchIDs = 4096
+
+// encodeBatchIDs packs ids into the batch request body.
+func encodeBatchIDs(ids []int64) []byte {
+	body := make([]byte, 8*len(ids))
+	for i, id := range ids {
+		binary.LittleEndian.PutUint64(body[8*i:], uint64(id))
+	}
+	return body
+}
+
+// decodeBatchIDs unpacks a batch request body. The body length has
+// already been fixed by the validated count, so this cannot fail.
+func decodeBatchIDs(body []byte, count int) []int64 {
+	ids := make([]int64, count)
+	for i := range ids {
+		ids[i] = int64(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	return ids
+}
+
+// encodeBatchPayload frames each part as u32 length + bytes.
+func encodeBatchPayload(parts [][]byte) []byte {
+	total := 0
+	for _, p := range parts {
+		total += 4 + len(p)
+	}
+	payload := make([]byte, 0, total)
+	var lenBuf [4]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(p)))
+		payload = append(payload, lenBuf[:]...)
+		payload = append(payload, p...)
+	}
+	return payload
+}
+
+// decodeBatchPayload splits a batch response back into its parts. Every
+// length is bounds-checked against the remaining bytes and the entry count
+// against maxBatchIDs, so a corrupt or hostile payload cannot cause an
+// out-of-range read or unbounded allocation. Parts alias the payload
+// (three-index slicing keeps appends from bleeding between parts).
+func decodeBatchPayload(payload []byte) ([][]byte, error) {
+	var parts [][]byte
+	rest := payload
+	for len(rest) > 0 {
+		if len(parts) >= maxBatchIDs {
+			return nil, fmt.Errorf("transport: batch response exceeds %d entries", maxBatchIDs)
+		}
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("transport: truncated batch entry header (%d bytes left)", len(rest))
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if uint64(n) > uint64(len(rest)) {
+			return nil, fmt.Errorf("transport: batch entry claims %d bytes, %d remain", n, len(rest))
+		}
+		parts = append(parts, rest[:n:n])
+		rest = rest[n:]
+	}
+	return parts, nil
+}

@@ -114,10 +114,16 @@ func (c *Client) Close() error {
 // transport-level failure (broken conn, deadline, checksum reject) drops
 // the connection, backs off, re-dials, and retries. Remote application
 // errors are returned immediately. All ops are idempotent reads, so a
-// retry is always safe.
-func (c *Client) roundTrip(op byte, a, b int64) ([]byte, error) {
+// retry is always safe. extra is the request body following the header
+// (batch ids); nil for body-less ops.
+//
+// Each call counts as one logical round trip (retries are tallied
+// separately under CounterRetries) — the counter the batching tests use to
+// prove B samples cost ⌈B/maxBatch⌉ round trips instead of B.
+func (c *Client) roundTrip(op byte, a, b int64, extra []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.counters.Inc(CounterRoundTrips, 1)
 	var lastErr error
 	for attempt := 0; attempt < c.policy.MaxAttempts; attempt++ {
 		if c.closed {
@@ -141,7 +147,7 @@ func (c *Client) roundTrip(op byte, a, b int64) ([]byte, error) {
 				c.counters.Inc(CounterReconnects, 1)
 			}
 		}
-		payload, err := c.exchange(op, a, b)
+		payload, err := c.exchange(op, a, b, extra)
 		if err == nil {
 			return payload, nil
 		}
@@ -168,16 +174,19 @@ func (c *Client) roundTrip(op byte, a, b int64) ([]byte, error) {
 }
 
 // exchange performs one framed request/response on the live connection,
-// with per-operation deadlines and CRC verification.
-func (c *Client) exchange(op byte, a, b int64) ([]byte, error) {
-	var header [reqHeaderSize]byte
-	header[0] = op
-	binary.LittleEndian.PutUint64(header[1:], uint64(a))
-	binary.LittleEndian.PutUint64(header[9:], uint64(b))
+// with per-operation deadlines and CRC verification. Header and body go
+// out in a single write so a retried request never leaves a half frame
+// behind counters or fault injectors that account per write.
+func (c *Client) exchange(op byte, a, b int64, extra []byte) ([]byte, error) {
+	req := make([]byte, reqHeaderSize+len(extra))
+	req[0] = op
+	binary.LittleEndian.PutUint64(req[1:], uint64(a))
+	binary.LittleEndian.PutUint64(req[9:], uint64(b))
+	copy(req[reqHeaderSize:], extra)
 	if c.policy.WriteTimeout > 0 {
 		c.conn.SetWriteDeadline(time.Now().Add(c.policy.WriteTimeout))
 	}
-	if _, err := c.conn.Write(header[:]); err != nil {
+	if _, err := c.conn.Write(req); err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
 	}
 	if c.policy.ReadTimeout > 0 {
@@ -220,7 +229,7 @@ func (c *Client) exchange(op byte, a, b int64) ([]byte, error) {
 
 // Meta fetches the server's chunk range.
 func (c *Client) Meta() (lo, hi int64, err error) {
-	payload, err := c.roundTrip(opMeta, 0, 0)
+	payload, err := c.roundTrip(opMeta, 0, 0, nil)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -233,16 +242,56 @@ func (c *Client) Meta() (lo, hi int64, err error) {
 
 // Get fetches and decodes one sample.
 func (c *Client) Get(id int64) (*graph.Graph, error) {
-	payload, err := c.roundTrip(opGet, id, 0)
+	payload, err := c.roundTrip(opGet, id, 0, nil)
 	if err != nil {
 		return nil, err
 	}
 	return graph.Decode(payload)
 }
 
+// GetBatchRaw fetches the encoded bytes of an arbitrary id list in one
+// round trip. Every id must be in this server's chunk; the result is
+// aligned with ids. The raw form exists so callers that cache or relay
+// encoded bytes (Group, core.Store) avoid a decode/re-encode cycle.
+func (c *Client) GetBatchRaw(ids []int64) ([][]byte, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	if len(ids) > maxBatchIDs {
+		return nil, fmt.Errorf("transport: batch of %d ids exceeds the %d-id limit", len(ids), maxBatchIDs)
+	}
+	payload, err := c.roundTrip(opGetBatch, int64(len(ids)), 0, encodeBatchIDs(ids))
+	if err != nil {
+		return nil, err
+	}
+	parts, err := decodeBatchPayload(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) != len(ids) {
+		return nil, fmt.Errorf("transport: got %d payloads for %d requested ids", len(parts), len(ids))
+	}
+	return parts, nil
+}
+
+// GetBatch fetches and decodes an arbitrary id list in one round trip.
+func (c *Client) GetBatch(ids []int64) ([]*graph.Graph, error) {
+	parts, err := c.GetBatchRaw(ids)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*graph.Graph, len(parts))
+	for i, p := range parts {
+		if out[i], err = graph.Decode(p); err != nil {
+			return nil, fmt.Errorf("transport: sample %d: %w", ids[i], err)
+		}
+	}
+	return out, nil
+}
+
 // GetRange fetches and decodes samples [lo, hi).
 func (c *Client) GetRange(lo, hi int64) ([]*graph.Graph, error) {
-	payload, err := c.roundTrip(opMulti, lo, hi)
+	payload, err := c.roundTrip(opMulti, lo, hi, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -27,6 +27,8 @@ func FuzzRoundTrip(f *testing.F) {
 	f.Add(reqBytes(opMulti, 1, 6))
 	f.Add(append(reqBytes(opMeta, 0, 0), reqBytes(opGet, 7, 0)...))
 	f.Add(reqBytes(99, -1, 1<<40))
+	f.Add(append(reqBytes(opGetBatch, 2, 0), encodeBatchIDs([]int64{3, 5})...))
+	f.Add(reqBytes(opGetBatch, maxBatchIDs+1, 0))
 	// A valid OK response frame seeds the client-side path too.
 	f.Add([]byte{statusOK, 16, 0, 0, 0, 0, 0, 0, 0})
 

@@ -3,9 +3,11 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"ddstore/internal/cache"
 	"ddstore/internal/graph"
 )
 
@@ -19,6 +21,19 @@ type GroupOptions struct {
 	// every Get. Quarantined peers are still tried as a last resort.
 	// Default 1s; negative disables quarantine.
 	FailoverCooldown time.Duration
+	// MaxBatch caps how many samples one multi-get request carries.
+	// Default 64; the protocol limit is 4096.
+	MaxBatch int
+	// CacheBytes, if positive, adds a byte-budgeted cache over fetched
+	// sample bytes: repeat loads of a cached id cost no round trip, and
+	// concurrent misses for one id are coalesced into a single fetch.
+	CacheBytes int64
+	// CachePolicy selects the cache eviction policy (default LRU).
+	CachePolicy cache.Policy
+	// CacheShards overrides the cache's shard count (default 8). The byte
+	// budget is split evenly across shards, so a lightly-threaded client
+	// can set 1 to make the budget exact at the cost of lock sharing.
+	CacheShards int
 }
 
 // member is one peer of one replica group.
@@ -53,6 +68,8 @@ type Group struct {
 	replicas []*replicaSet
 	counters Counters
 	cooldown time.Duration
+	maxBatch int
+	cache    *cache.Cache // nil when CacheBytes <= 0
 
 	mu      sync.Mutex
 	suspect map[[2]int]time.Time // {replica, member} -> quarantine expiry
@@ -81,6 +98,21 @@ func NewGroupReplicas(replicas [][]string, opts GroupOptions) (*Group, error) {
 	}
 	if g.cooldown == 0 {
 		g.cooldown = time.Second
+	}
+	g.maxBatch = opts.MaxBatch
+	if g.maxBatch <= 0 {
+		g.maxBatch = 64
+	}
+	if g.maxBatch > maxBatchIDs {
+		g.maxBatch = maxBatchIDs
+	}
+	if opts.CacheBytes > 0 {
+		g.cache = cache.New(cache.Options{
+			MaxBytes: opts.CacheBytes,
+			Policy:   opts.CachePolicy,
+			Shards:   opts.CacheShards,
+			Counters: g.counters,
+		})
 	}
 	for ri, addrs := range replicas {
 		rs := &replicaSet{}
@@ -174,64 +206,234 @@ func (g *Group) clearSuspect(ri, mi int) {
 	g.mu.Unlock()
 }
 
-// Get fetches one sample. The preferred replica rotates with the sample id
-// to spread load; on failure the sample is retried against the owning peer
-// of each other replica before an error surfaces. Quarantined peers are
-// deferred to a last-resort pass so a dead host does not cost the full
-// retry schedule on every sample.
+// Get fetches one sample: a one-element Load, with the same caching,
+// failover, and quarantine behaviour.
 func (g *Group) Get(id int64) (*graph.Graph, error) {
-	n := len(g.replicas)
-	if n == 0 || id < g.replicas[0].lo || id >= g.replicas[0].hi {
-		return nil, fmt.Errorf("transport: no peer holds sample %d", id)
+	out, err := g.Load([]int64{id})
+	if err != nil {
+		return nil, err
 	}
-	start := int(id) % n
-	if start < 0 {
-		start = 0
-	}
-	var lastErr error
-	attempts := 0
-	for _, lastResort := range []bool{false, true} {
-		for k := 0; k < n; k++ {
-			ri := (start + k) % n
-			mi := g.replicas[ri].ownerOf(id)
-			if mi < 0 {
-				continue
-			}
-			if g.inCooldown(ri, mi) != lastResort {
-				continue
-			}
-			gph, err := g.replicas[ri].members[mi].cl.Get(id)
-			if err == nil {
-				if attempts > 0 {
-					g.counters.Inc(CounterFailovers, 1)
-				}
-				g.clearSuspect(ri, mi)
-				return gph, nil
-			}
-			attempts++
-			lastErr = err
-			var rerr *RemoteError
-			if !errors.As(err, &rerr) {
-				// Transport-level failure: the peer may be down.
-				g.markSuspect(ri, mi)
-			}
-		}
-	}
-	return nil, fmt.Errorf("transport: sample %d failed on all %d replicas: %w", id, n, lastErr)
+	return out[0], nil
 }
 
 // Load fetches a batch of samples (any order), like core.Store.Load but
-// over TCP with failover.
+// over TCP. Cache hits are served from memory; misses are grouped by their
+// preferred replica and owning peer, fetched maxBatch ids per round trip,
+// and failed over to the owners in other replicas when a peer is
+// unreachable or serves corrupt bytes. Concurrent Loads claiming the same
+// missing id coalesce into one fetch via the cache's flight table.
 func (g *Group) Load(ids []int64) ([]*graph.Graph, error) {
-	out := make([]*graph.Graph, len(ids))
-	for i, id := range ids {
-		gph, err := g.Get(id)
-		if err != nil {
-			return nil, err
+	n := len(g.replicas)
+	if n == 0 {
+		return nil, errors.New("transport: group has no replicas")
+	}
+	lo, hi := g.replicas[0].lo, g.replicas[0].hi
+	results := make(map[int64]*graph.Graph, len(ids))
+	positions := make(map[int64][]int, len(ids))
+	var fetchIDs []int64                 // unique misses this call leads
+	flights := map[int64]*cache.Flight{} // leader flights still to complete
+	followers := map[int64]*cache.Flight{}
+
+	// Any error return must complete the flights this call leads, or every
+	// coalesced waiter would block forever.
+	fail := func(err error) error {
+		for _, f := range flights {
+			f.Fail(err)
 		}
-		out[i] = gph
+		return err
+	}
+
+	for i, id := range ids {
+		if ps, seen := positions[id]; seen {
+			positions[id] = append(ps, i)
+			continue
+		}
+		positions[id] = []int{i}
+		if id < lo || id >= hi {
+			return nil, fail(fmt.Errorf("transport: no peer holds sample %d", id))
+		}
+		if g.cache == nil {
+			fetchIDs = append(fetchIDs, id)
+			continue
+		}
+		val, f := g.cache.Claim(id)
+		switch {
+		case f == nil:
+			gph, err := graph.Decode(val)
+			if err != nil {
+				// Cannot happen: only decode-validated bytes are cached.
+				return nil, fail(fmt.Errorf("transport: cached sample %d: %w", id, err))
+			}
+			results[id] = gph
+		case f.Leader():
+			fetchIDs = append(fetchIDs, id)
+			flights[id] = f
+		default:
+			followers[id] = f
+		}
+	}
+
+	if len(fetchIDs) > 0 {
+		err := g.fetchMissing(fetchIDs, func(id int64, raw []byte, gph *graph.Graph) {
+			results[id] = gph
+			if f, ok := flights[id]; ok {
+				f.Deliver(raw)
+				delete(flights, id)
+			}
+		})
+		if err != nil {
+			return nil, fail(err)
+		}
+	}
+	// Followers wait only after our own fetches delivered, so one Load
+	// carrying both the leader and a follower of the same id cannot
+	// deadlock against itself.
+	for id, f := range followers {
+		raw, err := f.Wait()
+		if err != nil {
+			return nil, fail(fmt.Errorf("transport: coalesced fetch of sample %d: %w", id, err))
+		}
+		gph, err := graph.Decode(raw)
+		if err != nil {
+			return nil, fail(fmt.Errorf("transport: coalesced sample %d: %w", id, err))
+		}
+		results[id] = gph
+	}
+
+	out := make([]*graph.Graph, len(ids))
+	for id, ps := range positions {
+		for _, p := range ps {
+			out[p] = results[id]
+		}
 	}
 	return out, nil
+}
+
+// fetchMissing fetches unique ids from their owning peers, batching up to
+// maxBatch ids per round trip. Ids are grouped by (preferred replica,
+// owning member); each chunk fails over independently. deliver is called
+// once per id with decode-validated raw bytes.
+func (g *Group) fetchMissing(ids []int64, deliver func(id int64, raw []byte, gph *graph.Graph)) error {
+	n := len(g.replicas)
+	groups := map[[2]int][]int64{}
+	for _, id := range ids {
+		ri := int(id) % n
+		if ri < 0 {
+			ri = 0
+		}
+		mi := g.replicas[ri].ownerOf(id)
+		groups[[2]int{ri, mi}] = append(groups[[2]int{ri, mi}], id)
+	}
+	// Deterministic request order regardless of map iteration.
+	keys := make([][2]int, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, k := range keys {
+		chunk := groups[k]
+		sort.Slice(chunk, func(a, b int) bool { return chunk[a] < chunk[b] })
+		for len(chunk) > 0 {
+			m := len(chunk)
+			if m > g.maxBatch {
+				m = g.maxBatch
+			}
+			if err := g.fetchChunk(k[0], chunk[:m], deliver); err != nil {
+				return err
+			}
+			chunk = chunk[m:]
+		}
+	}
+	return nil
+}
+
+// fetchChunk fetches one owner-grouped chunk of at most maxBatch ids,
+// starting at the preferred replica and failing the still-missing ids over
+// to the owners in the other replicas. Quarantined peers are deferred to a
+// last-resort pass, exactly like the single-sample path used to do.
+func (g *Group) fetchChunk(start int, ids []int64, deliver func(id int64, raw []byte, gph *graph.Graph)) error {
+	n := len(g.replicas)
+	missing := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		missing[id] = true
+	}
+	var lastErr error
+	for _, lastResort := range []bool{false, true} {
+		for k := 0; k < n && len(missing) > 0; k++ {
+			ri := (start + k) % n
+			// Regroup the leftovers by owner in THIS replica — chunk
+			// boundaries may differ between replicas.
+			byOwner := map[int][]int64{}
+			for id := range missing {
+				if mi := g.replicas[ri].ownerOf(id); mi >= 0 {
+					byOwner[mi] = append(byOwner[mi], id)
+				}
+			}
+			members := make([]int, 0, len(byOwner))
+			for mi := range byOwner {
+				members = append(members, mi)
+			}
+			sort.Ints(members)
+			for _, mi := range members {
+				if g.inCooldown(ri, mi) != lastResort {
+					continue
+				}
+				want := byOwner[mi]
+				sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+				raws, err := g.replicas[ri].members[mi].cl.GetBatchRaw(want)
+				if err != nil {
+					lastErr = err
+					var rerr *RemoteError
+					if !errors.As(err, &rerr) {
+						// Transport-level failure: the peer may be down.
+						g.markSuspect(ri, mi)
+					}
+					continue
+				}
+				healthy := true
+				for j, id := range want {
+					gph, derr := graph.Decode(raws[j])
+					if derr != nil {
+						// The frame passed CRC, so the peer is serving
+						// corrupt source bytes: leave the id missing for
+						// another replica and avoid this peer for a while.
+						lastErr = fmt.Errorf("transport: sample %d from replica %d: %w", id, ri, derr)
+						healthy = false
+						continue
+					}
+					delete(missing, id)
+					if k > 0 || lastResort {
+						g.counters.Inc(CounterFailovers, 1)
+					}
+					deliver(id, raws[j], gph)
+				}
+				if healthy {
+					g.clearSuspect(ri, mi)
+				} else {
+					g.markSuspect(ri, mi)
+				}
+			}
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("transport: %d of %d samples failed on all %d replicas: %w",
+			len(missing), len(ids), n, lastErr)
+	}
+	return nil
+}
+
+// CacheStats returns the group's cache counters; the zero Stats when the
+// group was built without a cache.
+func (g *Group) CacheStats() cache.Stats {
+	if g.cache == nil {
+		return cache.Stats{}
+	}
+	return g.cache.Stats()
 }
 
 // GroupLoader adapts a Group to the batch-loading contract of the DDP

@@ -107,6 +107,7 @@ type Counters interface {
 
 // Counter names recorded by the TCP data plane.
 const (
+	CounterRoundTrips     = "net-roundtrips"      // logical request/response operations issued
 	CounterRetries        = "net-retries"         // operation attempts beyond the first
 	CounterReconnects     = "net-reconnects"      // successful re-dials after a broken conn
 	CounterTimeouts       = "net-timeouts"        // deadline-expired operations

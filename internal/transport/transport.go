@@ -38,9 +38,10 @@ import (
 // IEEE CRC32 over the payload, so a flipped bit anywhere in the frame is
 // detected by either the length bound or the checksum.
 const (
-	opMeta  = 1 // request chunk metadata; response payload: lo i64, hi i64
-	opGet   = 2 // request sample a; response payload: encoded graph
-	opMulti = 3 // request samples [a, b); response payload: concatenated graphs
+	opMeta     = 1 // request chunk metadata; response payload: lo i64, hi i64
+	opGet      = 2 // request sample a; response payload: encoded graph
+	opMulti    = 3 // request samples [a, b); response payload: concatenated graphs
+	opGetBatch = 4 // request a ids (listed in the body); response: length-prefixed graphs
 
 	statusOK    = 0
 	statusError = 1
@@ -211,6 +212,13 @@ func (s *Server) checkHeader(op byte, a, b int64) error {
 			return fmt.Errorf("range [%d,%d) outside chunk [%d,%d)", a, b, lo, hi)
 		}
 		return nil
+	case opGetBatch:
+		// a is the id count; the ids themselves follow the header and are
+		// range-checked after they are read. b is reserved.
+		if a < 1 || a > maxBatchIDs {
+			return fmt.Errorf("batch count %d outside [1,%d]", a, maxBatchIDs)
+		}
+		return nil
 	default:
 		return fmt.Errorf("unknown op %d", op)
 	}
@@ -230,6 +238,13 @@ func (s *Server) handle(conn net.Conn) {
 		b := int64(binary.LittleEndian.Uint64(header[9:]))
 		var payload []byte
 		err := s.checkHeader(op, a, b)
+		if err != nil && op == opGetBatch {
+			// An invalid batch count means the length of the request body
+			// (8 bytes per id) is unknown, so the stream cannot be
+			// resynchronized: report the error, then drop the connection.
+			s.writeResponse(conn, nil, err)
+			return
+		}
 		if err == nil {
 			switch op {
 			case opMeta:
@@ -247,12 +262,40 @@ func (s *Server) handle(conn net.Conn) {
 					}
 					payload = append(payload, one...)
 				}
+			case opGetBatch:
+				// The count is validated, so the body length is trusted and
+				// the connection stays usable even if an id is out of range.
+				body := make([]byte, 8*a)
+				if _, rerr := io.ReadFull(conn, body); rerr != nil {
+					return
+				}
+				payload, err = s.batchPayload(decodeBatchIDs(body, int(a)))
 			}
 		}
 		if werr := s.writeResponse(conn, payload, err); werr != nil {
 			return
 		}
 	}
+}
+
+// batchPayload gathers the requested samples into the length-prefixed
+// batch response framing. Any out-of-range id fails the whole batch — the
+// client grouped the ids by owner, so a stray id is a protocol error, not
+// a partial-result situation.
+func (s *Server) batchPayload(ids []int64) ([]byte, error) {
+	lo, hi := s.src.LocalRange()
+	parts := make([][]byte, len(ids))
+	for i, id := range ids {
+		if id < lo || id >= hi {
+			return nil, fmt.Errorf("sample %d outside chunk [%d,%d)", id, lo, hi)
+		}
+		one, err := s.src.LocalSampleBytes(id)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = one
+	}
+	return encodeBatchPayload(parts), nil
 }
 
 func (s *Server) writeResponse(conn net.Conn, payload []byte, err error) error {
