@@ -179,7 +179,13 @@ func (s *Store) fetchTwoSidedBatch(owner int, ids []int64) ([][]byte, error) {
 // loadTwoSided is the Load path for FrameworkTwoSided: remote misses are
 // grouped per owner and fetched with one multi-get RPC per owner per
 // batch, mirroring the per-owner lock amortization of the RMA path.
-func (s *Store) loadTwoSided(ids []int64, timed bool, resolved map[int64][]byte, flights map[int64]*cache.Flight, followers map[int64]*cache.Flight) ([]*graphResult, error) {
+// Owners are fetched concurrently under the same fan-out bound as the RMA
+// path; within one Load the workers exchange with distinct owners, and the
+// mailbox's source-filtered Recv keeps their responses apart. (Two
+// *separate* goroutines calling Load on the same two-sided store could
+// still steal each other's responses — that single-consumer constraint
+// predates the fan-out and is documented on the framework.)
+func (s *Store) loadTwoSided(ids []int64, timed bool, resolved map[int64][]byte, box *flightBox, followers map[int64]*cache.Flight) ([]*graphResult, error) {
 	out := make([]*graphResult, len(ids))
 	me := s.group.Rank()
 	byOwner := make(map[int][]int)
@@ -195,8 +201,8 @@ func (s *Store) loadTwoSided(ids []int64, timed bool, resolved map[int64][]byte,
 			if m := s.world.Machine(); m != nil {
 				s.world.Clock().Advance(m.LocalRead(int64(e.length)))
 			}
-			s.stats.LocalReads++
-			s.stats.BytesLocal += int64(e.length)
+			s.stats.localReads.Add(1)
+			s.stats.bytesLocal.Add(int64(e.length))
 			res := &graphResult{raw: raw}
 			if timed {
 				res.latency = s.world.Clock().Now() - before
@@ -227,7 +233,7 @@ func (s *Store) loadTwoSided(ids []int64, timed bool, resolved map[int64][]byte,
 		owners = append(owners, owner)
 	}
 	sort.Ints(owners)
-	for _, owner := range owners {
+	err := s.forEachOwner(owners, func(owner int) error {
 		positions := byOwner[owner]
 		// One multi-get per owner, over the unique ids of this batch.
 		uniq := make([]int64, 0, len(positions))
@@ -241,13 +247,13 @@ func (s *Store) loadTwoSided(ids []int64, timed bool, resolved map[int64][]byte,
 		before := s.world.Clock().Now()
 		raws, err := s.fetchTwoSidedBatch(owner, uniq)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		elapsed := s.world.Clock().Now() - before
 		for i, id := range uniq {
-			s.deliverFlight(flights, id, raws[i])
-			s.stats.RemoteGets++
-			s.stats.BytesRemote += int64(len(raws[i]))
+			box.deliver(id, raws[i])
+			s.stats.remoteGets.Add(1)
+			s.stats.bytesRemote.Add(int64(len(raws[i])))
 		}
 		for _, pos := range positions {
 			res := &graphResult{raw: raws[slot[ids[pos]]]}
@@ -257,6 +263,10 @@ func (s *Store) loadTwoSided(ids []int64, timed bool, resolved map[int64][]byte,
 			}
 			out[pos] = res
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -270,8 +280,8 @@ type graphResult struct {
 // decodeResults runs the two-sided fetch path and decodes the results into
 // the Load return shape. Follower positions (nil results) are left for
 // fillFollowers.
-func (s *Store) decodeResults(ids []int64, timed bool, resolved map[int64][]byte, flights map[int64]*cache.Flight, followers map[int64]*cache.Flight) ([]*graph.Graph, []time.Duration, error) {
-	results, err := s.loadTwoSided(ids, timed, resolved, flights, followers)
+func (s *Store) decodeResults(ids []int64, timed bool, resolved map[int64][]byte, box *flightBox, followers map[int64]*cache.Flight) ([]*graph.Graph, []time.Duration, error) {
+	results, err := s.loadTwoSided(ids, timed, resolved, box, followers)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -79,6 +79,14 @@ type Options struct {
 	// CachePolicy selects the cache's eviction policy (default LRU; FIFO
 	// and Clock exist for the eviction ablation).
 	CachePolicy cache.Policy
+	// FetchParallelism bounds how many owners one Load fetches from
+	// concurrently: a batch touching k owners pays ~⌈k/FetchParallelism⌉
+	// round-trip times instead of k. 0 means min(#owners, GOMAXPROCS);
+	// 1 restores the serial per-owner loop exactly. Ignored (always
+	// serial) under a machine model, where fetch costs are charged to a
+	// deterministic virtual clock. The same budget is threaded into
+	// DialGroup for the TCP plane.
+	FetchParallelism int
 }
 
 // entry locates one sample inside its replica group.
@@ -114,8 +122,12 @@ type Store struct {
 	// respDone signals two-sided responder shutdown (nil for RMA stores).
 	respDone chan struct{}
 
-	// Stats accumulated by Load.
-	stats Stats
+	// Stats accumulated by Load (atomic: fetch workers and concurrent
+	// Load callers bump them without a lock).
+	stats statsCounters
+	// epochs refcounts shared-lock epochs so concurrent Loads (and the
+	// fan-out workers) can overlap access to the same owner.
+	epochs epochRefs
 }
 
 // Stats counts the loader's traffic.
@@ -320,8 +332,8 @@ func (s *Store) LocalRange() (lo, hi int64) { return s.myLo, s.myHi }
 // MemoryBytes returns the size of this rank's chunk buffer.
 func (s *Store) MemoryBytes() int64 { return int64(len(s.buf)) }
 
-// Stats returns the loader traffic counters.
-func (s *Store) Stats() Stats { return s.stats }
+// Stats returns a snapshot of the loader traffic counters.
+func (s *Store) Stats() Stats { return s.stats.snapshot() }
 
 // Cache returns the store's remote-sample cache, or nil when the store
 // was opened without one (Options.CacheBytes <= 0).
@@ -367,20 +379,19 @@ func (s *Store) load(ids []int64, timed bool) ([]*graph.Graph, []time.Duration, 
 	// memory, and exactly one loader (here or in another goroutine) leads
 	// the fetch of each missing id.
 	resolved, flights, followers := s.claimRemote(ids)
+	box := newFlightBox(flights)
 	var out []*graph.Graph
 	var lat []time.Duration
 	var err error
 	if s.opts.Framework == FrameworkTwoSided {
-		out, lat, err = s.decodeResults(ids, timed, resolved, flights, followers)
+		out, lat, err = s.decodeResults(ids, timed, resolved, box, followers)
 	} else {
-		out, lat, err = s.loadRMA(ids, timed, resolved, flights, followers)
+		out, lat, err = s.loadRMA(ids, timed, resolved, box, followers)
 	}
 	if err != nil {
 		// Complete the flights this load leads, or every coalesced waiter
 		// would block forever.
-		for _, f := range flights {
-			f.Fail(err)
-		}
+		box.failRemaining(err)
 		return nil, nil, err
 	}
 	if len(followers) > 0 {
@@ -433,16 +444,6 @@ func (s *Store) claimRemote(ids []int64) (resolved map[int64][]byte, flights, fo
 	return resolved, flights, followers
 }
 
-// deliverFlight completes the flight for id (if this load leads one) with
-// freshly fetched, decode-validated bytes: the cache keeps them and every
-// coalesced waiter is woken.
-func (s *Store) deliverFlight(flights map[int64]*cache.Flight, id int64, raw []byte) {
-	if f, ok := flights[id]; ok {
-		f.Deliver(raw)
-		delete(flights, id)
-	}
-}
-
 // fillFollowers waits for the fetches another loader leads and fills their
 // positions. Reading the delivered bytes costs a local memory read.
 func (s *Store) fillFollowers(ids []int64, out []*graph.Graph, lat []time.Duration, followers map[int64]*cache.Flight) error {
@@ -473,8 +474,13 @@ func (s *Store) fillFollowers(ids []int64, out []*graph.Graph, lat []time.Durati
 	return nil
 }
 
-// loadRMA is the Load path for FrameworkRMA (the paper's design).
-func (s *Store) loadRMA(ids []int64, timed bool, resolved map[int64][]byte, flights, followers map[int64]*cache.Flight) ([]*graph.Graph, []time.Duration, error) {
+// loadRMA is the Load path for FrameworkRMA (the paper's design). Owners
+// are fetched concurrently (bounded by Options.FetchParallelism) when no
+// machine model is attached; each owner's epoch keeps today's serial
+// structure — one shared lock, per-sample Gets, in-order flight delivery —
+// and workers write disjoint out/lat positions, so FetchParallelism=1
+// reproduces the serial loop exactly.
+func (s *Store) loadRMA(ids []int64, timed bool, resolved map[int64][]byte, box *flightBox, followers map[int64]*cache.Flight) ([]*graph.Graph, []time.Duration, error) {
 	out := make([]*graph.Graph, len(ids))
 	var lat []time.Duration
 	if timed {
@@ -518,146 +524,162 @@ func (s *Store) loadRMA(ids []int64, timed bool, resolved map[int64][]byte, flig
 		owners = append(owners, owner)
 	}
 	sort.Ints(owners)
-	for _, owner := range owners {
-		positions := byOwner[owner]
-		if owner == me {
-			for _, pos := range positions {
-				before := s.world.Clock().Now()
-				id := ids[pos]
-				e := s.index[id]
-				local := s.buf[e.offset : e.offset+int64(e.length)]
-				if m := s.world.Machine(); m != nil {
-					s.world.Clock().Advance(m.LocalRead(int64(e.length)))
-				}
-				g, err := graph.Decode(local)
-				if err != nil {
-					return nil, nil, fmt.Errorf("core: decode local sample %d: %w", id, err)
-				}
-				out[pos] = g
-				s.stats.LocalReads++
-				s.stats.BytesLocal += int64(e.length)
-				if timed {
-					lat[pos] = s.world.Clock().Now() - before
-				}
-			}
-			continue
-		}
-		if s.opts.LockPerSample {
-			// Ablation: a fresh access epoch per sample — the lock
-			// round-trip is paid for every Get.
-			for _, pos := range positions {
-				before := s.world.Clock().Now()
-				id := ids[pos]
-				e := s.index[id]
-				if err := s.win.LockShared(owner); err != nil {
-					return nil, nil, err
-				}
-				s.stats.LockAcquires++
-				dst := make([]byte, e.length)
-				if err := s.win.Get(dst, owner, int(e.offset)); err != nil {
-					s.win.Unlock(owner)
-					return nil, nil, fmt.Errorf("core: RMA get sample %d from %d: %w", id, owner, err)
-				}
-				if err := s.win.Unlock(owner); err != nil {
-					return nil, nil, err
-				}
-				g, err := graph.Decode(dst)
-				if err != nil {
-					return nil, nil, fmt.Errorf("core: decode remote sample %d: %w", id, err)
-				}
-				s.deliverFlight(flights, id, dst)
-				out[pos] = g
-				s.stats.RemoteGets++
-				s.stats.BytesRemote += int64(e.length)
-				if timed {
-					lat[pos] = s.world.Clock().Now() - before
-				}
-			}
-			continue
-		}
-
-		// Remote: one shared-lock epoch per owner, one Get per sample.
-		lockStart := s.world.Clock().Now()
-		if err := s.win.LockShared(owner); err != nil {
-			return nil, nil, err
-		}
-		s.stats.LockAcquires++
-		lockCost := s.world.Clock().Now() - lockStart
-
-		if s.opts.NonBlocking {
-			// Overlapped MPI_Rget-style fetches: issue everything, then
-			// wait once; wire times overlap.
-			before := s.world.Clock().Now()
-			bufs := make([][]byte, len(positions))
-			reqs := make([]*comm.Request, len(positions))
-			for i, pos := range positions {
-				e := s.index[ids[pos]]
-				bufs[i] = make([]byte, e.length)
-				req, err := s.win.GetNB(bufs[i], owner, int(e.offset))
-				if err != nil {
-					s.win.Unlock(owner)
-					return nil, nil, fmt.Errorf("core: RMA rget sample %d from %d: %w", ids[pos], owner, err)
-				}
-				reqs[i] = req
-				s.stats.RemoteGets++
-				s.stats.BytesRemote += int64(e.length)
-			}
-			comm.WaitAll(reqs)
-			elapsed := s.world.Clock().Now() - before
-			for i, pos := range positions {
-				g, err := graph.Decode(bufs[i])
-				if err != nil {
-					s.win.Unlock(owner)
-					return nil, nil, fmt.Errorf("core: decode remote sample %d: %w", ids[pos], err)
-				}
-				s.deliverFlight(flights, ids[pos], bufs[i])
-				out[pos] = g
-				if timed {
-					lat[pos] = elapsed / time.Duration(len(positions))
-					if i == 0 {
-						lat[pos] += lockCost
-					}
-				}
-			}
-			if err := s.win.Unlock(owner); err != nil {
-				return nil, nil, err
-			}
-			continue
-		}
-
-		for i, pos := range positions {
-			before := s.world.Clock().Now()
-			id := ids[pos]
-			e := s.index[id]
-			dst := make([]byte, e.length)
-			if err := s.win.Get(dst, owner, int(e.offset)); err != nil {
-				s.win.Unlock(owner)
-				return nil, nil, fmt.Errorf("core: RMA get sample %d from %d: %w", id, owner, err)
-			}
-			g, err := graph.Decode(dst)
-			if err != nil {
-				s.win.Unlock(owner)
-				return nil, nil, fmt.Errorf("core: decode remote sample %d: %w", id, err)
-			}
-			s.deliverFlight(flights, id, dst)
-			out[pos] = g
-			s.stats.RemoteGets++
-			s.stats.BytesRemote += int64(e.length)
-			if timed {
-				lat[pos] = s.world.Clock().Now() - before
-				if i == 0 {
-					lat[pos] += lockCost
-				}
-			}
-		}
-		if err := s.win.Unlock(owner); err != nil {
-			return nil, nil, err
-		}
+	err := s.forEachOwner(owners, func(owner int) error {
+		return s.fetchOwnerRMA(owner, byOwner[owner], ids, out, lat, box)
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	if s.prof != nil {
 		s.prof.Add(trace.RegionRMA, s.world.Clock().Now()-rmaStart)
 	}
 	return out, lat, nil
+}
+
+// fetchOwnerRMA serves or fetches the batch positions owned by one group
+// rank: local memory reads for this rank's own chunk, otherwise one RMA
+// access epoch (or the LockPerSample / NonBlocking ablation variants).
+// Positions are disjoint across owners, so concurrent calls for different
+// owners never touch the same out/lat slot.
+func (s *Store) fetchOwnerRMA(owner int, positions []int, ids []int64, out []*graph.Graph, lat []time.Duration, box *flightBox) error {
+	me := s.group.Rank()
+	timed := lat != nil
+	if owner == me {
+		for _, pos := range positions {
+			before := s.world.Clock().Now()
+			id := ids[pos]
+			e := s.index[id]
+			local := s.buf[e.offset : e.offset+int64(e.length)]
+			if m := s.world.Machine(); m != nil {
+				s.world.Clock().Advance(m.LocalRead(int64(e.length)))
+			}
+			g, err := graph.Decode(local)
+			if err != nil {
+				return fmt.Errorf("core: decode local sample %d: %w", id, err)
+			}
+			out[pos] = g
+			s.stats.localReads.Add(1)
+			s.stats.bytesLocal.Add(int64(e.length))
+			if timed {
+				lat[pos] = s.world.Clock().Now() - before
+			}
+		}
+		return nil
+	}
+	if s.opts.LockPerSample {
+		// Ablation: a fresh access epoch per sample — the lock
+		// round-trip is paid for every Get.
+		for _, pos := range positions {
+			before := s.world.Clock().Now()
+			id := ids[pos]
+			e := s.index[id]
+			if err := s.lockSharedRef(owner); err != nil {
+				return err
+			}
+			s.stats.lockAcquires.Add(1)
+			bp := getFetchBuf(int(e.length))
+			dst := *bp
+			if err := s.win.Get(dst, owner, int(e.offset)); err != nil {
+				s.unlockSharedRef(owner)
+				return fmt.Errorf("core: RMA get sample %d from %d: %w", id, owner, err)
+			}
+			if err := s.unlockSharedRef(owner); err != nil {
+				return err
+			}
+			g, err := graph.Decode(dst)
+			if err != nil {
+				return fmt.Errorf("core: decode remote sample %d: %w", id, err)
+			}
+			if !box.deliver(id, dst) {
+				putFetchBuf(bp)
+			}
+			out[pos] = g
+			s.stats.remoteGets.Add(1)
+			s.stats.bytesRemote.Add(int64(e.length))
+			if timed {
+				lat[pos] = s.world.Clock().Now() - before
+			}
+		}
+		return nil
+	}
+
+	// Remote: one shared-lock epoch per owner, one Get per sample.
+	lockStart := s.world.Clock().Now()
+	if err := s.lockSharedRef(owner); err != nil {
+		return err
+	}
+	s.stats.lockAcquires.Add(1)
+	lockCost := s.world.Clock().Now() - lockStart
+
+	if s.opts.NonBlocking {
+		// Overlapped MPI_Rget-style fetches: issue everything, then
+		// wait once; wire times overlap.
+		before := s.world.Clock().Now()
+		bufs := make([]*[]byte, len(positions))
+		reqs := make([]*comm.Request, len(positions))
+		for i, pos := range positions {
+			e := s.index[ids[pos]]
+			bufs[i] = getFetchBuf(int(e.length))
+			req, err := s.win.GetNB(*bufs[i], owner, int(e.offset))
+			if err != nil {
+				s.unlockSharedRef(owner)
+				return fmt.Errorf("core: RMA rget sample %d from %d: %w", ids[pos], owner, err)
+			}
+			reqs[i] = req
+			s.stats.remoteGets.Add(1)
+			s.stats.bytesRemote.Add(int64(e.length))
+		}
+		comm.WaitAll(reqs)
+		elapsed := s.world.Clock().Now() - before
+		for i, pos := range positions {
+			g, err := graph.Decode(*bufs[i])
+			if err != nil {
+				s.unlockSharedRef(owner)
+				return fmt.Errorf("core: decode remote sample %d: %w", ids[pos], err)
+			}
+			if !box.deliver(ids[pos], *bufs[i]) {
+				putFetchBuf(bufs[i])
+			}
+			out[pos] = g
+			if timed {
+				lat[pos] = elapsed / time.Duration(len(positions))
+				if i == 0 {
+					lat[pos] += lockCost
+				}
+			}
+		}
+		return s.unlockSharedRef(owner)
+	}
+
+	for i, pos := range positions {
+		before := s.world.Clock().Now()
+		id := ids[pos]
+		e := s.index[id]
+		bp := getFetchBuf(int(e.length))
+		dst := *bp
+		if err := s.win.Get(dst, owner, int(e.offset)); err != nil {
+			s.unlockSharedRef(owner)
+			return fmt.Errorf("core: RMA get sample %d from %d: %w", id, owner, err)
+		}
+		g, err := graph.Decode(dst)
+		if err != nil {
+			s.unlockSharedRef(owner)
+			return fmt.Errorf("core: decode remote sample %d: %w", id, err)
+		}
+		if !box.deliver(id, dst) {
+			putFetchBuf(bp)
+		}
+		out[pos] = g
+		s.stats.remoteGets.Add(1)
+		s.stats.bytesRemote.Add(int64(e.length))
+		if timed {
+			lat[pos] = s.world.Clock().Now() - before
+			if i == 0 {
+				lat[pos] += lockCost
+			}
+		}
+	}
+	return s.unlockSharedRef(owner)
 }
 
 // Fence synchronizes all ranks of the replica group between access epochs.
@@ -693,9 +715,10 @@ func (s *Store) ServeTCP(addr string) (*transport.Server, error) {
 // plane's retry/failover/timeout counters into the store's profiler.
 func (s *Store) DialGroup(replicas [][]string) (*transport.Group, error) {
 	opts := transport.GroupOptions{
-		Client:      transport.ClientOptions{Policy: s.opts.Net},
-		CacheBytes:  s.opts.CacheBytes,
-		CachePolicy: s.opts.CachePolicy,
+		Client:           transport.ClientOptions{Policy: s.opts.Net},
+		CacheBytes:       s.opts.CacheBytes,
+		CachePolicy:      s.opts.CachePolicy,
+		FetchParallelism: s.opts.FetchParallelism,
 	}
 	if s.prof != nil {
 		opts.Client.Counters = s.prof

@@ -1,6 +1,7 @@
 package ddp
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,14 @@ type PrefetchLoader struct {
 	// outstanding counts enqueued batches not yet consumed, so LoadBatch
 	// knows whether waiting on the worker can ever produce a result.
 	outstanding atomic.Int64
+
+	// pending stashes prefetched batches that arrived before their request
+	// (only LoadBatch — a single consumer — touches these). Without it, one
+	// out-of-order request cascades: every later in-flight batch mismatches
+	// its request too and the whole queue degrades to synchronous loads.
+	pending      map[string]prefetched
+	pendingOrder []string // insertion order, for capped eviction
+	pendingCap   int
 }
 
 type prefetched struct {
@@ -44,11 +53,17 @@ func NewPrefetchLoader(inner Loader, depth int) *PrefetchLoader {
 	if depth < 1 {
 		depth = 1
 	}
+	pendingCap := 2 * depth
+	if pendingCap < 4 {
+		pendingCap = 4
+	}
 	p := &PrefetchLoader{
-		inner: inner,
-		reqs:  make(chan []int64, depth),
-		out:   make(chan prefetched, depth),
-		done:  make(chan struct{}),
+		inner:      inner,
+		reqs:       make(chan []int64, depth),
+		out:        make(chan prefetched, depth),
+		done:       make(chan struct{}),
+		pending:    make(map[string]prefetched),
+		pendingCap: pendingCap,
 	}
 	go func() {
 		defer close(p.out)
@@ -87,28 +102,66 @@ func (p *PrefetchLoader) Enqueue(ids []int64) {
 	}
 }
 
-// LoadBatch returns the next prefetched batch if its ids match the request
-// (the normal case when the trainer enqueues in order); otherwise it loads
-// synchronously.
+// LoadBatch returns the prefetched batch for ids. Results that arrive for
+// a different request than the current one are stashed in an ids-keyed map
+// (capped; oldest evicted) instead of discarded, so a single out-of-order
+// request no longer cascades into synchronous loads for every batch behind
+// it. When ids were never enqueued, LoadBatch drains the in-flight results
+// into the stash and loads synchronously. LoadBatch is a single-consumer
+// API: call it from one goroutine.
 func (p *PrefetchLoader) LoadBatch(ids []int64) ([]*graph.Graph, []time.Duration, error) {
-	if p.outstanding.Load() == 0 {
-		// Nothing enqueued: plain synchronous load.
-		return p.inner.LoadBatch(ids)
+	key := idsKey(ids)
+	if res, ok := p.pending[key]; ok {
+		delete(p.pending, key)
+		for i, k := range p.pendingOrder {
+			if k == key {
+				p.pendingOrder = append(p.pendingOrder[:i], p.pendingOrder[i+1:]...)
+				break
+			}
+		}
+		return res.graphs, res.lats, res.loadErr
 	}
-	select {
-	case res, ok := <-p.out:
-		if !ok {
+	for p.outstanding.Load() > 0 {
+		select {
+		case res, ok := <-p.out:
+			if !ok {
+				return nil, nil, fmt.Errorf("ddp: prefetch loader closed")
+			}
+			p.outstanding.Add(-1)
+			if sameIDs(res.ids, ids) {
+				return res.graphs, res.lats, res.loadErr
+			}
+			p.stash(res)
+		case <-p.done:
 			return nil, nil, fmt.Errorf("ddp: prefetch loader closed")
 		}
-		p.outstanding.Add(-1)
-		if sameIDs(res.ids, ids) {
-			return res.graphs, res.lats, res.loadErr
-		}
-		// Out-of-order request: discard the stale result and load fresh.
-		return p.inner.LoadBatch(ids)
-	case <-p.done:
-		return nil, nil, fmt.Errorf("ddp: prefetch loader closed")
 	}
+	// Never enqueued (or evicted): plain synchronous load.
+	return p.inner.LoadBatch(ids)
+}
+
+// stash keeps an out-of-order prefetched result for its future request,
+// evicting the oldest stashed batch beyond the cap.
+func (p *PrefetchLoader) stash(res prefetched) {
+	key := idsKey(res.ids)
+	if _, ok := p.pending[key]; !ok {
+		p.pendingOrder = append(p.pendingOrder, key)
+	}
+	p.pending[key] = res
+	if len(p.pendingOrder) > p.pendingCap {
+		oldest := p.pendingOrder[0]
+		p.pendingOrder = p.pendingOrder[1:]
+		delete(p.pending, oldest)
+	}
+}
+
+// idsKey encodes a batch's ids as a map key.
+func idsKey(ids []int64) string {
+	b := make([]byte, 8*len(ids))
+	for i, id := range ids {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(id))
+	}
+	return string(b)
 }
 
 func sameIDs(a, b []int64) bool {

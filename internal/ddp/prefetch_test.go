@@ -110,9 +110,9 @@ func TestPrefetchOverlapsLoading(t *testing.T) {
 
 // TestPrefetchMismatchDrainsOutstanding hammers the out-of-order path: a
 // stream of Enqueue/LoadBatch pairs whose ids never match must drain the
-// outstanding counter one stale result at a time (each mismatch consumes
-// one prefetched batch and falls back synchronously), leave no results
-// queued, and never wedge a Close behind a stuck worker.
+// outstanding counter (each mismatched result is stashed for a request
+// that never comes, and the capped stash evicts the old ones), leave no
+// results queued, and never wedge a Close behind a stuck worker.
 func TestPrefetchMismatchDrainsOutstanding(t *testing.T) {
 	inner := newSlowLoader(t, 100, 0)
 	p := NewPrefetchLoader(inner, 2)
@@ -159,6 +159,48 @@ func TestPrefetchMismatchDrainsOutstanding(t *testing.T) {
 	case <-closed:
 	case <-time.After(10 * time.Second):
 		t.Fatal("Close deadlocked behind abandoned prefetched batches")
+	}
+}
+
+// TestPrefetchOutOfOrderNoCascade is the regression test for the
+// out-of-order cascade: requesting enqueued batches in a different order
+// than they were enqueued must serve every one from the prefetch worker
+// (mismatched arrivals are stashed and served when their request comes),
+// not degrade all later batches to synchronous loads.
+func TestPrefetchOutOfOrderNoCascade(t *testing.T) {
+	inner := newSlowLoader(t, 100, 0)
+	p := NewPrefetchLoader(inner, 4)
+	defer p.Close()
+	batches := [][]int64{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+	for _, b := range batches {
+		p.Enqueue(b)
+	}
+	// Request in scrambled order: 3,4 first forces 1,2 into the stash; the
+	// remaining requests hit either the stash or the worker directly.
+	for _, want := range [][]int64{{3, 4}, {1, 2}, {7, 8}, {5, 6}} {
+		graphs, _, err := p.LoadBatch(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(graphs) != len(want) {
+			t.Fatalf("got %d graphs want %d", len(graphs), len(want))
+		}
+		for i, g := range graphs {
+			if g.ID != want[i] {
+				t.Fatalf("got id %d want %d", g.ID, want[i])
+			}
+		}
+	}
+	// Every batch came from the worker's four loads — the old code would
+	// have discarded the mismatches and paid synchronous fallbacks.
+	if got := inner.calls.Load(); got != 4 {
+		t.Fatalf("inner called %d times, want 4 (no synchronous fallbacks)", got)
+	}
+	if n := p.outstanding.Load(); n != 0 {
+		t.Fatalf("outstanding = %d, want 0", n)
+	}
+	if len(p.pending) != 0 {
+		t.Fatalf("pending stash has %d entries, want 0", len(p.pending))
 	}
 }
 

@@ -1,0 +1,37 @@
+package gnn
+
+// edgeCSR groups edge indices by the node listed in nodeOf (EdgeDst for
+// incoming edges, EdgeSrc for outgoing): node i's edges are
+// edges[start[i]:start[i+1]], in ascending edge order. That is exactly the
+// order a serial sweep over all edges touches node i, so a parallel pass
+// that partitions *nodes* and accumulates each node's edges from this
+// index is bit-identical to the serial edge loop — no per-worker partials,
+// no merge step, no reordered float adds.
+func edgeCSR(nodeOf []int32, n int) (start, edges []int32) {
+	start = make([]int32, n+1)
+	for _, v := range nodeOf {
+		start[v+1]++
+	}
+	for i := 0; i < n; i++ {
+		start[i+1] += start[i]
+	}
+	cursor := make([]int32, n)
+	copy(cursor, start[:n])
+	edges = make([]int32, len(nodeOf))
+	for e, v := range nodeOf {
+		edges[cursor[v]] = int32(e)
+		cursor[v]++
+	}
+	return start, edges
+}
+
+// aggWork estimates the scalar-op cost of aggregating one node's incident
+// edges (ParallelFor's per-index work hint): a few ops per feature per
+// average-degree edge plus the finalize pass.
+func aggWork(n, m, d int) int {
+	w := 4 * d
+	if n > 0 {
+		w += 4 * d * m / n
+	}
+	return w
+}

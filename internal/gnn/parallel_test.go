@@ -1,0 +1,185 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"ddstore/internal/graph"
+	"ddstore/internal/tensor"
+	"ddstore/internal/vtime"
+)
+
+// bigBatch builds a batch large enough that the parallel kernels genuinely
+// partition it (past the inline cutoffs): numGraphs random graphs with
+// irregular degrees, including isolated nodes.
+func bigBatch(seed uint64, numGraphs, nodesPer, nodeDim, edgeDim, yDim int) *graph.Batch {
+	rng := vtime.NewRNG(seed)
+	graphs := make([]*graph.Graph, numGraphs)
+	for gi := range graphs {
+		n := nodesPer + rng.Intn(nodesPer)
+		g := &graph.Graph{
+			ID:          int64(gi),
+			NumNodes:    n,
+			NodeFeatDim: nodeDim,
+			NodeFeat:    make([]float32, n*nodeDim),
+			EdgeFeatDim: edgeDim,
+			Y:           make([]float32, yDim),
+		}
+		for i := range g.NodeFeat {
+			g.NodeFeat[i] = float32(rng.NormFloat64())
+		}
+		for e := 0; e < 3*n; e++ {
+			src := rng.Intn(n)
+			dst := rng.Intn(n)
+			if src == dst {
+				continue // self-loops skipped; also leaves some nodes isolated
+			}
+			g.EdgeSrc = append(g.EdgeSrc, int32(src))
+			g.EdgeDst = append(g.EdgeDst, int32(dst))
+		}
+		g.EdgeFeat = make([]float32, len(g.EdgeSrc)*edgeDim)
+		for i := range g.EdgeFeat {
+			g.EdgeFeat[i] = float32(rng.NormFloat64())
+		}
+		for i := range g.Y {
+			g.Y[i] = float32(rng.NormFloat64())
+		}
+		graphs[gi] = g
+	}
+	b, err := graph.NewBatch(graphs)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func matBitsEqual(a, b *tensor.Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float32bits(a.Data[i]) != math.Float32bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// pnaRun builds a fresh deterministic PNA layer, runs one forward/backward,
+// and returns the output, input gradient, and parameter gradients.
+func pnaRun(b *graph.Batch, dim int) (out, dX *tensor.Matrix, grads []*tensor.Matrix) {
+	rng := vtime.NewRNG(99)
+	p := NewPNA("det", dim, dim, b.EdgeFeatDim, math.Log(4), rng)
+	x := tensor.New(b.NumNodes, dim)
+	x.Randomize(vtime.NewRNG(7))
+	y, cache := p.Forward(x, b)
+	dOut := tensor.New(y.Rows, y.Cols)
+	dOut.Randomize(vtime.NewRNG(11))
+	dx := p.Backward(dOut, cache)
+	for _, prm := range p.Params() {
+		grads = append(grads, prm.Grad)
+	}
+	return y, dx, grads
+}
+
+// TestPNADeterministicAcrossParallelism: PNA Forward and Backward must be
+// bit-identical for every worker count — the CSR-grouped aggregation
+// preserves the serial edge order per node, and argmax/argmin tie-breaks
+// follow it.
+func TestPNADeterministicAcrossParallelism(t *testing.T) {
+	for _, bc := range []struct {
+		name  string
+		batch *graph.Batch
+	}{
+		{"small", testBatch(vtime.NewRNG(3), 8, 4, 2)},
+		{"large", bigBatch(17, 24, 30, 16, 6, 3)},
+	} {
+		dim := 16
+		if bc.name == "small" {
+			dim = 8
+		}
+		tensor.SetParallelism(1)
+		refOut, refDX, refGrads := pnaRun(bc.batch, dim)
+		tensor.SetParallelism(0)
+		for _, par := range []int{2, 3, 8} {
+			tensor.SetParallelism(par)
+			out, dX, grads := pnaRun(bc.batch, dim)
+			tensor.SetParallelism(0)
+			if !matBitsEqual(out, refOut) {
+				t.Fatalf("%s parallelism=%d: Forward not bit-identical", bc.name, par)
+			}
+			if !matBitsEqual(dX, refDX) {
+				t.Fatalf("%s parallelism=%d: Backward dX not bit-identical", bc.name, par)
+			}
+			for i := range grads {
+				if !matBitsEqual(grads[i], refGrads[i]) {
+					t.Fatalf("%s parallelism=%d: param grad %d not bit-identical", bc.name, par, i)
+				}
+			}
+		}
+	}
+}
+
+// TestEdgeCSRGroupsInOrder: the CSR index must list each node's edges in
+// ascending edge order (the determinism guarantee rests on it).
+func TestEdgeCSRGroupsInOrder(t *testing.T) {
+	nodeOf := []int32{2, 0, 2, 1, 0, 2}
+	start, edges := edgeCSR(nodeOf, 4)
+	wantStart := []int32{0, 2, 3, 6, 6}
+	for i, w := range wantStart {
+		if start[i] != w {
+			t.Fatalf("start = %v, want %v", start, wantStart)
+		}
+	}
+	wantEdges := []int32{1, 4, 3, 0, 2, 5}
+	for i, w := range wantEdges {
+		if edges[i] != w {
+			t.Fatalf("edges = %v, want %v", edges, wantEdges)
+		}
+	}
+}
+
+// BenchmarkPNAForward / BenchmarkPNABackward: one conv layer on a
+// realistic molecular batch (the paper's local batch is 128 graphs), at
+// serial parallelism and 4 workers.
+func BenchmarkPNAForward(b *testing.B) {
+	batch := bigBatch(5, 128, 24, 32, 6, 1)
+	rng := vtime.NewRNG(1)
+	p := NewPNA("bench", 32, 32, batch.EdgeFeatDim, math.Log(4), rng)
+	x := tensor.New(batch.NumNodes, 32)
+	x.Randomize(rng)
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			tensor.SetParallelism(par)
+			defer tensor.SetParallelism(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Forward(x, batch)
+			}
+		})
+	}
+}
+
+func BenchmarkPNABackward(b *testing.B) {
+	batch := bigBatch(5, 128, 24, 32, 6, 1)
+	rng := vtime.NewRNG(1)
+	p := NewPNA("bench", 32, 32, batch.EdgeFeatDim, math.Log(4), rng)
+	x := tensor.New(batch.NumNodes, 32)
+	x.Randomize(rng)
+	out, cache := p.Forward(x, batch)
+	dOut := tensor.New(out.Rows, out.Cols)
+	dOut.Randomize(rng)
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			tensor.SetParallelism(par)
+			defer tensor.SetParallelism(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Backward(dOut, cache)
+			}
+		})
+	}
+}

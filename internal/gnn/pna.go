@@ -99,9 +99,11 @@ func (p *PNA) Forward(x *tensor.Matrix, b *graph.Batch) (*tensor.Matrix, *PNACac
 
 	// Per-edge messages.
 	c.msgEdge = tensor.New(m, p.In)
-	for e := 0; e < m; e++ {
-		copy(c.msgEdge.Row(e), c.msgNode.Row(int(b.EdgeSrc[e])))
-	}
+	tensor.ParallelFor(m, p.In, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			copy(c.msgEdge.Row(e), c.msgNode.Row(int(b.EdgeSrc[e])))
+		}
+	})
 	if p.Wedge != nil && b.EdgeFeatDim > 0 {
 		c.edgeFeat = tensor.FromData(m, b.EdgeFeatDim, b.EdgeFeat)
 		tensor.AddInPlace(c.msgEdge, p.Wedge.Forward(c.edgeFeat))
@@ -120,64 +122,75 @@ func (p *PNA) Forward(x *tensor.Matrix, b *graph.Batch) (*tensor.Matrix, *PNACac
 		c.argmax[i] = -1
 		c.argmin[i] = -1
 	}
+	// Partition *nodes* across workers and walk each node's incident edges
+	// from the CSR index, which lists them in the ascending-edge order the
+	// old serial edge sweep used — so accumulation order (and the argmax/
+	// argmin tie-breaks) are bit-identical for every worker count.
+	inStart, inEdges := edgeCSR(b.EdgeDst, n)
 	c.deg = make([]int32, n)
-	for e := 0; e < m; e++ {
-		dst := int(b.EdgeDst[e])
-		c.deg[dst]++
-		first := c.deg[dst] == 1
-		mrow := c.msgEdge.Row(e)
-		meanRow := c.mean.Row(dst)
-		maxRow := c.maxM.Row(dst)
-		minRow := c.minM.Row(dst)
-		for j, v := range mrow {
-			meanRow[j] += v
-			sumSq[dst*d+j] += v * v
-			if first || v > maxRow[j] {
-				maxRow[j] = v
-				c.argmax[dst*d+j] = int32(e)
-			}
-			if first || v < minRow[j] {
-				minRow[j] = v
-				c.argmin[dst*d+j] = int32(e)
-			}
-		}
-	}
 	for i := 0; i < n; i++ {
-		if c.deg[i] == 0 {
-			continue
-		}
-		inv := 1 / float32(c.deg[i])
-		meanRow := c.mean.Row(i)
-		stdRow := c.stdM.Row(i)
-		for j := range meanRow {
-			meanRow[j] *= inv
-			variance := sumSq[i*d+j]*inv - meanRow[j]*meanRow[j]
-			if variance < 0 {
-				variance = 0
-			}
-			stdRow[j] = float32(math.Sqrt(float64(variance) + stdEps))
-		}
+		c.deg[i] = inStart[i+1] - inStart[i]
 	}
+	tensor.ParallelFor(n, aggWork(n, m, d), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			es, ee := inStart[i], inStart[i+1]
+			if es == ee {
+				continue
+			}
+			meanRow := c.mean.Row(i)
+			maxRow := c.maxM.Row(i)
+			minRow := c.minM.Row(i)
+			for t := es; t < ee; t++ {
+				e := int(inEdges[t])
+				first := t == es
+				mrow := c.msgEdge.Row(e)
+				for j, v := range mrow {
+					meanRow[j] += v
+					sumSq[i*d+j] += v * v
+					if first || v > maxRow[j] {
+						maxRow[j] = v
+						c.argmax[i*d+j] = int32(e)
+					}
+					if first || v < minRow[j] {
+						minRow[j] = v
+						c.argmin[i*d+j] = int32(e)
+					}
+				}
+			}
+			inv := 1 / float32(c.deg[i])
+			stdRow := c.stdM.Row(i)
+			for j := range meanRow {
+				meanRow[j] *= inv
+				variance := sumSq[i*d+j]*inv - meanRow[j]*meanRow[j]
+				if variance < 0 {
+					variance = 0
+				}
+				stdRow[j] = float32(math.Sqrt(float64(variance) + stdEps))
+			}
+		}
+	})
 
 	// Scale and concatenate: [x | s*mean | s*max | s*min | s*std] for the
 	// three scalers.
 	c.upIn = tensor.New(n, p.In*(1+numAggregators*numScalers))
 	aggs := []*tensor.Matrix{c.mean, c.maxM, c.minM, c.stdM}
-	for i := 0; i < n; i++ {
-		row := c.upIn.Row(i)
-		copy(row[:p.In], x.Row(i))
-		s1, s2, s3 := p.scalers(c.deg[i])
-		off := p.In
-		for _, s := range []float32{s1, s2, s3} {
-			for _, agg := range aggs {
-				arow := agg.Row(i)
-				for j, v := range arow {
-					row[off+j] = v * s
+	tensor.ParallelFor(n, (1+numAggregators*numScalers)*d, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := c.upIn.Row(i)
+			copy(row[:p.In], x.Row(i))
+			s1, s2, s3 := p.scalers(c.deg[i])
+			off := p.In
+			for _, s := range []float32{s1, s2, s3} {
+				for _, agg := range aggs {
+					arow := agg.Row(i)
+					for j, v := range arow {
+						row[off+j] = v * s
+					}
+					off += d
 				}
-				off += d
 			}
 		}
-	}
+	})
 	out := p.Wupd.Forward(c.upIn)
 	tensor.ReluInPlace(out)
 	c.out = out
@@ -203,75 +216,92 @@ func (p *PNA) Backward(dOut *tensor.Matrix, c *PNACache) *tensor.Matrix {
 	dMax := tensor.New(n, d)
 	dMin := tensor.New(n, d)
 	dStd := tensor.New(n, d)
-	for i := 0; i < n; i++ {
-		row := dUpIn.Row(i)
-		copy(dX.Row(i), row[:d])
-		s1, s2, s3 := p.scalers(c.deg[i])
-		off := d
-		for _, s := range []float32{s1, s2, s3} {
-			for _, pair := range []struct{ dst *tensor.Matrix }{
-				{dMean}, {dMax}, {dMin}, {dStd},
-			} {
-				drow := pair.dst.Row(i)
-				for j := 0; j < d; j++ {
-					drow[j] += row[off+j] * s
+	tensor.ParallelFor(n, (1+numAggregators*numScalers)*d, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := dUpIn.Row(i)
+			copy(dX.Row(i), row[:d])
+			s1, s2, s3 := p.scalers(c.deg[i])
+			off := d
+			for _, s := range []float32{s1, s2, s3} {
+				for _, pair := range []struct{ dst *tensor.Matrix }{
+					{dMean}, {dMax}, {dMin}, {dStd},
+				} {
+					drow := pair.dst.Row(i)
+					for j := 0; j < d; j++ {
+						drow[j] += row[off+j] * s
+					}
+					off += d
 				}
-				off += d
 			}
 		}
-	}
+	})
 
-	// Back through the aggregators into per-edge message gradients.
+	// Back through the aggregators into per-edge message gradients. Each
+	// edge's dMsgEdge row is written only by that edge's iteration, so the
+	// edge range partitions freely.
 	dMsgEdge := tensor.New(m, d)
-	for e := 0; e < m; e++ {
-		dst := int(b.EdgeDst[e])
-		deg := c.deg[dst]
-		if deg == 0 {
-			continue
-		}
-		inv := 1 / float32(deg)
-		dRow := dMsgEdge.Row(e)
-		meanRow := c.mean.Row(dst)
-		stdRow := c.stdM.Row(dst)
-		dMeanRow := dMean.Row(dst)
-		dStdRow := dStd.Row(dst)
-		mRow := c.msgEdge.Row(e)
-		for j := 0; j < d; j++ {
-			// mean: dm += dmean / deg
-			g := dMeanRow[j] * inv
-			// std: s = sqrt(V+eps), V = E[m²]−E[m]²;
-			// dV/dm_e = 2/deg·(m_e − mean); ds/dV = 1/(2s).
-			g += dStdRow[j] / (2 * stdRow[j]) * 2 * inv * (mRow[j] - meanRow[j])
-			dRow[j] += g
-		}
-	}
-	// max/min route to the recorded arg edges.
-	for i := 0; i < n; i++ {
-		if c.deg[i] == 0 {
-			continue
-		}
-		dMaxRow := dMax.Row(i)
-		dMinRow := dMin.Row(i)
-		for j := 0; j < d; j++ {
-			if e := c.argmax[i*d+j]; e >= 0 {
-				dMsgEdge.Row(int(e))[j] += dMaxRow[j]
+	tensor.ParallelFor(m, 8*d, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			dst := int(b.EdgeDst[e])
+			deg := c.deg[dst]
+			if deg == 0 {
+				continue
 			}
-			if e := c.argmin[i*d+j]; e >= 0 {
-				dMsgEdge.Row(int(e))[j] += dMinRow[j]
+			inv := 1 / float32(deg)
+			dRow := dMsgEdge.Row(e)
+			meanRow := c.mean.Row(dst)
+			stdRow := c.stdM.Row(dst)
+			dMeanRow := dMean.Row(dst)
+			dStdRow := dStd.Row(dst)
+			mRow := c.msgEdge.Row(e)
+			for j := 0; j < d; j++ {
+				// mean: dm += dmean / deg
+				g := dMeanRow[j] * inv
+				// std: s = sqrt(V+eps), V = E[m²]−E[m]²;
+				// dV/dm_e = 2/deg·(m_e − mean); ds/dV = 1/(2s).
+				g += dStdRow[j] / (2 * stdRow[j]) * 2 * inv * (mRow[j] - meanRow[j])
+				dRow[j] += g
 			}
 		}
-	}
+	})
+	// max/min route to the recorded arg edges. Node i only touches edges
+	// whose destination is i, so the node partition writes disjoint rows;
+	// this phase completes before the scatter below reads dMsgEdge.
+	tensor.ParallelFor(n, 4*d, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if c.deg[i] == 0 {
+				continue
+			}
+			dMaxRow := dMax.Row(i)
+			dMinRow := dMin.Row(i)
+			for j := 0; j < d; j++ {
+				if e := c.argmax[i*d+j]; e >= 0 {
+					dMsgEdge.Row(int(e))[j] += dMaxRow[j]
+				}
+				if e := c.argmin[i*d+j]; e >= 0 {
+					dMsgEdge.Row(int(e))[j] += dMinRow[j]
+				}
+			}
+		}
+	})
 
-	// Per-edge gradients back to the source-node messages and edge features.
+	// Per-edge gradients back to the source-node messages and edge
+	// features. Scatter by source via the CSR index so each worker owns a
+	// node range and sums that node's outgoing edges in ascending edge
+	// order — the serial loop's exact accumulation order.
 	dMsgNode := tensor.New(n, d)
-	for e := 0; e < m; e++ {
-		src := int(b.EdgeSrc[e])
-		drow := dMsgEdge.Row(e)
-		nrow := dMsgNode.Row(src)
-		for j := range drow {
-			nrow[j] += drow[j]
+	outStart, outEdges := edgeCSR(b.EdgeSrc, n)
+	tensor.ParallelFor(n, aggWork(n, m, d), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			nrow := dMsgNode.Row(i)
+			for t := outStart[i]; t < outStart[i+1]; t++ {
+				drow := dMsgEdge.Row(int(outEdges[t]))
+				for j := range drow {
+					nrow[j] += drow[j]
+				}
+			}
 		}
-	}
+	})
 	if p.Wedge != nil && c.edgeFeat != nil {
 		p.Wedge.Backward(c.edgeFeat, dMsgEdge) // edge features are inputs; their gradient is discarded
 	}

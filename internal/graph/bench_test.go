@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"ddstore/internal/vtime"
+)
+
+// sizedGraph builds a dense, fixed-dimension sample with the given node
+// count — the shape knob the decode sweep turns.
+func sizedGraph(rng *vtime.RNG, nodes int) *Graph {
+	const nodeDim, edgeDim = 16, 4
+	edges := 3 * nodes
+	g := &Graph{
+		ID:          1,
+		NumNodes:    nodes,
+		NodeFeatDim: nodeDim,
+		NodeFeat:    make([]float32, nodes*nodeDim),
+		EdgeSrc:     make([]int32, edges),
+		EdgeDst:     make([]int32, edges),
+		EdgeFeatDim: edgeDim,
+		EdgeFeat:    make([]float32, edges*edgeDim),
+		Pos:         make([]float32, nodes*3),
+		Y:           []float32{1},
+	}
+	for i := range g.NodeFeat {
+		g.NodeFeat[i] = float32(rng.NormFloat64())
+	}
+	for i := range g.EdgeSrc {
+		g.EdgeSrc[i] = int32(rng.Intn(nodes))
+		g.EdgeDst[i] = int32(rng.Intn(nodes))
+	}
+	for i := range g.EdgeFeat {
+		g.EdgeFeat[i] = float32(rng.NormFloat64())
+	}
+	for i := range g.Pos {
+		g.Pos[i] = float32(rng.Float64())
+	}
+	return g
+}
+
+// BenchmarkDecodeSizes measures the wire-decode hot path Store.Load pays
+// once per remote sample, swept over graph size. Allocations per op matter
+// as much as time: every decode on the fetch path runs under the loader's
+// buffer pool, so decode itself is the remaining allocator pressure.
+func BenchmarkDecodeSizes(b *testing.B) {
+	rng := vtime.NewRNG(11)
+	for _, nodes := range []int{8, 64, 256} {
+		enc := sizedGraph(rng, nodes).Encode()
+		b.Run(fmt.Sprintf("nodes%d", nodes), func(b *testing.B) {
+			b.SetBytes(int64(len(enc)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Decode(enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,69 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+
+	"ddstore/internal/vtime"
+)
+
+// BenchmarkMatMul measures the matmul kernels at serial parallelism and at
+// 4 workers, across the sizes the PNA layers actually multiply (hidden dim
+// 200 in the paper's config). On a single-core host the parallel numbers
+// degrade gracefully to ~serial: blocks run inline when the pool is busy.
+func BenchmarkMatMul(b *testing.B) {
+	for _, size := range []int{64, 256, 512} {
+		rng := vtime.NewRNG(uint64(size))
+		x := randMat(rng, size, size)
+		y := randMat(rng, size, size)
+		out := New(size, size)
+		for _, par := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%dx%d/par%d", size, size, par), func(b *testing.B) {
+				SetParallelism(par)
+				defer SetParallelism(0)
+				b.SetBytes(int64(size * size * 4))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					MatMulInto(out, x, y)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkMatMulAT(b *testing.B) {
+	const size = 256
+	rng := vtime.NewRNG(size)
+	x := randMat(rng, size, size)
+	y := randMat(rng, size, size)
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("%dx%d/par%d", size, size, par), func(b *testing.B) {
+			SetParallelism(par)
+			defer SetParallelism(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulAT(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulBT(b *testing.B) {
+	const size = 256
+	rng := vtime.NewRNG(size)
+	x := randMat(rng, size, size)
+	y := randMat(rng, size, size)
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("%dx%d/par%d", size, size, par), func(b *testing.B) {
+			SetParallelism(par)
+			defer SetParallelism(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulBT(x, y)
+			}
+		})
+	}
+}

@@ -1,0 +1,125 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The tensor kernels (and the GNN edge-aggregation kernels built on
+// ParallelFor) share one process-wide worker pool. Parallelism is a
+// scheduling knob only: every kernel partitions its work so each output
+// element is produced by exactly one worker with the same floating-point
+// operation order as the serial loop, so results are bit-identical for
+// every worker count.
+
+// parallelism is the configured worker count; 0 means "use GOMAXPROCS".
+var parallelism atomic.Int64
+
+// minParallelWork is the scalar-op threshold below which ParallelFor runs
+// inline: dispatching blocks to the pool costs on the order of a
+// microsecond, so a kernel must carry at least tens of thousands of scalar
+// operations before the fan-out pays for itself.
+const minParallelWork = 1 << 16
+
+// SetParallelism sets the worker count used by the compute kernels.
+// n <= 0 restores the default, runtime.GOMAXPROCS(0). SetParallelism(1)
+// makes every kernel run its serial loop inline. The setting never changes
+// results (see the package note above); it only changes how the work is
+// scheduled.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int64(n))
+}
+
+// Parallelism returns the effective worker count.
+func Parallelism() int {
+	if n := parallelism.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// The shared pool: GOMAXPROCS resident workers draining a task channel.
+// Workers are started lazily on the first parallel kernel dispatch.
+var (
+	poolOnce  sync.Once
+	poolTasks chan func()
+)
+
+func ensurePool() {
+	poolOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		poolTasks = make(chan func(), 4*n)
+		for i := 0; i < n; i++ {
+			go func() {
+				for f := range poolTasks {
+					f()
+				}
+			}()
+		}
+	})
+}
+
+// ParallelFor splits [0, n) into at most Parallelism() contiguous blocks
+// and runs body(lo, hi) on each, returning when every block is done. work
+// is the approximate scalar-op cost per index: when n*work is below the
+// dispatch threshold (or parallelism is 1) the body runs inline on the
+// caller, so tiny inputs never pay dispatch overhead.
+//
+// Correctness contract: the blocks tile [0, n) disjointly, so any body
+// whose writes for index i depend only on index i (and whose per-index
+// operation order matches the serial loop) produces bit-identical results
+// for every worker count. Nesting is safe: the caller *helps* — it drains
+// the shared task queue while waiting for its own blocks — so a pool
+// worker whose body calls ParallelFor again cannot deadlock against its
+// own sub-tasks.
+func ParallelFor(n, work int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := Parallelism()
+	if p > n {
+		p = n
+	}
+	if p <= 1 || int64(n)*int64(work) < minParallelWork {
+		body(0, n)
+		return
+	}
+	ensurePool()
+	var remaining atomic.Int64
+	remaining.Store(int64(p))
+	done := make(chan struct{})
+	for b := p - 1; b >= 1; b-- {
+		lo, hi := b*n/p, (b+1)*n/p
+		run := func(lo, hi int) func() {
+			return func() {
+				body(lo, hi)
+				if remaining.Add(-1) == 0 {
+					close(done)
+				}
+			}
+		}(lo, hi)
+		select {
+		case poolTasks <- run:
+		default:
+			run() // pool saturated: run inline rather than block
+		}
+	}
+	// Block 0 runs on the caller; then the caller keeps pulling queued
+	// tasks (its own blocks, or anyone's) until its blocks all finish.
+	body(0, n/p)
+	if remaining.Add(-1) == 0 {
+		return
+	}
+	for {
+		select {
+		case <-done:
+			return
+		case f := <-poolTasks:
+			f()
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package tensor
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"ddstore/internal/vtime"
+)
+
+func randMat(rng *vtime.RNG, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+// withParallelism runs f under the given worker count and restores the
+// default afterwards.
+func withParallelism(p int, f func()) {
+	SetParallelism(p)
+	defer SetParallelism(0)
+	f()
+}
+
+func assertBitsEqual(t *testing.T, name string, got, want *Matrix, par int) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s parallelism=%d: shape %dx%d want %dx%d", name, par, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("%s parallelism=%d: element %d = %x want %x (not bit-identical)",
+				name, par, i, math.Float32bits(got.Data[i]), math.Float32bits(want.Data[i]))
+		}
+	}
+}
+
+// TestMatMulDeterministicAcrossParallelism asserts the three matmul
+// kernels are bit-identical for every worker count, on shapes chosen to
+// hit uneven block boundaries, the small-input inline cutoff, and sizes
+// large enough to genuinely dispatch to the pool.
+func TestMatMulDeterministicAcrossParallelism(t *testing.T) {
+	shapes := []struct{ r, k, c int }{
+		{1, 1, 1},
+		{3, 5, 7},
+		{17, 9, 33},
+		{64, 64, 64},
+		{127, 63, 65},
+	}
+	for _, sh := range shapes {
+		rng := vtime.NewRNG(uint64(sh.r*1000 + sh.k*100 + sh.c))
+		a := randMat(rng, sh.r, sh.k)
+		b := randMat(rng, sh.k, sh.c)
+		at := randMat(rng, sh.k, sh.r) // for MatMulAT: k×r ᵀ· k×c
+		bt := randMat(rng, sh.c, sh.k) // for MatMulBT: r×k · (c×k)ᵀ
+
+		var refMM, refAT, refBT *Matrix
+		withParallelism(1, func() {
+			refMM = MatMul(a, b)
+			refAT = MatMulAT(at, b)
+			refBT = MatMulBT(a, bt)
+		})
+		for _, par := range []int{2, 3, 8} {
+			withParallelism(par, func() {
+				assertBitsEqual(t, "MatMul", MatMul(a, b), refMM, par)
+				assertBitsEqual(t, "MatMulAT", MatMulAT(at, b), refAT, par)
+				assertBitsEqual(t, "MatMulBT", MatMulBT(a, bt), refBT, par)
+			})
+		}
+	}
+}
+
+// TestMatMulIntoOverwritesUnderParallelism: MatMulInto must fully
+// overwrite a dirty out buffer (the serial kernel zeroed it up front; the
+// parallel kernel zeroes per row).
+func TestMatMulIntoOverwritesUnderParallelism(t *testing.T) {
+	rng := vtime.NewRNG(7)
+	a := randMat(rng, 33, 17)
+	b := randMat(rng, 17, 29)
+	var want *Matrix
+	withParallelism(1, func() { want = MatMul(a, b) })
+	withParallelism(8, func() {
+		out := New(33, 29)
+		for i := range out.Data {
+			out.Data[i] = 999
+		}
+		MatMulInto(out, a, b)
+		assertBitsEqual(t, "MatMulInto", out, want, 8)
+	})
+}
+
+func TestSetParallelismDefaults(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(0)
+	if got := Parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default Parallelism = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism = %d after SetParallelism(3)", got)
+	}
+	SetParallelism(-5)
+	if got := Parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Parallelism = %d after SetParallelism(-5), want default", got)
+	}
+}
+
+// TestParallelForCoversRange: every index in [0, n) is visited exactly
+// once, for worker counts below, at, and above the range size, with and
+// without the inline cutoff.
+func TestParallelForCoversRange(t *testing.T) {
+	for _, par := range []int{1, 2, 3, 8, 64} {
+		for _, n := range []int{0, 1, 7, 100} {
+			// work high enough to defeat the inline cutoff for n > 0.
+			counts := make([]int, n)
+			var mu sync.Mutex
+			withParallelism(par, func() {
+				ParallelFor(n, minParallelWork, func(lo, hi int) {
+					if lo < 0 || hi > n || lo > hi {
+						t.Errorf("par=%d n=%d: block [%d,%d) out of range", par, n, lo, hi)
+					}
+					mu.Lock()
+					for i := lo; i < hi; i++ {
+						counts[i]++
+					}
+					mu.Unlock()
+				})
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("par=%d n=%d: index %d visited %d times", par, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelForNested: a body that calls ParallelFor again must not
+// deadlock — saturated dispatch degrades to inline execution.
+func TestParallelForNested(t *testing.T) {
+	withParallelism(8, func() {
+		var outer sync.WaitGroup
+		total := 0
+		var mu sync.Mutex
+		outer.Add(1)
+		go func() {
+			defer outer.Done()
+			ParallelFor(16, minParallelWork, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					ParallelFor(4, minParallelWork, func(lo2, hi2 int) {
+						mu.Lock()
+						total += hi2 - lo2
+						mu.Unlock()
+					})
+				}
+			})
+		}()
+		outer.Wait()
+		if total != 16*4 {
+			t.Fatalf("nested ParallelFor covered %d of %d", total, 16*4)
+		}
+	})
+}

@@ -81,22 +81,29 @@ func MatMulInto(out, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: matmul into %dx%d = %dx%d · %dx%d",
 			out.Rows, out.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out.Zero()
-	// ikj order: stream through b rows for cache friendliness.
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k := 0; k < a.Cols; k++ {
-			aik := arow[k]
-			if aik == 0 {
-				continue
+	// ikj order: stream through b rows for cache friendliness. Parallel
+	// over output rows: each row is zeroed and accumulated by exactly one
+	// worker in the serial k order, so results are bit-identical for any
+	// worker count.
+	ParallelFor(a.Rows, 2*a.Cols*b.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := range orow {
+				orow[j] = 0
 			}
-			brow := b.Row(k)
-			for j := range brow {
-				orow[j] += aik * brow[j]
+			for k := 0; k < a.Cols; k++ {
+				aik := arow[k]
+				if aik == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j := range brow {
+					orow[j] += aik * brow[j]
+				}
 			}
 		}
-	}
+	})
 }
 
 // MatMulAT computes out = aᵀ · b. a is k×r, b is k×c, out is r×c.
@@ -105,19 +112,25 @@ func MatMulAT(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: matmulAT %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Cols, b.Cols)
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, aki := range arow {
-			if aki == 0 {
-				continue
-			}
-			orow := out.Row(i)
-			for j := range brow {
-				orow[j] += aki * brow[j]
+	// Parallel over output rows (a's columns): every worker streams the k
+	// rows in order but only touches its own out-row range, preserving the
+	// serial per-cell accumulation order exactly.
+	ParallelFor(a.Cols, 2*a.Rows*b.Cols, func(lo, hi int) {
+		for k := 0; k < a.Rows; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i := lo; i < hi; i++ {
+				aki := arow[i]
+				if aki == 0 {
+					continue
+				}
+				orow := out.Row(i)
+				for j := range brow {
+					orow[j] += aki * brow[j]
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -127,18 +140,22 @@ func MatMulBT(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: matmulBT %dx%d · %dx%d ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var sum float32
-			for k := range arow {
-				sum += arow[k] * brow[k]
+	// Parallel over rows of a; each out row is an independent set of dot
+	// products, so partitioning cannot change any accumulation order.
+	ParallelFor(a.Rows, 2*a.Cols*b.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var sum float32
+				for k := range arow {
+					sum += arow[k] * brow[k]
+				}
+				orow[j] = sum
 			}
-			orow[j] = sum
 		}
-	}
+	})
 	return out
 }
 

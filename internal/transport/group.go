@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -34,6 +35,14 @@ type GroupOptions struct {
 	// budget is split evenly across shards, so a lightly-threaded client
 	// can set 1 to make the budget exact at the cost of lock sharing.
 	CacheShards int
+	// FetchParallelism bounds how many owner-grouped chunks one Load
+	// fetches concurrently: a batch touching k owners pays
+	// ~⌈k/FetchParallelism⌉ round-trip times instead of k. 0 means
+	// min(#owners, GOMAXPROCS); 1 restores the serial per-owner loop.
+	// Each chunk keeps its own retry/failover sequence; clients are safe
+	// for concurrent use, so two chunks failing over to the same peer
+	// simply serialize on its connection.
+	FetchParallelism int
 }
 
 // member is one peer of one replica group.
@@ -69,6 +78,7 @@ type Group struct {
 	counters Counters
 	cooldown time.Duration
 	maxBatch int
+	fanout   int          // FetchParallelism (0 = min(#owners, GOMAXPROCS))
 	cache    *cache.Cache // nil when CacheBytes <= 0
 
 	mu      sync.Mutex
@@ -106,6 +116,7 @@ func NewGroupReplicas(replicas [][]string, opts GroupOptions) (*Group, error) {
 	if g.maxBatch > maxBatchIDs {
 		g.maxBatch = maxBatchIDs
 	}
+	g.fanout = opts.FetchParallelism
 	if opts.CacheBytes > 0 {
 		g.cache = cache.New(cache.Options{
 			MaxBytes: opts.CacheBytes,
@@ -335,7 +346,7 @@ func (g *Group) fetchMissing(ids []int64, deliver func(id int64, raw []byte, gph
 		}
 		return keys[a][1] < keys[b][1]
 	})
-	for _, k := range keys {
+	fetchKey := func(k [2]int, deliver func(id int64, raw []byte, gph *graph.Graph)) error {
 		chunk := groups[k]
 		sort.Slice(chunk, func(a, b int) bool { return chunk[a] < chunk[b] })
 		for len(chunk) > 0 {
@@ -348,8 +359,66 @@ func (g *Group) fetchMissing(ids []int64, deliver func(id int64, raw []byte, gph
 			}
 			chunk = chunk[m:]
 		}
+		return nil
+	}
+	par := g.fetchParallelism(len(keys))
+	if par <= 1 {
+		for _, k := range keys {
+			if err := fetchKey(k, deliver); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Fan out across owner groups: each key keeps its serial chunk/failover
+	// sequence, deliveries are serialized (the callback mutates the caller's
+	// result and flight maps), and the lowest-key error wins — the same
+	// deterministic choice the serial loop makes.
+	var mu sync.Mutex
+	locked := func(id int64, raw []byte, gph *graph.Graph) {
+		mu.Lock()
+		deliver(id, raw, gph)
+		mu.Unlock()
+	}
+	errs := make([]error, len(keys))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fetchKey(keys[i], locked)
+			}
+		}()
+	}
+	for i := range keys {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// fetchParallelism returns how many owner groups one Load may fetch from
+// concurrently.
+func (g *Group) fetchParallelism(owners int) int {
+	if owners <= 1 {
+		return 1
+	}
+	p := g.fanout
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > owners {
+		p = owners
+	}
+	return p
 }
 
 // fetchChunk fetches one owner-grouped chunk of at most maxBatch ids,
