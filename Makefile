@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt fuzz examples experiments quick-experiments clean
+.PHONY: all build test race bench vet fmt fuzz cover examples experiments quick-experiments clean
 
 all: build test
 
@@ -29,6 +29,18 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeGraph -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run='^$$' -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/transport
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeGetBatch -fuzztime=$(FUZZTIME) ./internal/transport
+
+# Coverage gate for the shared fetch engine: both data planes route every
+# batch load through internal/fetch, so its statement coverage must stay
+# above COVER_MIN percent (engine unit tests + cross-plane conformance).
+COVER_MIN ?= 85
+
+cover:
+	$(GO) test -coverprofile=fetch.cover -coverpkg=./internal/fetch/ ./internal/fetch/
+	@total=$$($(GO) tool cover -func=fetch.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/fetch coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% is below the $(COVER_MIN)% floor" >&2; exit 1; }
 
 fmt:
 	gofmt -w .

@@ -33,6 +33,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "run the scaled-down quick profile (seconds instead of minutes)")
 		seed       = flag.Uint64("seed", 0, "random seed (0 = default)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut    = flag.Bool("json", false, "emit JSON (includes the fetch-latency percentile digest) instead of aligned tables")
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		cacheBytes = flag.Int64("cache-bytes", 0, "per-rank remote-sample cache budget for DDStore runs (0 = no cache)")
 		cachePol   = flag.String("cache-policy", "lru", "cache eviction policy: lru, fifo, clock")
@@ -88,11 +89,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ddstore-bench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			out, err := report.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ddstore-bench: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Println(out)
+		case *csv:
 			fmt.Printf("# %s — %s\n%s\n", report.ID, report.Title, report.CSV())
-		} else {
+		default:
 			fmt.Println(report.String())
 		}
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if !*jsonOut {
+			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
 	}
 }

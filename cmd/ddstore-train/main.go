@@ -130,7 +130,7 @@ func main() {
 				return err
 			}
 			store = st
-			loader = &ddp.StoreLoader{Store: st}
+			loader = &ddp.PlaneLoader{Plane: st}
 		}
 		tc := ddp.Config{
 			Loader:           loader,

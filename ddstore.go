@@ -136,10 +136,11 @@ type (
 	TrainResult = ddp.Result
 	// EpochStats summarizes one training epoch.
 	EpochStats = ddp.EpochStats
-	// Loader produces batches for a rank (StoreLoader, SourceLoader).
+	// Loader produces batches for a rank (PlaneLoader, SourceLoader).
 	Loader = ddp.Loader
-	// StoreLoader serves batches from a DDStore.
-	StoreLoader = ddp.StoreLoader
+	// PlaneLoader serves batches from either DDStore data plane (the
+	// in-process RMA Store or a TCP transport.Group).
+	PlaneLoader = ddp.PlaneLoader
 	// SourceLoader serves batches straight from a storage backend.
 	SourceLoader = ddp.SourceLoader
 	// Profiler accumulates per-region timings.

@@ -41,7 +41,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 			Seed:        1,
 		})
 		res, err := Train(c, TrainConfig{
-			Loader:     &StoreLoader{Store: store},
+			Loader:     &PlaneLoader{Plane: store},
 			LocalBatch: 4,
 			Epochs:     2,
 			Seed:       2,

@@ -33,7 +33,7 @@ func main() {
 				return err
 			}
 			res, err := ddstore.Train(c, ddstore.TrainConfig{
-				Loader:           &ddstore.StoreLoader{Store: store},
+				Loader:           &ddstore.PlaneLoader{Plane: store},
 				LocalBatch:       64,
 				Epochs:           3,
 				MaxStepsPerEpoch: 8,

@@ -40,7 +40,7 @@ func main() {
 			Seed:        1,
 		})
 		res, err := ddstore.Train(c, ddstore.TrainConfig{
-			Loader:     &ddstore.StoreLoader{Store: store},
+			Loader:     &ddstore.PlaneLoader{Plane: store},
 			LocalBatch: 8,
 			Epochs:     8,
 			Seed:       3,

@@ -39,7 +39,7 @@ func trainOnce(dataset *ddstore.Dataset, conv ddstore.ConvType) []ddstore.EpochS
 			Seed: 11,
 		})
 		res, err := ddstore.Train(c, ddstore.TrainConfig{
-			Loader:     &ddstore.StoreLoader{Store: store},
+			Loader:     &ddstore.PlaneLoader{Plane: store},
 			LocalBatch: 8,
 			Epochs:     6,
 			Seed:       2,

@@ -42,7 +42,7 @@ func main() {
 			Seed:        9,
 		})
 		res, err := ddstore.Train(c, ddstore.TrainConfig{
-			Loader:     &ddstore.StoreLoader{Store: store},
+			Loader:     &ddstore.PlaneLoader{Plane: store},
 			LocalBatch: 8,
 			Epochs:     12,
 			Seed:       4,

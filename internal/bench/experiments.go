@@ -694,7 +694,7 @@ func runFig13(o Options) (*Report, error) {
 			return err
 		}
 		r, err := ddp.Run(c, ddp.Config{
-			Loader:     &ddp.StoreLoader{Store: st},
+			Loader:     &ddp.PlaneLoader{Plane: st},
 			LocalBatch: p.convBatch,
 			Epochs:     p.convEpochs,
 			Seed:       o.seed(),

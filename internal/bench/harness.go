@@ -240,7 +240,7 @@ func runOne(spec runSpec) (*runOut, error) {
 				return err
 			}
 			defer st.Close()
-			loader = &ddp.StoreLoader{Store: st}
+			loader = &ddp.PlaneLoader{Plane: st}
 		}
 		r, err := ddp.Run(c, ddp.Config{
 			Loader:           loader,

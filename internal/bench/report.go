@@ -5,19 +5,40 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
+
+	"ddstore/internal/fetch"
 )
 
 // Report is the textual result of one experiment.
 type Report struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
 	// Notes carry the paper's expected shape next to what we measured.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
+	// Latency is the per-sample fetch-latency digest of the run, for
+	// experiments whose data plane exposes one (see fetch.LatencySummary).
+	Latency *LatencyDigest `json:"latency,omitempty"`
+}
+
+// LatencyDigest is a JSON-friendly rendering of fetch.LatencySummary:
+// percentiles in microseconds over the plane's recent-sample window.
+type LatencyDigest struct {
+	Count int64   `json:"count"`
+	P50us float64 `json:"p50_us"`
+	P95us float64 `json:"p95_us"`
+	P99us float64 `json:"p99_us"`
+}
+
+func latencyDigest(s fetch.LatencySummary) *LatencyDigest {
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	return &LatencyDigest{Count: s.Count, P50us: us(s.P50), P95us: us(s.P95), P99us: us(s.P99)}
 }
 
 // AddRow appends a row, formatting each cell with %v.
@@ -76,6 +97,16 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
+}
+
+// JSON renders the report as an indented JSON object, including the
+// latency digest when the experiment recorded one.
+func (r *Report) JSON() (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
 }
 
 // CSV renders the report as comma-separated values (quotes are not needed

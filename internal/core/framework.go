@@ -3,12 +3,8 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
-	"time"
 
-	"ddstore/internal/cache"
 	"ddstore/internal/comm"
-	"ddstore/internal/graph"
 )
 
 // Framework selects the communication design used for remote fetches — the
@@ -174,134 +170,4 @@ func (s *Store) fetchTwoSidedBatch(owner int, ids []int64) ([][]byte, error) {
 		rest = rest[n:]
 	}
 	return out, nil
-}
-
-// loadTwoSided is the Load path for FrameworkTwoSided: remote misses are
-// grouped per owner and fetched with one multi-get RPC per owner per
-// batch, mirroring the per-owner lock amortization of the RMA path.
-// Owners are fetched concurrently under the same fan-out bound as the RMA
-// path; within one Load the workers exchange with distinct owners, and the
-// mailbox's source-filtered Recv keeps their responses apart. (Two
-// *separate* goroutines calling Load on the same two-sided store could
-// still steal each other's responses — that single-consumer constraint
-// predates the fan-out and is documented on the framework.)
-func (s *Store) loadTwoSided(ids []int64, timed bool, resolved map[int64][]byte, box *flightBox, followers map[int64]*cache.Flight) ([]*graphResult, error) {
-	out := make([]*graphResult, len(ids))
-	me := s.group.Rank()
-	byOwner := make(map[int][]int)
-	for pos, id := range ids {
-		owner, err := s.OwnerOf(id)
-		if err != nil {
-			return nil, err
-		}
-		before := s.world.Clock().Now()
-		if owner == me {
-			e := s.index[id]
-			raw := s.buf[e.offset : e.offset+int64(e.length)]
-			if m := s.world.Machine(); m != nil {
-				s.world.Clock().Advance(m.LocalRead(int64(e.length)))
-			}
-			s.stats.localReads.Add(1)
-			s.stats.bytesLocal.Add(int64(e.length))
-			res := &graphResult{raw: raw}
-			if timed {
-				res.latency = s.world.Clock().Now() - before
-			}
-			out[pos] = res
-			continue
-		}
-		if raw, ok := resolved[id]; ok {
-			// Cache hit: a memory read, no owner involvement.
-			if m := s.world.Machine(); m != nil {
-				s.world.Clock().Advance(m.LocalRead(int64(len(raw))))
-			}
-			res := &graphResult{raw: raw}
-			if timed {
-				res.latency = s.world.Clock().Now() - before
-			}
-			out[pos] = res
-			continue
-		}
-		if _, ok := followers[id]; ok {
-			continue // another loader is fetching it; filled after Wait
-		}
-		byOwner[owner] = append(byOwner[owner], pos)
-	}
-
-	owners := make([]int, 0, len(byOwner))
-	for owner := range byOwner {
-		owners = append(owners, owner)
-	}
-	sort.Ints(owners)
-	err := s.forEachOwner(owners, func(owner int) error {
-		positions := byOwner[owner]
-		// One multi-get per owner, over the unique ids of this batch.
-		uniq := make([]int64, 0, len(positions))
-		slot := make(map[int64]int, len(positions))
-		for _, pos := range positions {
-			if _, ok := slot[ids[pos]]; !ok {
-				slot[ids[pos]] = len(uniq)
-				uniq = append(uniq, ids[pos])
-			}
-		}
-		before := s.world.Clock().Now()
-		raws, err := s.fetchTwoSidedBatch(owner, uniq)
-		if err != nil {
-			return err
-		}
-		elapsed := s.world.Clock().Now() - before
-		for i, id := range uniq {
-			box.deliver(id, raws[i])
-			s.stats.remoteGets.Add(1)
-			s.stats.bytesRemote.Add(int64(len(raws[i])))
-		}
-		for _, pos := range positions {
-			res := &graphResult{raw: raws[slot[ids[pos]]]}
-			if timed {
-				// The exchange cost is shared by the samples it carried.
-				res.latency = elapsed / time.Duration(len(positions))
-			}
-			out[pos] = res
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// graphResult carries one fetched sample's bytes and timing before decode.
-type graphResult struct {
-	raw     []byte
-	latency time.Duration
-}
-
-// decodeResults runs the two-sided fetch path and decodes the results into
-// the Load return shape. Follower positions (nil results) are left for
-// fillFollowers.
-func (s *Store) decodeResults(ids []int64, timed bool, resolved map[int64][]byte, box *flightBox, followers map[int64]*cache.Flight) ([]*graph.Graph, []time.Duration, error) {
-	results, err := s.loadTwoSided(ids, timed, resolved, box, followers)
-	if err != nil {
-		return nil, nil, err
-	}
-	out := make([]*graph.Graph, len(ids))
-	var lat []time.Duration
-	if timed {
-		lat = make([]time.Duration, len(ids))
-	}
-	for pos, res := range results {
-		if res == nil {
-			continue // coalesced follower; filled after Wait
-		}
-		g, err := graph.Decode(res.raw)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: decode sample %d: %w", ids[pos], err)
-		}
-		out[pos] = g
-		if timed {
-			lat[pos] = res.latency
-		}
-	}
-	return out, lat, nil
 }

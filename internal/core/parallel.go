@@ -1,11 +1,8 @@
 package core
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
-
-	"ddstore/internal/cache"
 )
 
 // statsCounters is the loader traffic tally. The fields are atomics so the
@@ -28,68 +25,6 @@ func (c *statsCounters) snapshot() Stats {
 		BytesRemote:  c.bytesRemote.Load(),
 		LockAcquires: c.lockAcquires.Load(),
 	}
-}
-
-// fetchParallelism returns how many owners this load may fetch from
-// concurrently. Always 1 under a machine model: the virtual-time
-// simulator charges modeled costs to per-rank clocks through a
-// non-thread-safe RNG, and concurrent charging would break the
-// deterministic timings the simulation exists for — so simulated stores
-// keep the serial loop and fan-out applies to real-time execution (unit
-// tests, the TCP plane, real deployments).
-func (s *Store) fetchParallelism(owners int) int {
-	if owners <= 1 || s.world.Machine() != nil {
-		return 1
-	}
-	p := s.opts.FetchParallelism
-	if p <= 0 {
-		p = runtime.GOMAXPROCS(0)
-	}
-	if p > owners {
-		p = owners
-	}
-	return p
-}
-
-// forEachOwner runs fetch once per owner, fanning out across a bounded
-// worker pool when fetchParallelism allows. Errors are recorded per owner
-// and the lowest-owner error is returned — the same deterministic choice
-// the serial loop makes — though unlike the serial loop the remaining
-// owners still complete (their flights must be delivered or failed either
-// way).
-func (s *Store) forEachOwner(owners []int, fetch func(owner int) error) error {
-	par := s.fetchParallelism(len(owners))
-	if par <= 1 {
-		for _, owner := range owners {
-			if err := fetch(owner); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, len(owners))
-	next := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(par)
-	for w := 0; w < par; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				errs[i] = fetch(owners[i])
-			}
-		}()
-	}
-	for i := range owners {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // lockSharedRef opens (or joins) a shared access epoch on owner's window.
@@ -129,57 +64,11 @@ type epochRefs struct {
 	refs map[int]int
 }
 
-// flightBox serializes cache-flight delivery across the fetch workers: the
-// flight map is shared state the serial loop used to mutate freely.
-type flightBox struct {
-	mu      sync.Mutex
-	flights map[int64]*cache.Flight
-}
-
-func newFlightBox(flights map[int64]*cache.Flight) *flightBox {
-	return &flightBox{flights: flights}
-}
-
-// deliver completes the flight for id (if this load leads one) with
-// freshly fetched, decode-validated bytes: the cache keeps them and every
-// coalesced waiter is woken. Reports whether a flight took ownership of
-// raw — callers must not recycle delivered buffers.
-func (b *flightBox) deliver(id int64, raw []byte) bool {
-	if b == nil || b.flights == nil {
-		return false
-	}
-	b.mu.Lock()
-	f, ok := b.flights[id]
-	if ok {
-		delete(b.flights, id)
-	}
-	b.mu.Unlock()
-	if ok {
-		f.Deliver(raw)
-	}
-	return ok
-}
-
-// failRemaining fails every flight this load still leads, or every
-// coalesced waiter would block forever. Called after the fetch workers
-// have finished, so no lock contention remains.
-func (b *flightBox) failRemaining(err error) {
-	if b == nil {
-		return
-	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for _, f := range b.flights {
-		f.Fail(err)
-	}
-	b.flights = nil
-}
-
 // fetchBufPool recycles the scratch buffers remote samples are fetched
 // into. graph.Decode copies every field out of the raw bytes, so a buffer
-// is dead as soon as decode returns — unless a cache flight took it
-// (flightBox.deliver reports that), in which case the cache retains it
-// and it must not be recycled.
+// is dead as soon as decode returns — unless a cache flight took it (the
+// engine's deliver callback reports that), in which case the cache retains
+// it and it must not be recycled.
 var fetchBufPool = sync.Pool{
 	New: func() any {
 		b := make([]byte, 0, 4096)

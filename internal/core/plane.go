@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ddstore/internal/comm"
+	"ddstore/internal/fetch"
+	"ddstore/internal/graph"
+)
+
+// storePlane adapts the Store to the shared fetch engine: owner arithmetic
+// over the chunk boundaries, local memory reads, one-sided RMA Gets (plus
+// the LockPerSample and NonBlocking ablation variants), and the two-sided
+// request/response alternative. The engine owns everything else — dedup,
+// cache claims, fan-out, follower waits, latency capture.
+type storePlane struct {
+	s *Store
+}
+
+func (p storePlane) OwnerOf(id int64) (int, error) { return p.s.OwnerOf(id) }
+
+func (p storePlane) Local(owner int) bool { return owner == p.s.group.Rank() }
+
+// BeginEpoch opens one shared-lock access epoch per remote owner and
+// reports its cost, which the engine charges to the owner's first sample —
+// how a per-batch lock amortizes. Local reads need no epoch; LockPerSample
+// opens per-sample epochs inside FetchOwner; the two-sided framework has
+// no window locks at all.
+func (p storePlane) BeginEpoch(owner int) (time.Duration, error) {
+	s := p.s
+	if owner == s.group.Rank() || s.opts.LockPerSample || s.opts.Framework == FrameworkTwoSided {
+		return 0, nil
+	}
+	start := clockNow(s.world)
+	if err := s.lockSharedRef(owner); err != nil {
+		return 0, err
+	}
+	s.stats.lockAcquires.Add(1)
+	return clockNow(s.world) - start, nil
+}
+
+func (p storePlane) EndEpoch(owner int) error {
+	s := p.s
+	if owner == s.group.Rank() || s.opts.LockPerSample || s.opts.Framework == FrameworkTwoSided {
+		return nil
+	}
+	return s.unlockSharedRef(owner)
+}
+
+func (p storePlane) FetchOwner(owner int, ids []int64, deliver fetch.Deliver) error {
+	s := p.s
+	if owner == s.group.Rank() {
+		return s.fetchLocal(ids, deliver)
+	}
+	if s.opts.Framework == FrameworkTwoSided {
+		return s.fetchTwoSided(owner, ids, deliver)
+	}
+	if s.opts.LockPerSample {
+		return s.fetchLockPerSample(owner, ids, deliver)
+	}
+	if s.opts.NonBlocking {
+		return s.fetchNonBlocking(owner, ids, deliver)
+	}
+	return s.fetchSequential(owner, ids, deliver)
+}
+
+// fetchLocal serves this rank's own chunk: a memory read per sample, no
+// communication and no cache involvement.
+func (s *Store) fetchLocal(ids []int64, deliver fetch.Deliver) error {
+	for _, id := range ids {
+		before := clockNow(s.world)
+		e := s.index[id]
+		local := s.buf[e.offset : e.offset+int64(e.length)]
+		if m := s.world.Machine(); m != nil {
+			s.world.Clock().Advance(m.LocalRead(int64(e.length)))
+		}
+		g, err := graph.Decode(local)
+		if err != nil {
+			return fmt.Errorf("core: decode local sample %d: %w", id, err)
+		}
+		s.stats.localReads.Add(1)
+		s.stats.bytesLocal.Add(int64(e.length))
+		deliver(id, local, g, clockNow(s.world)-before)
+	}
+	return nil
+}
+
+// fetchSequential is the paper's default wire: within the engine-managed
+// shared-lock epoch, one blocking Get per sample.
+func (s *Store) fetchSequential(owner int, ids []int64, deliver fetch.Deliver) error {
+	for _, id := range ids {
+		before := clockNow(s.world)
+		e := s.index[id]
+		bp := getFetchBuf(int(e.length))
+		dst := *bp
+		if err := s.win.Get(dst, owner, int(e.offset)); err != nil {
+			return fmt.Errorf("core: RMA get sample %d from %d: %w", id, owner, err)
+		}
+		g, err := graph.Decode(dst)
+		if err != nil {
+			return fmt.Errorf("core: decode remote sample %d: %w", id, err)
+		}
+		s.stats.remoteGets.Add(1)
+		s.stats.bytesRemote.Add(int64(e.length))
+		if !deliver(id, dst, g, clockNow(s.world)-before) {
+			putFetchBuf(bp)
+		}
+	}
+	return nil
+}
+
+// fetchLockPerSample is the abl-lock ablation: a fresh access epoch per
+// sample, so the lock round-trip is paid for every Get.
+func (s *Store) fetchLockPerSample(owner int, ids []int64, deliver fetch.Deliver) error {
+	for _, id := range ids {
+		before := clockNow(s.world)
+		e := s.index[id]
+		if err := s.lockSharedRef(owner); err != nil {
+			return err
+		}
+		s.stats.lockAcquires.Add(1)
+		bp := getFetchBuf(int(e.length))
+		dst := *bp
+		if err := s.win.Get(dst, owner, int(e.offset)); err != nil {
+			s.unlockSharedRef(owner)
+			return fmt.Errorf("core: RMA get sample %d from %d: %w", id, owner, err)
+		}
+		if err := s.unlockSharedRef(owner); err != nil {
+			return err
+		}
+		g, err := graph.Decode(dst)
+		if err != nil {
+			return fmt.Errorf("core: decode remote sample %d: %w", id, err)
+		}
+		s.stats.remoteGets.Add(1)
+		s.stats.bytesRemote.Add(int64(e.length))
+		if !deliver(id, dst, g, clockNow(s.world)-before) {
+			putFetchBuf(bp)
+		}
+	}
+	return nil
+}
+
+// fetchNonBlocking is the overlapped-Gets ablation (MPI_Rget-style): issue
+// everything within the epoch, wait once, and share the overlapped wire
+// time evenly across the samples.
+func (s *Store) fetchNonBlocking(owner int, ids []int64, deliver fetch.Deliver) error {
+	before := clockNow(s.world)
+	bufs := make([]*[]byte, len(ids))
+	reqs := make([]*comm.Request, len(ids))
+	for i, id := range ids {
+		e := s.index[id]
+		bufs[i] = getFetchBuf(int(e.length))
+		req, err := s.win.GetNB(*bufs[i], owner, int(e.offset))
+		if err != nil {
+			return fmt.Errorf("core: RMA rget sample %d from %d: %w", id, owner, err)
+		}
+		reqs[i] = req
+		s.stats.remoteGets.Add(1)
+		s.stats.bytesRemote.Add(int64(e.length))
+	}
+	comm.WaitAll(reqs)
+	elapsed := clockNow(s.world) - before
+	per := elapsed / time.Duration(len(ids))
+	for i, id := range ids {
+		g, err := graph.Decode(*bufs[i])
+		if err != nil {
+			return fmt.Errorf("core: decode remote sample %d: %w", id, err)
+		}
+		if !deliver(id, *bufs[i], g, per) {
+			putFetchBuf(bufs[i])
+		}
+	}
+	return nil
+}
+
+// fetchTwoSided retrieves the owner's samples in one multi-get RPC. The
+// exchange cost is shared by the samples it carried, and bytes are decoded
+// before delivery so only validated bytes ever reach the cache.
+func (s *Store) fetchTwoSided(owner int, ids []int64, deliver fetch.Deliver) error {
+	before := clockNow(s.world)
+	raws, err := s.fetchTwoSidedBatch(owner, ids)
+	if err != nil {
+		return err
+	}
+	per := (clockNow(s.world) - before) / time.Duration(len(ids))
+	for i, id := range ids {
+		g, derr := graph.Decode(raws[i])
+		if derr != nil {
+			return fmt.Errorf("core: decode sample %d: %w", id, derr)
+		}
+		s.stats.remoteGets.Add(1)
+		s.stats.bytesRemote.Add(int64(len(raws[i])))
+		deliver(id, raws[i], g, per)
+	}
+	return nil
+}

@@ -29,6 +29,7 @@ import (
 
 	"ddstore/internal/cache"
 	"ddstore/internal/comm"
+	"ddstore/internal/fetch"
 	"ddstore/internal/graph"
 	"ddstore/internal/trace"
 	"ddstore/internal/transport"
@@ -118,6 +119,9 @@ type Store struct {
 	prof   *trace.Profiler
 	opts   Options
 	cache  *cache.Cache // remote-sample cache; nil when CacheBytes <= 0
+	// engine is the shared batch-load pipeline (internal/fetch); this store
+	// plugs in as its RMA/two-sided plane via storePlane.
+	engine *fetch.Engine
 
 	// respDone signals two-sided responder shutdown (nil for RMA stores).
 	respDone chan struct{}
@@ -130,13 +134,19 @@ type Store struct {
 	epochs epochRefs
 }
 
-// Stats counts the loader's traffic.
+// Stats counts the loader's traffic and summarizes its recent per-sample
+// load latencies.
 type Stats struct {
 	LocalReads   int64
 	RemoteGets   int64
 	BytesLocal   int64
 	BytesRemote  int64
 	LockAcquires int64
+	// LoadP50/P95/P99 are per-sample load latency percentiles over the
+	// engine's sliding window of recent loads (zero before any Load).
+	LoadP50 time.Duration
+	LoadP95 time.Duration
+	LoadP99 time.Duration
 }
 
 // chunkStarts computes the balanced striping of total samples over w group
@@ -267,6 +277,26 @@ func Open(c *comm.Comm, src SampleSource, opts Options) (*Store, error) {
 	if opts.Framework == FrameworkTwoSided {
 		s.startResponder()
 	}
+
+	// The batch-load pipeline itself — dedup, cache claims, per-owner
+	// fan-out, follower waits, latency capture — lives in the shared engine;
+	// storePlane contributes only the RMA/two-sided wire. Fan-out stays
+	// serial under a machine model: the virtual clock charges modeled costs
+	// through a non-thread-safe RNG, and concurrent charging would break
+	// the deterministic timings the simulation exists for.
+	s.engine = fetch.New(fetch.Config{
+		Plane:       storePlane{s: s},
+		Cache:       s.cache,
+		Parallelism: opts.FetchParallelism,
+		Serial:      c.Machine() != nil,
+		Now:         func() time.Duration { return c.Clock().Now() },
+		OnLocalBytes: func(n int) {
+			if m := c.Machine(); m != nil {
+				c.Clock().Advance(m.LocalRead(int64(n)))
+			}
+		},
+		ErrPrefix: "core",
+	})
 	return s, nil
 }
 
@@ -332,8 +362,18 @@ func (s *Store) LocalRange() (lo, hi int64) { return s.myLo, s.myHi }
 // MemoryBytes returns the size of this rank's chunk buffer.
 func (s *Store) MemoryBytes() int64 { return int64(len(s.buf)) }
 
-// Stats returns a snapshot of the loader traffic counters.
-func (s *Store) Stats() Stats { return s.stats.snapshot() }
+// Stats returns a snapshot of the loader traffic counters, including the
+// engine's per-sample load latency percentiles.
+func (s *Store) Stats() Stats {
+	st := s.stats.snapshot()
+	ls := s.engine.LatencyStats()
+	st.LoadP50, st.LoadP95, st.LoadP99 = ls.P50, ls.P95, ls.P99
+	return st
+}
+
+// LatencyStats summarizes the engine's recent per-sample load latencies
+// (virtual time under a machine model, wall time otherwise).
+func (s *Store) LatencyStats() fetch.LatencySummary { return s.engine.LatencyStats() }
 
 // Cache returns the store's remote-sample cache, or nil when the store
 // was opened without one (Options.CacheBytes <= 0).
@@ -361,7 +401,9 @@ func (s *Store) OwnerOf(id int64) (int, error) {
 // Load fetches the given sample ids (a shuffled batch) and returns the
 // decoded graphs in the same order. Local ids are served from this rank's
 // memory; remote ids are fetched from their owners with one-sided Gets,
-// grouping ids by owner so each owner's window lock is acquired once.
+// grouping ids by owner so each owner's window lock is acquired once. The
+// whole pipeline — dedup, cache claims, per-owner fan-out, coalesced-fetch
+// waits — runs in the shared engine (internal/fetch).
 func (s *Store) Load(ids []int64) ([]*graph.Graph, error) {
 	out, _, err := s.load(ids, false)
 	return out, err
@@ -375,311 +417,18 @@ func (s *Store) LoadTimed(ids []int64) ([]*graph.Graph, []time.Duration, error) 
 }
 
 func (s *Store) load(ids []int64, timed bool) ([]*graph.Graph, []time.Duration, error) {
-	// Claim remote ids against the cache first: hits are served from
-	// memory, and exactly one loader (here or in another goroutine) leads
-	// the fetch of each missing id.
-	resolved, flights, followers := s.claimRemote(ids)
-	box := newFlightBox(flights)
-	var out []*graph.Graph
-	var lat []time.Duration
-	var err error
-	if s.opts.Framework == FrameworkTwoSided {
-		out, lat, err = s.decodeResults(ids, timed, resolved, box, followers)
-	} else {
-		out, lat, err = s.loadRMA(ids, timed, resolved, box, followers)
-	}
-	if err != nil {
-		// Complete the flights this load leads, or every coalesced waiter
-		// would block forever.
-		box.failRemaining(err)
-		return nil, nil, err
-	}
-	if len(followers) > 0 {
-		if err := s.fillFollowers(ids, out, lat, followers); err != nil {
-			return nil, nil, err
-		}
-	}
-	return out, lat, nil
-}
-
-// claimRemote claims every unique remote id in the batch against the
-// cache. Local ids bypass the cache entirely — they are already memory
-// reads. Returns cache-hit bytes, the flights this load must complete
-// (leader), and the flights another loader is completing (follower). All
-// returns are nil when the store has no cache.
-func (s *Store) claimRemote(ids []int64) (resolved map[int64][]byte, flights, followers map[int64]*cache.Flight) {
-	if s.cache == nil {
-		return nil, nil, nil
-	}
-	me := s.group.Rank()
-	seen := make(map[int64]bool, len(ids))
-	for _, id := range ids {
-		if seen[id] {
-			continue
-		}
-		seen[id] = true
-		owner, err := s.OwnerOf(id)
-		if err != nil || owner == me {
-			continue // invalid ids error in the loader; local reads bypass
-		}
-		val, f := s.cache.Claim(id)
-		switch {
-		case f == nil:
-			if resolved == nil {
-				resolved = map[int64][]byte{}
-			}
-			resolved[id] = val
-		case f.Leader():
-			if flights == nil {
-				flights = map[int64]*cache.Flight{}
-			}
-			flights[id] = f
-		default:
-			if followers == nil {
-				followers = map[int64]*cache.Flight{}
-			}
-			followers[id] = f
-		}
-	}
-	return resolved, flights, followers
-}
-
-// fillFollowers waits for the fetches another loader leads and fills their
-// positions. Reading the delivered bytes costs a local memory read.
-func (s *Store) fillFollowers(ids []int64, out []*graph.Graph, lat []time.Duration, followers map[int64]*cache.Flight) error {
-	for id, f := range followers {
-		before := s.world.Clock().Now()
-		raw, err := f.Wait()
-		if err != nil {
-			return fmt.Errorf("core: coalesced fetch of sample %d: %w", id, err)
-		}
-		if m := s.world.Machine(); m != nil {
-			s.world.Clock().Advance(m.LocalRead(int64(len(raw))))
-		}
-		g, err := graph.Decode(raw)
-		if err != nil {
-			return fmt.Errorf("core: decode coalesced sample %d: %w", id, err)
-		}
-		elapsed := s.world.Clock().Now() - before
-		for pos, pid := range ids {
-			if pid != id {
-				continue
-			}
-			out[pos] = g
-			if lat != nil {
-				lat[pos] = elapsed
-			}
-		}
-	}
-	return nil
-}
-
-// loadRMA is the Load path for FrameworkRMA (the paper's design). Owners
-// are fetched concurrently (bounded by Options.FetchParallelism) when no
-// machine model is attached; each owner's epoch keeps today's serial
-// structure — one shared lock, per-sample Gets, in-order flight delivery —
-// and workers write disjoint out/lat positions, so FetchParallelism=1
-// reproduces the serial loop exactly.
-func (s *Store) loadRMA(ids []int64, timed bool, resolved map[int64][]byte, box *flightBox, followers map[int64]*cache.Flight) ([]*graph.Graph, []time.Duration, error) {
-	out := make([]*graph.Graph, len(ids))
-	var lat []time.Duration
-	if timed {
-		lat = make([]time.Duration, len(ids))
-	}
-	rmaStart := s.world.Clock().Now()
-	me := s.group.Rank()
-	// Group requested positions by owner. Cache-hit positions are served
-	// inline (a memory read, no owner involvement); follower positions are
-	// left for fillFollowers.
-	byOwner := make(map[int][]int)
-	for pos, id := range ids {
-		owner, err := s.OwnerOf(id)
-		if err != nil {
-			return nil, nil, err
-		}
-		if owner != me {
-			if raw, ok := resolved[id]; ok {
-				before := s.world.Clock().Now()
-				if m := s.world.Machine(); m != nil {
-					s.world.Clock().Advance(m.LocalRead(int64(len(raw))))
-				}
-				g, derr := graph.Decode(raw)
-				if derr != nil {
-					return nil, nil, fmt.Errorf("core: decode cached sample %d: %w", id, derr)
-				}
-				out[pos] = g
-				if timed {
-					lat[pos] = s.world.Clock().Now() - before
-				}
-				continue
-			}
-			if _, ok := followers[id]; ok {
-				continue
-			}
-		}
-		byOwner[owner] = append(byOwner[owner], pos)
-	}
-	owners := make([]int, 0, len(byOwner))
-	for owner := range byOwner {
-		owners = append(owners, owner)
-	}
-	sort.Ints(owners)
-	err := s.forEachOwner(owners, func(owner int) error {
-		return s.fetchOwnerRMA(owner, byOwner[owner], ids, out, lat, box)
-	})
+	start := clockNow(s.world)
+	out, lat, err := s.engine.Load(ids)
 	if err != nil {
 		return nil, nil, err
 	}
-	if s.prof != nil {
-		s.prof.Add(trace.RegionRMA, s.world.Clock().Now()-rmaStart)
+	if s.prof != nil && s.opts.Framework == FrameworkRMA {
+		s.prof.Add(trace.RegionRMA, clockNow(s.world)-start)
+	}
+	if !timed {
+		lat = nil
 	}
 	return out, lat, nil
-}
-
-// fetchOwnerRMA serves or fetches the batch positions owned by one group
-// rank: local memory reads for this rank's own chunk, otherwise one RMA
-// access epoch (or the LockPerSample / NonBlocking ablation variants).
-// Positions are disjoint across owners, so concurrent calls for different
-// owners never touch the same out/lat slot.
-func (s *Store) fetchOwnerRMA(owner int, positions []int, ids []int64, out []*graph.Graph, lat []time.Duration, box *flightBox) error {
-	me := s.group.Rank()
-	timed := lat != nil
-	if owner == me {
-		for _, pos := range positions {
-			before := s.world.Clock().Now()
-			id := ids[pos]
-			e := s.index[id]
-			local := s.buf[e.offset : e.offset+int64(e.length)]
-			if m := s.world.Machine(); m != nil {
-				s.world.Clock().Advance(m.LocalRead(int64(e.length)))
-			}
-			g, err := graph.Decode(local)
-			if err != nil {
-				return fmt.Errorf("core: decode local sample %d: %w", id, err)
-			}
-			out[pos] = g
-			s.stats.localReads.Add(1)
-			s.stats.bytesLocal.Add(int64(e.length))
-			if timed {
-				lat[pos] = s.world.Clock().Now() - before
-			}
-		}
-		return nil
-	}
-	if s.opts.LockPerSample {
-		// Ablation: a fresh access epoch per sample — the lock
-		// round-trip is paid for every Get.
-		for _, pos := range positions {
-			before := s.world.Clock().Now()
-			id := ids[pos]
-			e := s.index[id]
-			if err := s.lockSharedRef(owner); err != nil {
-				return err
-			}
-			s.stats.lockAcquires.Add(1)
-			bp := getFetchBuf(int(e.length))
-			dst := *bp
-			if err := s.win.Get(dst, owner, int(e.offset)); err != nil {
-				s.unlockSharedRef(owner)
-				return fmt.Errorf("core: RMA get sample %d from %d: %w", id, owner, err)
-			}
-			if err := s.unlockSharedRef(owner); err != nil {
-				return err
-			}
-			g, err := graph.Decode(dst)
-			if err != nil {
-				return fmt.Errorf("core: decode remote sample %d: %w", id, err)
-			}
-			if !box.deliver(id, dst) {
-				putFetchBuf(bp)
-			}
-			out[pos] = g
-			s.stats.remoteGets.Add(1)
-			s.stats.bytesRemote.Add(int64(e.length))
-			if timed {
-				lat[pos] = s.world.Clock().Now() - before
-			}
-		}
-		return nil
-	}
-
-	// Remote: one shared-lock epoch per owner, one Get per sample.
-	lockStart := s.world.Clock().Now()
-	if err := s.lockSharedRef(owner); err != nil {
-		return err
-	}
-	s.stats.lockAcquires.Add(1)
-	lockCost := s.world.Clock().Now() - lockStart
-
-	if s.opts.NonBlocking {
-		// Overlapped MPI_Rget-style fetches: issue everything, then
-		// wait once; wire times overlap.
-		before := s.world.Clock().Now()
-		bufs := make([]*[]byte, len(positions))
-		reqs := make([]*comm.Request, len(positions))
-		for i, pos := range positions {
-			e := s.index[ids[pos]]
-			bufs[i] = getFetchBuf(int(e.length))
-			req, err := s.win.GetNB(*bufs[i], owner, int(e.offset))
-			if err != nil {
-				s.unlockSharedRef(owner)
-				return fmt.Errorf("core: RMA rget sample %d from %d: %w", ids[pos], owner, err)
-			}
-			reqs[i] = req
-			s.stats.remoteGets.Add(1)
-			s.stats.bytesRemote.Add(int64(e.length))
-		}
-		comm.WaitAll(reqs)
-		elapsed := s.world.Clock().Now() - before
-		for i, pos := range positions {
-			g, err := graph.Decode(*bufs[i])
-			if err != nil {
-				s.unlockSharedRef(owner)
-				return fmt.Errorf("core: decode remote sample %d: %w", ids[pos], err)
-			}
-			if !box.deliver(ids[pos], *bufs[i]) {
-				putFetchBuf(bufs[i])
-			}
-			out[pos] = g
-			if timed {
-				lat[pos] = elapsed / time.Duration(len(positions))
-				if i == 0 {
-					lat[pos] += lockCost
-				}
-			}
-		}
-		return s.unlockSharedRef(owner)
-	}
-
-	for i, pos := range positions {
-		before := s.world.Clock().Now()
-		id := ids[pos]
-		e := s.index[id]
-		bp := getFetchBuf(int(e.length))
-		dst := *bp
-		if err := s.win.Get(dst, owner, int(e.offset)); err != nil {
-			s.unlockSharedRef(owner)
-			return fmt.Errorf("core: RMA get sample %d from %d: %w", id, owner, err)
-		}
-		g, err := graph.Decode(dst)
-		if err != nil {
-			s.unlockSharedRef(owner)
-			return fmt.Errorf("core: decode remote sample %d: %w", id, err)
-		}
-		if !box.deliver(id, dst) {
-			putFetchBuf(bp)
-		}
-		out[pos] = g
-		s.stats.remoteGets.Add(1)
-		s.stats.bytesRemote.Add(int64(e.length))
-		if timed {
-			lat[pos] = s.world.Clock().Now() - before
-			if i == 0 {
-				lat[pos] += lockCost
-			}
-		}
-	}
-	return s.unlockSharedRef(owner)
 }
 
 // Fence synchronizes all ranks of the replica group between access epochs.

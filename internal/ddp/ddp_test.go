@@ -267,7 +267,7 @@ func TestSimTrainingDDStoreVsPFF(t *testing.T) {
 			return Config{}, err
 		}
 		cfg := base
-		cfg.Loader = &StoreLoader{Store: st}
+		cfg.Loader = &PlaneLoader{Plane: st}
 		return cfg, nil
 	})
 	if prof.Get(trace.RegionLoading).Count == 0 || prof.Get(trace.RegionComm).Count == 0 {
@@ -305,7 +305,7 @@ func TestSimTrainingKeepsLatencies(t *testing.T) {
 			return Config{}, err
 		}
 		return Config{
-			Loader:           &StoreLoader{Store: st},
+			Loader:           &PlaneLoader{Plane: st},
 			LocalBatch:       8,
 			Epochs:           1,
 			MaxStepsPerEpoch: 4,
@@ -341,7 +341,7 @@ func TestRealTrainingConvergesUnderDDP(t *testing.T) {
 			return Config{}, err
 		}
 		return Config{
-			Loader:     &StoreLoader{Store: st},
+			Loader:     &PlaneLoader{Plane: st},
 			LocalBatch: 8,
 			Epochs:     6,
 			Seed:       3,
@@ -379,7 +379,7 @@ func TestTrainLossIdenticalAcrossRanks(t *testing.T) {
 			return err
 		}
 		res, err := Run(c, Config{
-			Loader:     &StoreLoader{Store: st},
+			Loader:     &PlaneLoader{Plane: st},
 			LocalBatch: 4,
 			Epochs:     2,
 			Seed:       3,
@@ -413,10 +413,10 @@ func TestRunValidation(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		if _, err := Run(c, Config{Loader: &StoreLoader{Store: st}, LocalBatch: 0, Epochs: 1}); err == nil {
+		if _, err := Run(c, Config{Loader: &PlaneLoader{Plane: st}, LocalBatch: 0, Epochs: 1}); err == nil {
 			return fmt.Errorf("zero batch accepted")
 		}
-		if _, err := Run(c, Config{Loader: &StoreLoader{Store: st}, LocalBatch: 4, Epochs: 0}); err == nil {
+		if _, err := Run(c, Config{Loader: &PlaneLoader{Plane: st}, LocalBatch: 4, Epochs: 0}); err == nil {
 			return fmt.Errorf("zero epochs accepted")
 		}
 		return nil
@@ -435,7 +435,7 @@ func TestThroughputPositiveAndDeterministic(t *testing.T) {
 				return Config{}, err
 			}
 			return Config{
-				Loader:           &StoreLoader{Store: st},
+				Loader:           &PlaneLoader{Plane: st},
 				LocalBatch:       8,
 				Epochs:           2,
 				MaxStepsPerEpoch: 3,
@@ -462,7 +462,7 @@ func TestEpochDurationPositive(t *testing.T) {
 			return Config{}, err
 		}
 		return Config{
-			Loader:     &StoreLoader{Store: st},
+			Loader:     &PlaneLoader{Plane: st},
 			LocalBatch: 4,
 			Epochs:     2,
 			Seed:       1,

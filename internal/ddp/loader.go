@@ -5,6 +5,7 @@ import (
 
 	"ddstore/internal/cache"
 	"ddstore/internal/core"
+	"ddstore/internal/fetch"
 	"ddstore/internal/graph"
 )
 
@@ -16,24 +17,38 @@ type Loader interface {
 	LoadBatch(ids []int64) ([]*graph.Graph, []time.Duration, error)
 }
 
-// StoreLoader serves batches from a DDStore instance (in-memory chunks +
-// one-sided RMA).
-type StoreLoader struct {
-	Store *core.Store
+// DataPlane is the batch-loading surface both DDStore planes expose: the
+// in-process RMA store (core.Store) and the TCP client group
+// (transport.Group) satisfy it identically, because both route Load
+// through the shared fetch engine (internal/fetch).
+type DataPlane interface {
+	Len() int
+	LoadTimed(ids []int64) ([]*graph.Graph, []time.Duration, error)
+	CacheStats() cache.Stats
+	LatencyStats() fetch.LatencySummary
+}
+
+// PlaneLoader serves batches from either DDStore data plane. It replaces
+// the former per-plane StoreLoader/GroupLoader pair — one adapter, two
+// planes.
+type PlaneLoader struct {
+	Plane DataPlane
 }
 
 // Len returns the dataset size.
-func (l *StoreLoader) Len() int { return l.Store.Len() }
+func (l *PlaneLoader) Len() int { return l.Plane.Len() }
 
-// LoadBatch implements Loader via the store's timed loader.
-func (l *StoreLoader) LoadBatch(ids []int64) ([]*graph.Graph, []time.Duration, error) {
-	return l.Store.LoadTimed(ids)
+// LoadBatch implements Loader via the plane's timed loader.
+func (l *PlaneLoader) LoadBatch(ids []int64) ([]*graph.Graph, []time.Duration, error) {
+	return l.Plane.LoadTimed(ids)
 }
 
-// CacheStats reports the store's remote-sample cache counters — the zero
-// Stats when the store was opened without a cache (core.Options.CacheBytes
-// <= 0).
-func (l *StoreLoader) CacheStats() cache.Stats { return l.Store.CacheStats() }
+// CacheStats reports the plane's sample-cache counters — the zero Stats
+// when the plane runs without a cache.
+func (l *PlaneLoader) CacheStats() cache.Stats { return l.Plane.CacheStats() }
+
+// LatencyStats reports the plane's per-sample fetch-latency percentiles.
+func (l *PlaneLoader) LatencyStats() fetch.LatencySummary { return l.Plane.LatencyStats() }
 
 // TimedSource is a SampleSource that can report per-read modeled latency
 // (the simulated PFF/CFF readers implement it).

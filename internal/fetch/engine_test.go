@@ -1,0 +1,591 @@
+package fetch
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ddstore/internal/cache"
+	"ddstore/internal/graph"
+)
+
+// testGraph builds a tiny valid graph for sample id.
+func testGraph(id int64) *graph.Graph {
+	return &graph.Graph{
+		ID: id, NumNodes: 2, NodeFeatDim: 1, NodeFeat: []float32{1, 2},
+		EdgeSrc: []int32{0}, EdgeDst: []int32{1}, EdgeFeatDim: 1,
+		EdgeFeat: []float32{3}, Y: []float32{float32(id)},
+	}
+}
+
+// mockPlane serves ids [0, n) striped over owners (owner = id % owners).
+// It records which ids each FetchOwner call carried and tracks the maximum
+// number of concurrent FetchOwner calls ever in flight.
+type mockPlane struct {
+	n      int64
+	owners int
+	local  int // owner token whose samples are "local"; -1 for none
+
+	delay    time.Duration                   // per FetchOwner call
+	failWhen func(owner int, id int64) error // non-nil error aborts the call
+
+	mu       sync.Mutex
+	fetched  map[int64]int // id -> times delivered by a fetch
+	calls    int
+	inFlight int32
+	maxFly   int32
+	retained map[int64]bool // id -> deliver() reported the bytes retained
+}
+
+func newMockPlane(n int64, owners int) *mockPlane {
+	return &mockPlane{
+		n: n, owners: owners, local: -1,
+		fetched:  map[int64]int{},
+		retained: map[int64]bool{},
+	}
+}
+
+func (p *mockPlane) OwnerOf(id int64) (int, error) {
+	if id < 0 || id >= p.n {
+		return 0, fmt.Errorf("mock: no owner for sample %d", id)
+	}
+	return int(id) % p.owners, nil
+}
+
+func (p *mockPlane) Local(owner int) bool { return owner == p.local }
+
+func (p *mockPlane) FetchOwner(owner int, ids []int64, deliver Deliver) error {
+	fly := atomic.AddInt32(&p.inFlight, 1)
+	for {
+		max := atomic.LoadInt32(&p.maxFly)
+		if fly <= max || atomic.CompareAndSwapInt32(&p.maxFly, max, fly) {
+			break
+		}
+	}
+	defer atomic.AddInt32(&p.inFlight, -1)
+	if p.delay > 0 {
+		time.Sleep(p.delay)
+	}
+	p.mu.Lock()
+	p.calls++
+	p.mu.Unlock()
+	for _, id := range ids {
+		if p.failWhen != nil {
+			if err := p.failWhen(owner, id); err != nil {
+				return err
+			}
+		}
+		raw := testGraph(id).Encode()
+		g, err := graph.Decode(raw)
+		if err != nil {
+			return err
+		}
+		kept := deliver(id, raw, g, time.Duration(id)*time.Microsecond)
+		p.mu.Lock()
+		p.fetched[id]++
+		p.retained[id] = kept
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+func (p *mockPlane) fetchCount(id int64) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fetched[id]
+}
+
+// epochMock wraps mockPlane with lock hooks so epoch bracketing is
+// observable.
+type epochMock struct {
+	*mockPlane
+	cost     time.Duration
+	mu       sync.Mutex
+	begins   map[int]int
+	ends     map[int]int
+	beginErr error
+}
+
+func (p *epochMock) BeginEpoch(owner int) (time.Duration, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.begins == nil {
+		p.begins = map[int]int{}
+	}
+	if p.beginErr != nil {
+		return 0, p.beginErr
+	}
+	p.begins[owner]++
+	return p.cost, nil
+}
+
+func (p *epochMock) EndEpoch(owner int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ends == nil {
+		p.ends = map[int]int{}
+	}
+	p.ends[owner]++
+	return nil
+}
+
+func newCache(budget int64) *cache.Cache {
+	return cache.New(cache.Options{MaxBytes: budget, Shards: 1})
+}
+
+func TestLoadDedupAndAssembly(t *testing.T) {
+	p := newMockPlane(20, 3)
+	e := New(Config{Plane: p})
+	ids := []int64{7, 3, 7, 11, 3, 7, 0}
+	out, lats, err := e.Load(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(ids) || len(lats) != len(ids) {
+		t.Fatalf("got %d graphs, %d latencies for %d ids", len(out), len(lats), len(ids))
+	}
+	for i, id := range ids {
+		if out[i] == nil || out[i].ID != id {
+			t.Fatalf("position %d: want sample %d, got %+v", i, id, out[i])
+		}
+	}
+	if out[0] != out[2] || out[0] != out[5] {
+		t.Error("duplicate ids should share one graph pointer")
+	}
+	for _, id := range []int64{7, 3, 11, 0} {
+		if n := p.fetchCount(id); n != 1 {
+			t.Errorf("sample %d fetched %d times, want 1", id, n)
+		}
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	e := New(Config{Plane: newMockPlane(4, 2)})
+	out, lats, err := e.Load(nil)
+	if err != nil || len(out) != 0 || len(lats) != 0 {
+		t.Fatalf("empty batch: out=%v lats=%v err=%v", out, lats, err)
+	}
+}
+
+func TestOutOfRangeIDFailsBeforeAnyClaim(t *testing.T) {
+	p := newMockPlane(10, 2)
+	c := newCache(1 << 20)
+	e := New(Config{Plane: p, Cache: c})
+	// The invalid id comes last, after ids that would otherwise claim
+	// flights; validation must reject the batch before any claim happens.
+	if _, _, err := e.Load([]int64{1, 2, 99}); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+	if p.fetchCount(1) != 0 {
+		t.Error("fetch ran despite validation failure")
+	}
+	// No flight may be stranded: a fresh claim on id 1 must lead.
+	_, f := c.Claim(1)
+	if f == nil || !f.Leader() {
+		t.Fatal("claim after failed validation did not lead — a flight leaked")
+	}
+	f.Fail(errors.New("cleanup"))
+}
+
+func TestCacheHitsSkipTheWire(t *testing.T) {
+	p := newMockPlane(10, 2)
+	c := newCache(1 << 20)
+	e := New(Config{Plane: p, Cache: c})
+	if _, _, err := e.Load([]int64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Load([]int64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int64{1, 2, 3} {
+		if n := p.fetchCount(id); n != 1 {
+			t.Errorf("sample %d fetched %d times, want 1 (second load must hit)", id, n)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 3 || st.Misses != 3 {
+		t.Errorf("cache stats %+v, want 3 hits / 3 misses", st)
+	}
+}
+
+func TestNilCacheSkipsClaimMachinery(t *testing.T) {
+	p := newMockPlane(10, 2)
+	e := New(Config{Plane: p})
+	if _, _, err := e.Load([]int64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Load([]int64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, id := range []int64{1, 2} {
+		if p.fetched[id] != 2 {
+			t.Errorf("sample %d fetched %d times, want 2 (no cache)", id, p.fetched[id])
+		}
+		if p.retained[id] {
+			t.Errorf("sample %d reported retained without a cache", id)
+		}
+	}
+}
+
+func TestLocalOwnersBypassCache(t *testing.T) {
+	p := newMockPlane(10, 2)
+	p.local = 0 // even ids are local
+	c := newCache(1 << 20)
+	e := New(Config{Plane: p, Cache: c})
+	for i := 0; i < 2; i++ {
+		if _, _, err := e.Load([]int64{2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := p.fetchCount(2); n != 2 {
+		t.Errorf("local sample fetched %d times, want 2 (never cached)", n)
+	}
+	if n := p.fetchCount(3); n != 1 {
+		t.Errorf("remote sample fetched %d times, want 1 (cached)", n)
+	}
+}
+
+func TestConcurrentMissesCoalesce(t *testing.T) {
+	p := newMockPlane(10, 2)
+	p.delay = 20 * time.Millisecond
+	c := newCache(1 << 20)
+	e := New(Config{Plane: p, Cache: c})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, _, err := e.Load([]int64{5})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if out[0].ID != 5 {
+				t.Errorf("got sample %d", out[0].ID)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := p.fetchCount(5); n != 1 {
+		t.Errorf("sample 5 fetched %d times across 8 concurrent loads, want 1", n)
+	}
+	if st := c.Stats(); st.Coalesced != 7 {
+		t.Errorf("coalesced %d, want 7", st.Coalesced)
+	}
+}
+
+// TestLeaderFailureReleasesFollowers is the regression for the flight-leak
+// bug class: a failed leader in one Load must release the followers parked
+// in another Load promptly, and the failed flight must be gone so a retry
+// can lead a fresh fetch.
+func TestLeaderFailureReleasesFollowers(t *testing.T) {
+	p := newMockPlane(10, 2)
+	var failing atomic.Bool
+	failing.Store(true)
+	entered := make(chan struct{}, 1)
+	p.failWhen = func(owner int, id int64) error {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		if failing.Load() {
+			// Hold the flight open long enough for the follower to park.
+			time.Sleep(30 * time.Millisecond)
+			return errors.New("injected owner death")
+		}
+		return nil
+	}
+	c := newCache(1 << 20)
+	e := New(Config{Plane: p, Cache: c})
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := e.Load([]int64{5})
+		leaderErr <- err
+	}()
+	<-entered // leader owns the flight and is inside FetchOwner
+
+	followerErr := make(chan error, 1)
+	go func() {
+		_, _, err := e.Load([]int64{5})
+		followerErr <- err
+	}()
+
+	deadline := time.After(2 * time.Second)
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-leaderErr:
+			if err == nil || !strings.Contains(err.Error(), "injected owner death") {
+				t.Fatalf("leader error = %v", err)
+			}
+		case err := <-followerErr:
+			if err == nil || !strings.Contains(err.Error(), "coalesced") {
+				t.Fatalf("follower error = %v", err)
+			}
+		case <-deadline:
+			t.Fatal("a coalesced waiter was never released after the leader failed")
+		}
+	}
+
+	// The failed flight must not linger: a retry leads a fresh fetch.
+	failing.Store(false)
+	out, _, err := e.Load([]int64{5})
+	if err != nil {
+		t.Fatalf("retry after leader failure: %v", err)
+	}
+	if out[0].ID != 5 {
+		t.Fatalf("retry returned sample %d", out[0].ID)
+	}
+}
+
+func TestPartialDeliveryFailsFlights(t *testing.T) {
+	p := newMockPlane(10, 2)
+	// Owner 1 dies; owner 0 delivers fine. The flights owner 1 led must be
+	// failed, not stranded.
+	p.failWhen = func(owner int, id int64) error {
+		if owner == 1 {
+			return errors.New("owner 1 down")
+		}
+		return nil
+	}
+	c := newCache(1 << 20)
+	e := New(Config{Plane: p, Cache: c})
+	if _, _, err := e.Load([]int64{2, 3}); err == nil {
+		t.Fatal("load with a dead owner succeeded")
+	}
+	// Both ids must be claimable again as leaders (delivered id 2's flight
+	// completed; failed id 3's flight was failed, not leaked).
+	for _, id := range []int64{2, 3} {
+		val, f := c.Claim(id)
+		if f == nil {
+			if id != 2 {
+				t.Fatalf("sample %d resolved from cache after a failed load", id)
+			}
+			if _, err := graph.Decode(val); err != nil {
+				t.Fatalf("cached bytes for %d corrupt: %v", id, err)
+			}
+			continue
+		}
+		if !f.Leader() {
+			t.Fatalf("sample %d claim did not lead — flight leaked", id)
+		}
+		f.Fail(errors.New("cleanup"))
+	}
+}
+
+func TestUndeliveredSampleIsAnError(t *testing.T) {
+	p := newMockPlane(10, 1)
+	silent := silentPlane{p}
+	e := New(Config{Plane: silent, ErrPrefix: "mock"})
+	_, _, err := e.Load([]int64{4})
+	if err == nil || !strings.Contains(err.Error(), "was not delivered") {
+		t.Fatalf("err = %v, want 'was not delivered'", err)
+	}
+}
+
+// silentPlane claims success without delivering anything.
+type silentPlane struct{ *mockPlane }
+
+func (p silentPlane) FetchOwner(int, []int64, Deliver) error { return nil }
+
+func TestEpochBracketing(t *testing.T) {
+	base := newMockPlane(12, 3)
+	ep := &epochMock{mockPlane: base, cost: 5 * time.Millisecond}
+	var now atomic.Int64
+	e := New(Config{
+		Plane:  ep,
+		Serial: true,
+		Now:    func() time.Duration { return time.Duration(now.Load()) },
+	})
+	_, lats, err := e.Load([]int64{0, 1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.mu.Lock()
+	for owner := 0; owner < 3; owner++ {
+		if ep.begins[owner] != 1 || ep.ends[owner] != 1 {
+			t.Errorf("owner %d: begins=%d ends=%d, want 1/1", owner, ep.begins[owner], ep.ends[owner])
+		}
+	}
+	ep.mu.Unlock()
+	// The mock delivers id*1µs; the lock cost lands on each owner's first
+	// delivered sample (first-appearance order: 0, 1, 2 lead their owners).
+	for i, id := range []int64{0, 1, 2, 3, 4, 5} {
+		want := time.Duration(id) * time.Microsecond
+		if id < 3 {
+			want += ep.cost
+		}
+		if lats[i] != want {
+			t.Errorf("sample %d latency %v, want %v", id, lats[i], want)
+		}
+	}
+}
+
+func TestEpochEndsEvenWhenFetchFails(t *testing.T) {
+	base := newMockPlane(12, 3)
+	base.failWhen = func(owner int, id int64) error {
+		if owner == 1 {
+			return errors.New("boom")
+		}
+		return nil
+	}
+	ep := &epochMock{mockPlane: base}
+	e := New(Config{Plane: ep, Serial: true})
+	if _, _, err := e.Load([]int64{0, 1, 2}); err == nil {
+		t.Fatal("load with failing owner succeeded")
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.begins[1] != 1 || ep.ends[1] != 1 {
+		t.Fatalf("failing owner: begins=%d ends=%d, want 1/1 (epoch leaked)", ep.begins[1], ep.ends[1])
+	}
+}
+
+func TestBeginEpochErrorAborts(t *testing.T) {
+	base := newMockPlane(12, 2)
+	ep := &epochMock{mockPlane: base, beginErr: errors.New("lock refused")}
+	e := New(Config{Plane: ep, Serial: true})
+	if _, _, err := e.Load([]int64{0, 1}); err == nil || !strings.Contains(err.Error(), "lock refused") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSerialNeverOverlapsOwners(t *testing.T) {
+	p := newMockPlane(16, 4)
+	p.delay = 5 * time.Millisecond
+	e := New(Config{Plane: p, Serial: true, Parallelism: 4})
+	if _, _, err := e.Load([]int64{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if max := atomic.LoadInt32(&p.maxFly); max != 1 {
+		t.Errorf("serial engine overlapped %d owner fetches", max)
+	}
+}
+
+func TestParallelismBoundsFanOut(t *testing.T) {
+	p := newMockPlane(16, 4)
+	p.delay = 20 * time.Millisecond
+	e := New(Config{Plane: p, Parallelism: 2})
+	if _, _, err := e.Load([]int64{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if max := atomic.LoadInt32(&p.maxFly); max > 2 {
+		t.Errorf("fan-out reached %d concurrent owners, cap is 2", max)
+	} else if max < 2 {
+		t.Logf("fan-out reached only %d concurrent owners (timing-dependent)", max)
+	}
+}
+
+func TestLowestOwnerErrorWins(t *testing.T) {
+	p := newMockPlane(16, 4)
+	p.failWhen = func(owner int, id int64) error {
+		if owner >= 2 {
+			return fmt.Errorf("owner %d down", owner)
+		}
+		return nil
+	}
+	e := New(Config{Plane: p, Parallelism: 4})
+	_, _, err := e.Load([]int64{0, 1, 2, 3})
+	if err == nil || !strings.Contains(err.Error(), "owner 2 down") {
+		t.Fatalf("err = %v, want the lowest failing owner's error", err)
+	}
+}
+
+func TestLatencyWindowAndPercentiles(t *testing.T) {
+	p := newMockPlane(100, 1)
+	var now atomic.Int64
+	e := New(Config{
+		Plane:      p,
+		WindowSize: 8,
+		Now:        func() time.Duration { return time.Duration(now.Load()) },
+	})
+	// 16 unique samples: the window keeps the last 8 (ids 8..15, whose mock
+	// latencies are 8..15µs).
+	for id := int64(0); id < 16; id++ {
+		if _, _, err := e.Load([]int64{id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.LatencyStats()
+	if s.Count != 16 {
+		t.Errorf("Count = %d, want 16", s.Count)
+	}
+	if s.P50 < 8*time.Microsecond || s.P50 > 15*time.Microsecond {
+		t.Errorf("P50 = %v, outside the retained window [8µs,15µs]", s.P50)
+	}
+	if s.P99 < s.P50 || s.P95 < s.P50 || s.P99 < s.P95 {
+		t.Errorf("percentiles not monotone: p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+	}
+}
+
+func TestLatencyStatsZeroBeforeAnyLoad(t *testing.T) {
+	e := New(Config{Plane: newMockPlane(4, 1)})
+	if s := e.LatencyStats(); s != (LatencySummary{}) {
+		t.Errorf("pre-load summary = %+v, want zero", s)
+	}
+}
+
+func TestNewPanicsWithoutPlane(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted a nil Plane")
+		}
+	}()
+	New(Config{})
+}
+
+func TestRetainedOnlyWhenFlightTookBytes(t *testing.T) {
+	p := newMockPlane(10, 2)
+	c := newCache(1 << 20)
+	e := New(Config{Plane: p, Cache: c})
+	if _, _, err := e.Load([]int64{1}); err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.retained[1] {
+		t.Error("leader delivery must report the bytes retained by the cache")
+	}
+}
+
+// TestConcurrentHammer drives many overlapping loads through one cached
+// engine; run with -race to check the pipeline's synchronization.
+func TestConcurrentHammer(t *testing.T) {
+	p := newMockPlane(64, 4)
+	c := newCache(1 << 10) // tiny budget forces constant eviction churn
+	e := New(Config{Plane: p, Cache: c})
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				ids := []int64{
+					(seed + int64(i)) % 64,
+					(seed + int64(i)*7) % 64,
+					(seed + int64(i)) % 64, // duplicate on purpose
+				}
+				out, lats, err := e.Load(ids)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(lats) != len(ids) {
+					t.Errorf("%d latencies for %d ids", len(lats), len(ids))
+				}
+				for j, id := range ids {
+					if out[j].ID != id {
+						t.Errorf("position %d: want %d, got %d", j, id, out[j].ID)
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}

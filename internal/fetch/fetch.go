@@ -1,0 +1,469 @@
+// Package fetch is the shared batch-load engine behind both of DDStore's
+// data planes. The in-process RMA store (internal/core) and the TCP chunk
+// group (internal/transport) used to carry separate copies of the same
+// pipeline — id dedup, cache claims with leader/follower flights, per-owner
+// grouping, bounded fan-out, follower waits, latency capture. This package
+// owns that pipeline once; a plane plugs in through the small Plane
+// interface and contributes only what is genuinely its own: owner
+// arithmetic, the wire (RMA Gets, framed TCP multi-gets), and per-plane
+// concerns like window-lock epochs or replica failover.
+//
+// The pipeline, in order:
+//
+//	ids ──dedup──▶ unique ids ──validate──▶ OwnerOf for every id
+//	     ──claim──▶ cache hits / leader flights / follower flights
+//	     ──serve──▶ hits decoded from cached bytes (a memory read)
+//	     ──group──▶ fetchable ids bucketed by owner, owners sorted
+//	     ──fan-out─▶ ≤ Parallelism owners fetched concurrently, each
+//	                 wrapped in BeginEpoch/EndEpoch when the plane has them
+//	     ──wait───▶ follower flights awaited after own deliveries
+//	     ──assemble▶ results written back to every requested position
+//
+// Every error path fails the flights this load still leads, so coalesced
+// waiters in other goroutines never block forever. Per-unique-id latencies
+// are recorded into a bounded window; LatencyStats summarizes them as
+// p50/p95/p99.
+package fetch
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ddstore/internal/cache"
+	"ddstore/internal/graph"
+	"ddstore/internal/stats"
+)
+
+// Deliver hands one fetched sample back to the engine: its decode-validated
+// raw bytes, the decoded graph, and the per-sample fetch latency. It
+// reports whether a cache flight retained raw — a plane recycling fetch
+// buffers must not reuse a retained one.
+type Deliver func(id int64, raw []byte, g *graph.Graph, lat time.Duration) (retained bool)
+
+// Plane is what a data plane contributes to the engine: owner arithmetic
+// and the actual wire transfer. FetchOwner receives the unique ids grouped
+// on one owner and must deliver every one of them (or return an error);
+// ids arrive sorted in the batch's first-appearance order. Deliveries are
+// serialized by the engine, so FetchOwner needs no locking of its own even
+// when several owners are fetched concurrently.
+type Plane interface {
+	// OwnerOf maps a sample id to its owner token, or errors for ids the
+	// plane cannot serve. Owner tokens only need to be stable and sortable:
+	// the engine groups by them and fetches owners in ascending order.
+	OwnerOf(id int64) (int, error)
+	// Local reports whether the owner's samples live in this process's
+	// memory. Local ids bypass the cache — they are already memory reads.
+	Local(owner int) bool
+	// FetchOwner transfers the given ids from one owner, calling deliver
+	// once per id with decode-validated bytes.
+	FetchOwner(owner int, ids []int64, deliver Deliver) error
+}
+
+// EpochPlane is the optional lock hook: when a plane implements it, the
+// engine brackets every FetchOwner call in BeginEpoch/EndEpoch and charges
+// the returned acquisition cost to the first sample delivered from that
+// owner (how a per-batch lock amortizes in practice). EndEpoch runs even
+// when FetchOwner fails, so no error path can leak an epoch.
+type EpochPlane interface {
+	Plane
+	// BeginEpoch opens an access epoch on owner and returns its cost.
+	// Planes without a lock for this owner (or mode) return (0, nil).
+	BeginEpoch(owner int) (time.Duration, error)
+	// EndEpoch closes the epoch opened by BeginEpoch.
+	EndEpoch(owner int) error
+}
+
+// Config assembles an Engine.
+type Config struct {
+	// Plane supplies owner arithmetic and the wire. Required.
+	Plane Plane
+	// Cache, when non-nil, adds the hot-sample cache with singleflight
+	// coalescing over remote ids. When nil the engine skips the claim
+	// machinery entirely — no flight maps are ever allocated.
+	Cache *cache.Cache
+	// Parallelism bounds how many owners one Load fetches from
+	// concurrently. 0 means min(#owners, GOMAXPROCS); 1 is the serial
+	// per-owner loop.
+	Parallelism int
+	// Serial forces the serial loop regardless of Parallelism — set under
+	// machine models, whose virtual clocks charge costs through a
+	// non-thread-safe RNG.
+	Serial bool
+	// Now is the clock latencies are measured on (a virtual clock under
+	// machine models). Nil means wall time.
+	Now func() time.Duration
+	// OnLocalBytes, when set, charges the cost of reading n cached or
+	// coalesced bytes out of local memory (the machine model's LocalRead).
+	OnLocalBytes func(n int)
+	// ErrPrefix tags engine-originated errors with the owning plane's
+	// package name ("core", "transport").
+	ErrPrefix string
+	// WindowSize bounds the per-sample latency window LatencyStats
+	// summarizes (default 4096).
+	WindowSize int
+}
+
+// LatencySummary is a percentile digest of recent per-sample load
+// latencies. Count is the total number of samples ever recorded; the
+// percentiles cover the most recent WindowSize of them.
+type LatencySummary struct {
+	Count         int64
+	P50, P95, P99 time.Duration
+}
+
+// Engine runs the shared batch-load pipeline over one Plane. Safe for
+// concurrent Loads.
+type Engine struct {
+	plane   Plane
+	epochs  EpochPlane // nil when the plane has no lock hooks
+	cache   *cache.Cache
+	par     int
+	serial  bool
+	now     func() time.Duration
+	onLocal func(n int)
+	prefix  string
+
+	latMu   sync.Mutex
+	window  []time.Duration
+	widx    int
+	wlen    int
+	latSeen int64
+}
+
+// New builds an engine from cfg. It panics when cfg.Plane is nil — a plane
+// is not optional.
+func New(cfg Config) *Engine {
+	if cfg.Plane == nil {
+		panic("fetch: Config.Plane is required")
+	}
+	e := &Engine{
+		plane:   cfg.Plane,
+		cache:   cfg.Cache,
+		par:     cfg.Parallelism,
+		serial:  cfg.Serial,
+		now:     cfg.Now,
+		onLocal: cfg.OnLocalBytes,
+		prefix:  cfg.ErrPrefix,
+	}
+	if ep, ok := cfg.Plane.(EpochPlane); ok {
+		e.epochs = ep
+	}
+	if e.now == nil {
+		start := time.Now()
+		e.now = func() time.Duration { return time.Since(start) }
+	}
+	if e.prefix == "" {
+		e.prefix = "fetch"
+	}
+	n := cfg.WindowSize
+	if n <= 0 {
+		n = 4096
+	}
+	e.window = make([]time.Duration, n)
+	return e
+}
+
+// results collects deliveries across the fan-out workers. One mutex guards
+// the graph/latency maps and the leader-flight table, so planes deliver
+// without locking of their own.
+type results struct {
+	mu      sync.Mutex
+	graphs  map[int64]*graph.Graph
+	lats    map[int64]time.Duration
+	flights map[int64]*cache.Flight // leader flights still to complete
+}
+
+// deliver records one sample and completes its flight, if this load leads
+// one. Reports whether the flight retained raw.
+func (r *results) deliver(id int64, raw []byte, g *graph.Graph, lat time.Duration) bool {
+	r.mu.Lock()
+	r.graphs[id] = g
+	r.lats[id] = lat
+	f, flying := r.flights[id]
+	if flying {
+		delete(r.flights, id)
+	}
+	r.mu.Unlock()
+	if flying {
+		f.Deliver(raw)
+	}
+	return flying
+}
+
+// set records a sample served without a fetch (cache hit, follower wait).
+func (r *results) set(id int64, g *graph.Graph, lat time.Duration) {
+	r.mu.Lock()
+	r.graphs[id] = g
+	r.lats[id] = lat
+	r.mu.Unlock()
+}
+
+// failRemaining fails every flight this load still leads — mandatory on
+// every error path, or coalesced waiters block forever.
+func (r *results) failRemaining(err error) {
+	r.mu.Lock()
+	flights := r.flights
+	r.flights = nil
+	r.mu.Unlock()
+	for _, f := range flights {
+		f.Fail(err)
+	}
+}
+
+// Load runs the pipeline for one batch and returns the decoded graphs and
+// per-position latencies, both in request order. Duplicate ids share one
+// fetch (and one graph pointer).
+func (e *Engine) Load(ids []int64) ([]*graph.Graph, []time.Duration, error) {
+	out := make([]*graph.Graph, len(ids))
+	lats := make([]time.Duration, len(ids))
+	if len(ids) == 0 {
+		return out, lats, nil
+	}
+
+	// Dedup in first-appearance order, validating every id before any
+	// cache claim — an invalid id can never strand a flight.
+	uniq := make([]int64, 0, len(ids))
+	owners := make(map[int64]int, len(ids))
+	for _, id := range ids {
+		if _, seen := owners[id]; seen {
+			continue
+		}
+		owner, err := e.plane.OwnerOf(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		owners[id] = owner
+		uniq = append(uniq, id)
+	}
+
+	res := &results{
+		graphs: make(map[int64]*graph.Graph, len(uniq)),
+		lats:   make(map[int64]time.Duration, len(uniq)),
+	}
+
+	// Claim phase: only with a cache, and only for non-local ids. Hits are
+	// resolved bytes, leader flights are ours to complete, follower
+	// flights are someone else's fetch we wait on later.
+	toFetch := uniq
+	var resolved map[int64][]byte
+	var followers map[int64]*cache.Flight
+	if e.cache != nil {
+		toFetch = make([]int64, 0, len(uniq))
+		for _, id := range uniq {
+			if e.plane.Local(owners[id]) {
+				toFetch = append(toFetch, id)
+				continue
+			}
+			val, f := e.cache.Claim(id)
+			switch {
+			case f == nil:
+				if resolved == nil {
+					resolved = make(map[int64][]byte)
+				}
+				resolved[id] = val
+			case f.Leader():
+				if res.flights == nil {
+					res.flights = make(map[int64]*cache.Flight)
+				}
+				res.flights[id] = f
+				toFetch = append(toFetch, id)
+			default:
+				if followers == nil {
+					followers = make(map[int64]*cache.Flight)
+				}
+				followers[id] = f
+			}
+		}
+	}
+	fail := func(err error) error {
+		res.failRemaining(err)
+		return err
+	}
+
+	// Serve cache hits: a memory read plus a decode. Iterating uniq (not
+	// the map) keeps virtual-clock charging deterministic.
+	for _, id := range uniq {
+		raw, ok := resolved[id]
+		if !ok {
+			continue
+		}
+		before := e.now()
+		if e.onLocal != nil {
+			e.onLocal(len(raw))
+		}
+		g, err := graph.Decode(raw)
+		if err != nil {
+			// Cannot happen: only decode-validated bytes are cached.
+			return nil, nil, fail(fmt.Errorf("%s: cached sample %d: %w", e.prefix, id, err))
+		}
+		res.set(id, g, e.now()-before)
+	}
+
+	// Group fetchable ids by owner; fetch owners in ascending order.
+	if len(toFetch) > 0 {
+		byOwner := make(map[int][]int64)
+		for _, id := range toFetch {
+			byOwner[owners[id]] = append(byOwner[owners[id]], id)
+		}
+		keys := make([]int, 0, len(byOwner))
+		for owner := range byOwner {
+			keys = append(keys, owner)
+		}
+		sort.Ints(keys)
+		if err := e.forEachOwner(keys, byOwner, res); err != nil {
+			return nil, nil, fail(err)
+		}
+		for _, id := range toFetch {
+			if _, ok := res.graphs[id]; !ok {
+				return nil, nil, fail(fmt.Errorf("%s: sample %d was not delivered by its owner", e.prefix, id))
+			}
+		}
+	}
+
+	// Followers wait only after our own fetches delivered, so one load
+	// carrying both the leader and a follower of an id cannot deadlock
+	// against itself.
+	for _, id := range uniq {
+		f, ok := followers[id]
+		if !ok {
+			continue
+		}
+		before := e.now()
+		raw, err := f.Wait()
+		if err != nil {
+			return nil, nil, fail(fmt.Errorf("%s: coalesced fetch of sample %d: %w", e.prefix, id, err))
+		}
+		if e.onLocal != nil {
+			e.onLocal(len(raw))
+		}
+		g, err := graph.Decode(raw)
+		if err != nil {
+			return nil, nil, fail(fmt.Errorf("%s: coalesced sample %d: %w", e.prefix, id, err))
+		}
+		res.set(id, g, e.now()-before)
+	}
+
+	for pos, id := range ids {
+		out[pos] = res.graphs[id]
+		lats[pos] = res.lats[id]
+	}
+	e.record(uniq, res.lats)
+	return out, lats, nil
+}
+
+// fetchOwner brackets one owner's transfer in its epoch (when the plane
+// has one) and folds the lock cost into the first delivered sample.
+func (e *Engine) fetchOwner(owner int, ids []int64, res *results) error {
+	var lockCost time.Duration
+	if e.epochs != nil {
+		cost, err := e.epochs.BeginEpoch(owner)
+		if err != nil {
+			return err
+		}
+		lockCost = cost
+	}
+	first := true
+	deliver := func(id int64, raw []byte, g *graph.Graph, lat time.Duration) bool {
+		if first {
+			lat += lockCost
+			first = false
+		}
+		return res.deliver(id, raw, g, lat)
+	}
+	err := e.plane.FetchOwner(owner, ids, deliver)
+	if e.epochs != nil {
+		if uerr := e.epochs.EndEpoch(owner); uerr != nil && err == nil {
+			err = uerr
+		}
+	}
+	return err
+}
+
+// parallelism resolves the worker budget for a batch touching n owners.
+func (e *Engine) parallelism(n int) int {
+	if n <= 1 || e.serial {
+		return 1
+	}
+	p := e.par
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	return p
+}
+
+// forEachOwner fetches every owner, fanning out across a bounded worker
+// pool. Errors are recorded per owner and the lowest-owner error is
+// returned — the same deterministic choice the serial loop makes — but
+// every owner still completes, so its flights are delivered or failed
+// either way.
+func (e *Engine) forEachOwner(keys []int, byOwner map[int][]int64, res *results) error {
+	par := e.parallelism(len(keys))
+	if par <= 1 {
+		for _, owner := range keys {
+			if err := e.fetchOwner(owner, byOwner[owner], res); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(keys))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = e.fetchOwner(keys[i], byOwner[keys[i]], res)
+			}
+		}()
+	}
+	for i := range keys {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// record appends one batch's per-unique-id latencies to the window.
+func (e *Engine) record(uniq []int64, lats map[int64]time.Duration) {
+	e.latMu.Lock()
+	for _, id := range uniq {
+		e.window[e.widx] = lats[id]
+		e.widx = (e.widx + 1) % len(e.window)
+		if e.wlen < len(e.window) {
+			e.wlen++
+		}
+	}
+	e.latSeen += int64(len(uniq))
+	e.latMu.Unlock()
+}
+
+// LatencyStats digests the recent per-sample latency window into
+// p50/p95/p99. The zero summary is returned before any load.
+func (e *Engine) LatencyStats() LatencySummary {
+	e.latMu.Lock()
+	defer e.latMu.Unlock()
+	s := LatencySummary{Count: e.latSeen}
+	if e.wlen == 0 {
+		return s
+	}
+	ds := make([]time.Duration, e.wlen)
+	copy(ds, e.window[:e.wlen])
+	s.P50 = stats.DurationPercentile(ds, 50)
+	s.P95 = stats.DurationPercentile(ds, 95)
+	s.P99 = stats.DurationPercentile(ds, 99)
+	return s
+}

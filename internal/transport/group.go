@@ -3,12 +3,12 @@ package transport
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"ddstore/internal/cache"
+	"ddstore/internal/fetch"
 	"ddstore/internal/graph"
 )
 
@@ -78,8 +78,13 @@ type Group struct {
 	counters Counters
 	cooldown time.Duration
 	maxBatch int
-	fanout   int          // FetchParallelism (0 = min(#owners, GOMAXPROCS))
 	cache    *cache.Cache // nil when CacheBytes <= 0
+	// engine is the shared batch-load pipeline (internal/fetch); the group
+	// plugs in as its TCP plane via groupPlane. stride packs the engine's
+	// owner token as replica*stride+member, so tokens sort exactly like
+	// (replica, member) pairs.
+	engine *fetch.Engine
+	stride int
 
 	mu      sync.Mutex
 	suspect map[[2]int]time.Time // {replica, member} -> quarantine expiry
@@ -116,7 +121,6 @@ func NewGroupReplicas(replicas [][]string, opts GroupOptions) (*Group, error) {
 	if g.maxBatch > maxBatchIDs {
 		g.maxBatch = maxBatchIDs
 	}
-	g.fanout = opts.FetchParallelism
 	if opts.CacheBytes > 0 {
 		g.cache = cache.New(cache.Options{
 			MaxBytes: opts.CacheBytes,
@@ -161,6 +165,20 @@ func NewGroupReplicas(replicas [][]string, opts GroupOptions) (*Group, error) {
 				ri+1, rs.lo, rs.hi, g.replicas[0].lo, g.replicas[0].hi)
 		}
 	}
+	for _, rs := range g.replicas {
+		if len(rs.members) > g.stride {
+			g.stride = len(rs.members)
+		}
+	}
+	if g.stride == 0 {
+		g.stride = 1
+	}
+	g.engine = fetch.New(fetch.Config{
+		Plane:       groupPlane{g: g},
+		Cache:       g.cache,
+		Parallelism: opts.FetchParallelism,
+		ErrPrefix:   "transport",
+	})
 	return g, nil
 }
 
@@ -177,11 +195,11 @@ func (g *Group) Close() {
 func (g *Group) Replicas() int { return len(g.replicas) }
 
 // Len returns the total number of samples in the dataset.
-func (g *Group) Len() int64 {
+func (g *Group) Len() int {
 	if len(g.replicas) == 0 {
 		return 0
 	}
-	return g.replicas[0].hi - g.replicas[0].lo
+	return int(g.replicas[0].hi - g.replicas[0].lo)
 }
 
 // inCooldown reports whether the peer is quarantined.
@@ -232,200 +250,77 @@ func (g *Group) Get(id int64) (*graph.Graph, error) {
 // preferred replica and owning peer, fetched maxBatch ids per round trip,
 // and failed over to the owners in other replicas when a peer is
 // unreachable or serves corrupt bytes. Concurrent Loads claiming the same
-// missing id coalesce into one fetch via the cache's flight table.
+// missing id coalesce into one fetch via the cache's flight table. The
+// whole pipeline runs in the shared engine (internal/fetch); this file
+// contributes only the TCP wire: replica preference, suspect/cooldown
+// failover, and OpGetBatch chunking.
 func (g *Group) Load(ids []int64) ([]*graph.Graph, error) {
-	n := len(g.replicas)
-	if n == 0 {
-		return nil, errors.New("transport: group has no replicas")
-	}
-	lo, hi := g.replicas[0].lo, g.replicas[0].hi
-	results := make(map[int64]*graph.Graph, len(ids))
-	positions := make(map[int64][]int, len(ids))
-	var fetchIDs []int64                 // unique misses this call leads
-	flights := map[int64]*cache.Flight{} // leader flights still to complete
-	followers := map[int64]*cache.Flight{}
-
-	// Any error return must complete the flights this call leads, or every
-	// coalesced waiter would block forever.
-	fail := func(err error) error {
-		for _, f := range flights {
-			f.Fail(err)
-		}
-		return err
-	}
-
-	for i, id := range ids {
-		if ps, seen := positions[id]; seen {
-			positions[id] = append(ps, i)
-			continue
-		}
-		positions[id] = []int{i}
-		if id < lo || id >= hi {
-			return nil, fail(fmt.Errorf("transport: no peer holds sample %d", id))
-		}
-		if g.cache == nil {
-			fetchIDs = append(fetchIDs, id)
-			continue
-		}
-		val, f := g.cache.Claim(id)
-		switch {
-		case f == nil:
-			gph, err := graph.Decode(val)
-			if err != nil {
-				// Cannot happen: only decode-validated bytes are cached.
-				return nil, fail(fmt.Errorf("transport: cached sample %d: %w", id, err))
-			}
-			results[id] = gph
-		case f.Leader():
-			fetchIDs = append(fetchIDs, id)
-			flights[id] = f
-		default:
-			followers[id] = f
-		}
-	}
-
-	if len(fetchIDs) > 0 {
-		err := g.fetchMissing(fetchIDs, func(id int64, raw []byte, gph *graph.Graph) {
-			results[id] = gph
-			if f, ok := flights[id]; ok {
-				f.Deliver(raw)
-				delete(flights, id)
-			}
-		})
-		if err != nil {
-			return nil, fail(err)
-		}
-	}
-	// Followers wait only after our own fetches delivered, so one Load
-	// carrying both the leader and a follower of the same id cannot
-	// deadlock against itself.
-	for id, f := range followers {
-		raw, err := f.Wait()
-		if err != nil {
-			return nil, fail(fmt.Errorf("transport: coalesced fetch of sample %d: %w", id, err))
-		}
-		gph, err := graph.Decode(raw)
-		if err != nil {
-			return nil, fail(fmt.Errorf("transport: coalesced sample %d: %w", id, err))
-		}
-		results[id] = gph
-	}
-
-	out := make([]*graph.Graph, len(ids))
-	for id, ps := range positions {
-		for _, p := range ps {
-			out[p] = results[id]
-		}
-	}
-	return out, nil
+	out, _, err := g.LoadTimed(ids)
+	return out, err
 }
 
-// fetchMissing fetches unique ids from their owning peers, batching up to
-// maxBatch ids per round trip. Ids are grouped by (preferred replica,
-// owning member); each chunk fails over independently. deliver is called
-// once per id with decode-validated raw bytes.
-func (g *Group) fetchMissing(ids []int64, deliver func(id int64, raw []byte, gph *graph.Graph)) error {
-	n := len(g.replicas)
-	groups := map[[2]int][]int64{}
-	for _, id := range ids {
-		ri := int(id) % n
-		if ri < 0 {
-			ri = 0
+// LoadTimed is Load plus per-sample wall-clock fetch latencies, the same
+// contract core.Store.LoadTimed has on the RMA plane.
+func (g *Group) LoadTimed(ids []int64) ([]*graph.Graph, []time.Duration, error) {
+	if len(g.replicas) == 0 {
+		return nil, nil, errors.New("transport: group has no replicas")
+	}
+	return g.engine.Load(ids)
+}
+
+// groupPlane adapts the Group to the shared fetch engine. The owner token
+// encodes (preferred replica, owning member) as ri*stride+mi; nothing is
+// ever local to a TCP client, so every id goes through the cache and the
+// wire.
+type groupPlane struct {
+	g *Group
+}
+
+func (p groupPlane) OwnerOf(id int64) (int, error) {
+	g := p.g
+	if id < g.replicas[0].lo || id >= g.replicas[0].hi {
+		return 0, fmt.Errorf("transport: no peer holds sample %d", id)
+	}
+	// Spread load over the replicas by preferring replica id%n, exactly
+	// like the single-sample path used to do.
+	ri := int(id) % len(g.replicas)
+	if ri < 0 {
+		ri = 0
+	}
+	mi := g.replicas[ri].ownerOf(id)
+	if mi < 0 {
+		return 0, fmt.Errorf("transport: no peer holds sample %d", id)
+	}
+	return ri*g.stride + mi, nil
+}
+
+func (p groupPlane) Local(int) bool { return false }
+
+// FetchOwner fetches one (replica, member) group's ids in maxBatch-sized
+// chunks; each chunk keeps its own retry/failover sequence.
+func (p groupPlane) FetchOwner(owner int, ids []int64, deliver fetch.Deliver) error {
+	g := p.g
+	ri := owner / g.stride
+	chunk := append([]int64(nil), ids...)
+	sort.Slice(chunk, func(a, b int) bool { return chunk[a] < chunk[b] })
+	for len(chunk) > 0 {
+		m := len(chunk)
+		if m > g.maxBatch {
+			m = g.maxBatch
 		}
-		mi := g.replicas[ri].ownerOf(id)
-		groups[[2]int{ri, mi}] = append(groups[[2]int{ri, mi}], id)
-	}
-	// Deterministic request order regardless of map iteration.
-	keys := make([][2]int, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(a, b int) bool {
-		if keys[a][0] != keys[b][0] {
-			return keys[a][0] < keys[b][0]
-		}
-		return keys[a][1] < keys[b][1]
-	})
-	fetchKey := func(k [2]int, deliver func(id int64, raw []byte, gph *graph.Graph)) error {
-		chunk := groups[k]
-		sort.Slice(chunk, func(a, b int) bool { return chunk[a] < chunk[b] })
-		for len(chunk) > 0 {
-			m := len(chunk)
-			if m > g.maxBatch {
-				m = g.maxBatch
-			}
-			if err := g.fetchChunk(k[0], chunk[:m], deliver); err != nil {
-				return err
-			}
-			chunk = chunk[m:]
-		}
-		return nil
-	}
-	par := g.fetchParallelism(len(keys))
-	if par <= 1 {
-		for _, k := range keys {
-			if err := fetchKey(k, deliver); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	// Fan out across owner groups: each key keeps its serial chunk/failover
-	// sequence, deliveries are serialized (the callback mutates the caller's
-	// result and flight maps), and the lowest-key error wins — the same
-	// deterministic choice the serial loop makes.
-	var mu sync.Mutex
-	locked := func(id int64, raw []byte, gph *graph.Graph) {
-		mu.Lock()
-		deliver(id, raw, gph)
-		mu.Unlock()
-	}
-	errs := make([]error, len(keys))
-	next := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(par)
-	for w := 0; w < par; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				errs[i] = fetchKey(keys[i], locked)
-			}
-		}()
-	}
-	for i := range keys {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+		if err := g.fetchChunk(ri, chunk[:m], deliver); err != nil {
 			return err
 		}
+		chunk = chunk[m:]
 	}
 	return nil
-}
-
-// fetchParallelism returns how many owner groups one Load may fetch from
-// concurrently.
-func (g *Group) fetchParallelism(owners int) int {
-	if owners <= 1 {
-		return 1
-	}
-	p := g.fanout
-	if p <= 0 {
-		p = runtime.GOMAXPROCS(0)
-	}
-	if p > owners {
-		p = owners
-	}
-	return p
 }
 
 // fetchChunk fetches one owner-grouped chunk of at most maxBatch ids,
 // starting at the preferred replica and failing the still-missing ids over
 // to the owners in the other replicas. Quarantined peers are deferred to a
 // last-resort pass, exactly like the single-sample path used to do.
-func (g *Group) fetchChunk(start int, ids []int64, deliver func(id int64, raw []byte, gph *graph.Graph)) error {
+func (g *Group) fetchChunk(start int, ids []int64, deliver fetch.Deliver) error {
 	n := len(g.replicas)
 	missing := make(map[int64]bool, len(ids))
 	for _, id := range ids {
@@ -454,7 +349,9 @@ func (g *Group) fetchChunk(start int, ids []int64, deliver func(id int64, raw []
 				}
 				want := byOwner[mi]
 				sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+				before := time.Now()
 				raws, err := g.replicas[ri].members[mi].cl.GetBatchRaw(want)
+				per := time.Since(before) / time.Duration(len(want))
 				if err != nil {
 					lastErr = err
 					var rerr *RemoteError
@@ -479,7 +376,7 @@ func (g *Group) fetchChunk(start int, ids []int64, deliver func(id int64, raw []
 					if k > 0 || lastResort {
 						g.counters.Inc(CounterFailovers, 1)
 					}
-					deliver(id, raws[j], gph)
+					deliver(id, raws[j], gph, per)
 				}
 				if healthy {
 					g.clearSuspect(ri, mi)
@@ -505,19 +402,8 @@ func (g *Group) CacheStats() cache.Stats {
 	return g.cache.Stats()
 }
 
-// GroupLoader adapts a Group to the batch-loading contract of the DDP
-// trainer (ddp.Loader): batches are fetched sample-by-sample from the
-// owning peers over TCP. Latency reporting is nil — wall-clock timing of a
-// real network needs no model.
-type GroupLoader struct {
-	Group *Group
-}
-
-// Len returns the total number of samples across the group.
-func (l *GroupLoader) Len() int { return int(l.Group.Len()) }
-
-// LoadBatch fetches the given sample ids from their owners.
-func (l *GroupLoader) LoadBatch(ids []int64) ([]*graph.Graph, []time.Duration, error) {
-	graphs, err := l.Group.Load(ids)
-	return graphs, nil, err
+// LatencyStats summarizes per-sample fetch latency over the engine's
+// sliding window (p50/p95/p99 of the most recent fetches).
+func (g *Group) LatencyStats() fetch.LatencySummary {
+	return g.engine.LatencyStats()
 }

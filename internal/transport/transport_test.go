@@ -282,7 +282,7 @@ func TestGroupLoaderTrainsAModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer grp.Close()
-	loader := &transport.GroupLoader{Group: grp}
+	loader := &ddp.PlaneLoader{Plane: grp}
 	if loader.Len() != 60 {
 		t.Fatalf("Len = %d", loader.Len())
 	}
