@@ -30,10 +30,11 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzRoundTrip -fuzztime=$(FUZZTIME) ./internal/transport
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeGetBatch -fuzztime=$(FUZZTIME) ./internal/transport
 
-# Coverage gate for the shared fetch engine: both data planes route every
-# batch load through internal/fetch, so its statement coverage must stay
-# above COVER_MIN percent (engine unit tests + cross-plane conformance).
+# Coverage gates. internal/fetch is the one pipeline both data planes ride
+# (engine unit tests + cross-plane conformance); internal/obs is the
+# metrics/span/telemetry surface every layer now feeds.
 COVER_MIN ?= 85
+OBS_COVER_MIN ?= 75
 
 cover:
 	$(GO) test -coverprofile=fetch.cover -coverpkg=./internal/fetch/ ./internal/fetch/
@@ -41,6 +42,11 @@ cover:
 	echo "internal/fetch coverage: $$total% (floor $(COVER_MIN)%)"; \
 	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
 		{ echo "coverage $$total% is below the $(COVER_MIN)% floor" >&2; exit 1; }
+	$(GO) test -coverprofile=obs.cover -coverpkg=./internal/obs/ ./internal/obs/
+	@total=$$($(GO) tool cover -func=obs.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/obs coverage: $$total% (floor $(OBS_COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(OBS_COVER_MIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% is below the $(OBS_COVER_MIN)% floor" >&2; exit 1; }
 
 fmt:
 	gofmt -w .

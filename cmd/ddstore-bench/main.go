@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"ddstore/internal/bench"
+	"ddstore/internal/obs"
 )
 
 func main() {
@@ -37,6 +38,8 @@ func main() {
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		cacheBytes = flag.Int64("cache-bytes", 0, "per-rank remote-sample cache budget for DDStore runs (0 = no cache)")
 		cachePol   = flag.String("cache-policy", "lru", "cache eviction policy: lru, fifo, clock")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of per-batch spans from every run (load in about://tracing)")
+		metricsOut = flag.String("metrics-json", "", "write the final metrics registry snapshot to this JSON file")
 	)
 	flag.Parse()
 
@@ -48,6 +51,12 @@ func main() {
 	}
 
 	opts := bench.Options{Quick: *quick, Seed: *seed, CacheBytes: *cacheBytes, CachePolicy: *cachePol}
+	if *metricsOut != "" {
+		opts.Metrics = obs.NewRegistry()
+	}
+	if *traceOut != "" {
+		opts.Trace = obs.NewTraceSink(obs.DefaultSpanCap)
+	}
 	var exps []bench.Experiment
 	if *exp == "all" {
 		exps = bench.Experiments()
@@ -105,5 +114,34 @@ func main() {
 		if !*jsonOut {
 			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
+	}
+
+	if opts.Metrics != nil {
+		out, err := opts.Metrics.Snapshot().JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddstore-bench: metrics snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*metricsOut, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ddstore-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", *metricsOut)
+	}
+	if opts.Trace != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddstore-bench: %v\n", err)
+			os.Exit(1)
+		}
+		werr := opts.Trace.WriteChromeTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "ddstore-bench: write trace: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (load in about://tracing)\n", *traceOut)
 	}
 }

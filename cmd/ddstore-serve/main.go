@@ -29,6 +29,7 @@ import (
 	"ddstore/internal/datasets"
 	"ddstore/internal/faultnet"
 	"ddstore/internal/graph"
+	"ddstore/internal/obs"
 	"ddstore/internal/pff"
 	"ddstore/internal/transport"
 )
@@ -78,6 +79,7 @@ func main() {
 
 		writeTimeout = flag.Duration("write-timeout", 5*time.Second, "per-response write deadline (0 = none)")
 		idleTimeout  = flag.Duration("idle-timeout", 0, "close connections idle this long (0 = never)")
+		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty = disabled)")
 
 		// Cache flags switch from eager preload to lazy on-demand serving
 		// through a byte-budgeted hot-sample cache.
@@ -165,6 +167,25 @@ func main() {
 	}
 	opts := transport.ServerOptions{WriteTimeout: *writeTimeout, IdleTimeout: *idleTimeout}
 
+	// The debug endpoint exports the server's request/latency metrics plus
+	// cache and runtime gauges. Known resilience counters are pre-registered
+	// at zero so a scrape shows the full schema before any traffic.
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		obs.NewCounterSink(reg, obs.MetricEvents, "event",
+			cache.CounterHits, cache.CounterMisses, cache.CounterCoalesced, cache.CounterEvictions,
+			transport.CounterRoundTrips, transport.CounterRetries, transport.CounterReconnects,
+			transport.CounterTimeouts, transport.CounterChecksumErrors,
+			transport.CounterFailovers, transport.CounterGiveUps)
+		obs.FetchLatencyHistogram(reg)
+		obs.CollectGoRuntime(reg)
+		if hotCache != nil {
+			obs.CollectCache(reg, hotCache.Stats)
+		}
+		opts.Metrics = reg
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ddstore-serve: %v\n", err)
@@ -184,6 +205,15 @@ func main() {
 	}
 	srv := transport.ServeListener(ln, chunk, opts)
 	fmt.Printf("serving samples [%d,%d) on %s (ctrl-c to stop)\n", *lo, end, srv.Addr())
+	if reg != nil {
+		dbg, err := obs.StartDebug(*debugAddr, reg, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddstore-serve: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug server on http://%s (/metrics, /healthz, /debug/pprof/)\n", dbg.Addr())
+	}
 	if hotCache != nil {
 		fmt.Printf("lazy mode: %s cache, %d byte budget\n", hotCache.Policy(), *cacheBytes)
 	}

@@ -1,12 +1,16 @@
 package main
 
 import (
+	"io"
 	"net"
+	"net/http"
+	"strings"
 	"testing"
 	"time"
 
 	"ddstore/internal/cache"
 	"ddstore/internal/datasets"
+	"ddstore/internal/obs"
 	"ddstore/internal/transport"
 )
 
@@ -58,5 +62,90 @@ func TestLazyChunkServes(t *testing.T) {
 	}
 	if after := hot.Stats(); after.Misses != st.Misses {
 		t.Fatal("out-of-range gets reached the cache")
+	}
+}
+
+// TestDebugMetricsExposition wires a registry exactly the way -debug-addr
+// does — server metrics, cache collector, pre-registered resilience
+// counters — drives a little traffic, and checks the /metrics and /healthz
+// endpoints serve a scrape containing the full schema.
+func TestDebugMetricsExposition(t *testing.T) {
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 50})
+	hot := cache.New(cache.Options{MaxBytes: 1 << 20})
+	chunk := &lazyChunk{src: ds, lo: 0, hi: 50, c: hot}
+
+	reg := obs.NewRegistry()
+	obs.NewCounterSink(reg, obs.MetricEvents, "event",
+		cache.CounterHits, cache.CounterMisses, cache.CounterCoalesced, cache.CounterEvictions,
+		transport.CounterRoundTrips, transport.CounterRetries, transport.CounterReconnects,
+		transport.CounterTimeouts, transport.CounterChecksumErrors,
+		transport.CounterFailovers, transport.CounterGiveUps)
+	obs.FetchLatencyHistogram(reg)
+	obs.CollectGoRuntime(reg)
+	obs.CollectCache(reg, hot.Stats)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := transport.ServeListener(ln, chunk, transport.ServerOptions{WriteTimeout: time.Second, Metrics: reg})
+	defer srv.Close()
+
+	cl, err := transport.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for pass := 0; pass < 2; pass++ {
+		for id := int64(0); id < 5; id++ {
+			if _, err := cl.Get(id); err != nil {
+				t.Fatalf("get %d: %v", id, err)
+			}
+		}
+	}
+
+	dbg, err := obs.StartDebug("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbg.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + dbg.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/healthz"); !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %q", body)
+	}
+	body := get("/metrics")
+	for _, want := range []string{
+		"ddstore_fetch_latency_seconds_bucket",
+		"ddstore_fetch_latency_seconds_count 10",
+		`ddstore_serve_requests_total{op="get"} 10`,
+		`ddstore_events_total{event="cache-hits"} 5`,
+		`ddstore_events_total{event="cache-misses"} 5`,
+		`ddstore_events_total{event="net-retries"} 0`,
+		`ddstore_events_total{event="net-failovers"} 0`,
+		"ddstore_cache_hit_rate 0.5",
+		"go_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full scrape:\n%s", body)
 	}
 }

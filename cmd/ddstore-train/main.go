@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"ddstore/internal/cache"
 	"ddstore/internal/cff"
@@ -23,7 +24,9 @@ import (
 	"ddstore/internal/core"
 	"ddstore/internal/datasets"
 	"ddstore/internal/ddp"
+	"ddstore/internal/fetch"
 	"ddstore/internal/hydra"
+	"ddstore/internal/obs"
 	"ddstore/internal/pff"
 	"ddstore/internal/pfs"
 	"ddstore/internal/trace"
@@ -47,6 +50,9 @@ func main() {
 		localShuf   = flag.Bool("local-shuffle", false, "use sharding with local shuffling instead of global shuffles (the conventional baseline of paper §2.2)")
 		cacheBytes  = flag.Int64("cache-bytes", 0, "per-rank remote-sample cache budget for -method ddstore (0 = no cache)")
 		cachePol    = flag.String("cache-policy", "lru", "cache eviction policy: lru, fifo, clock")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /healthz, /trace, and /debug/pprof on this address during the run (empty = disabled)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON file of per-batch spans (load in about://tracing)")
+		metricsJSON = flag.String("metrics-json", "", "write the final metrics registry snapshot to this JSON file")
 	)
 	flag.Parse()
 
@@ -109,11 +115,29 @@ func main() {
 
 	simModel := hydra.PaperConfig(ds.NodeFeatDim(), ds.EdgeFeatDim(), ds.OutputDim())
 	merged := trace.New()
+
+	// One registry and one trace sink span the whole run: every rank's
+	// engine feeds the shared latency histogram and event counters, and
+	// each rank records batch spans into its own ring of the sink.
+	reg := obs.NewRegistry()
+	traces := obs.NewTraceSink(obs.DefaultSpanCap)
+	if *debugAddr != "" {
+		obs.CollectGoRuntime(reg)
+		dbg, err := obs.StartDebug(*debugAddr, reg, traces)
+		if err != nil {
+			fatalf("debug server: %v", err)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug server on http://%s (/metrics, /healthz, /trace, /debug/pprof/)\n", dbg.Addr())
+	}
+
 	var res *ddp.Result
 	var cacheStats cache.Stats
+	var latency fetch.LatencySummary
 	var mu sync.Mutex
 	err = world.Run(func(c *comm.Comm) error {
 		prof := trace.New()
+		spans := traces.NewRing("train", c.Rank())
 		var loader ddp.Loader
 		var store *core.Store
 		switch *method {
@@ -125,6 +149,7 @@ func main() {
 			st, err := core.Open(c, ds, core.Options{
 				Width: *width, Profiler: prof,
 				CacheBytes: *cacheBytes, CachePolicy: cachePolicy,
+				Metrics: reg, Spans: spans,
 			})
 			if err != nil {
 				return err
@@ -141,6 +166,8 @@ func main() {
 			LocalShuffle:     *localShuf,
 			SimModel:         simModel,
 			Profiler:         prof,
+			Spans:            spans,
+			Telemetry:        obs.NewTelemetry(c, prof),
 		}
 		if *real {
 			tc.Model = hydra.New(hydra.Config{
@@ -164,6 +191,9 @@ func main() {
 		merged.Merge(prof)
 		if c.Rank() == 0 {
 			res = r
+			if dp, ok := loader.(interface{ LatencyStats() fetch.LatencySummary }); ok {
+				latency = dp.LatencyStats()
+			}
 			if store != nil {
 				cacheStats = store.CacheStats()
 			}
@@ -188,6 +218,10 @@ func main() {
 		fmt.Println(line)
 	}
 	fmt.Printf("mean throughput: %.0f samples/s over %v virtual\n", res.MeanThroughput, res.TotalDuration)
+	if latency.Count > 0 {
+		fmt.Printf("rank 0 fetch latency: p50 %v  p95 %v  p99 %v over %d loads\n",
+			latency.P50, latency.P95, latency.P99, latency.Count)
+	}
 	if *cacheBytes > 0 {
 		fmt.Printf("rank 0 cache (%s, %d B): %.1f%% hit rate, %d hits, %d misses, %d evictions, %d coalesced\n",
 			cachePolicy, *cacheBytes, 100*cacheStats.HitRate(),
@@ -196,6 +230,40 @@ func main() {
 	fmt.Println()
 	fmt.Println("per-region virtual time (all ranks):")
 	fmt.Print(merged.String())
+	if res.Telemetry != nil {
+		fmt.Println()
+		fmt.Print(res.Telemetry.String())
+	}
+
+	// Fold run-wide aggregates into the registry before the final snapshot
+	// so -metrics-json (and a last /metrics scrape) sees them.
+	obs.AddProfiler(reg, merged)
+	obs.CollectLatencySummary(reg, func() (int64, time.Duration, time.Duration, time.Duration) {
+		return latency.Count, latency.P50, latency.P95, latency.P99
+	})
+	if *metricsJSON != "" {
+		out, err := reg.Snapshot().JSON()
+		if err != nil {
+			fatalf("metrics snapshot: %v", err)
+		}
+		if err := os.WriteFile(*metricsJSON, append(out, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", *metricsJSON)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := traces.WriteChromeTrace(f); err != nil {
+			fatalf("write trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote Chrome trace to %s (load in about://tracing)\n", *traceOut)
+	}
 }
 
 func fatalf(format string, args ...any) {

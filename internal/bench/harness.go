@@ -15,6 +15,7 @@ import (
 	"ddstore/internal/datasets"
 	"ddstore/internal/ddp"
 	"ddstore/internal/hydra"
+	"ddstore/internal/obs"
 	"ddstore/internal/pff"
 	"ddstore/internal/pfs"
 	"ddstore/internal/stats"
@@ -159,6 +160,12 @@ type runSpec struct {
 	// experiment sets them explicitly).
 	cacheBytes  int64
 	cachePolicy cache.Policy
+
+	// Observability sinks (filled in from Options by runCached). They do
+	// not affect the simulated outcome, so they are excluded from the run
+	// memoization key — a memoized hit simply records nothing new.
+	metrics   *obs.Registry
+	traceSink *obs.TraceSink
 }
 
 // runOut is the aggregated outcome of one run.
@@ -174,6 +181,9 @@ type runOut struct {
 	// Latencies concatenates per-sample load latencies from all ranks (only
 	// if keepLat).
 	Latencies []time.Duration
+	// Telemetry is the rank-0 cluster aggregation: per-rank time shares and
+	// the per-epoch loading-skew table, gathered over the comm collectives.
+	Telemetry *obs.ClusterTelemetry
 }
 
 // runOne executes one simulated DDP training run and aggregates the
@@ -226,6 +236,10 @@ func runOne(spec runSpec) (*runOut, error) {
 			loader = &ddp.SourceLoader{Source: cff.NewSim(fs, spec.ds, layout, c.Clock(), c.RNG())}
 		}
 		prof := trace.NewSampling()
+		var spans *obs.SpanRing
+		if spec.traceSink != nil {
+			spans = spec.traceSink.NewRing(fmt.Sprintf("%s %s x%d", spec.method, spec.machine.Name, spec.ranks), c.Rank())
+		}
 		if spec.method == MethodDDStore {
 			st, err := core.Open(c, spec.ds, core.Options{
 				Width:         spec.width,
@@ -235,6 +249,8 @@ func runOne(spec runSpec) (*runOut, error) {
 				NonBlocking:   spec.nonBlocking,
 				CacheBytes:    spec.cacheBytes,
 				CachePolicy:   spec.cachePolicy,
+				Metrics:       spec.metrics,
+				Spans:         spans,
 			})
 			if err != nil {
 				return err
@@ -251,6 +267,8 @@ func runOne(spec runSpec) (*runOut, error) {
 			SimModel:         simModel,
 			Profiler:         prof,
 			KeepLatencies:    spec.keepLat,
+			Spans:            spans,
+			Telemetry:        obs.NewTelemetry(c, prof),
 		})
 		if err != nil {
 			return err
@@ -262,6 +280,7 @@ func runOne(spec runSpec) (*runOut, error) {
 		}
 		if c.Rank() == 0 {
 			res = r
+			out.Telemetry = r.Telemetry
 		}
 		mu.Unlock()
 		return nil
@@ -312,6 +331,8 @@ func runCached(o Options, spec runSpec) (*runOut, error) {
 		spec.cacheBytes = o.CacheBytes
 		spec.cachePolicy = pol
 	}
+	spec.metrics = o.Metrics
+	spec.traceSink = o.Trace
 	key := fmt.Sprintf("%s/%d/%s/%s-%d-%d/%d/%d/%d/%d/%d/%v/%d-%v-%v/%d-%v",
 		spec.machine.Name, spec.ranks, spec.method, spec.ds.Name(), spec.ds.Len(), spec.ds.OutputDim(),
 		spec.localBatch, spec.epochs, spec.maxSteps, spec.width, spec.seed, spec.keepLat,

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ddstore/internal/fetch"
+	"ddstore/internal/obs"
 )
 
 // Report is the textual result of one experiment.
@@ -25,6 +26,9 @@ type Report struct {
 	// Latency is the per-sample fetch-latency digest of the run, for
 	// experiments whose data plane exposes one (see fetch.LatencySummary).
 	Latency *LatencyDigest `json:"latency,omitempty"`
+	// Telemetry is the cluster-wide time-share and loading-skew aggregation
+	// for experiments that expose one (fig7's Score-P-style profile).
+	Telemetry *obs.ClusterTelemetry `json:"telemetry,omitempty"`
 }
 
 // LatencyDigest is a JSON-friendly rendering of fetch.LatencySummary:
@@ -137,6 +141,13 @@ type Options struct {
 	// CachePolicy selects the cache eviction policy when CacheBytes is
 	// set: "lru" (default), "fifo", or "clock".
 	CachePolicy string
+	// Metrics, when non-nil, receives every run's engine metrics (latency
+	// histogram, cache and resilience event counters) — the -metrics-json
+	// sink of cmd/ddstore-bench. Does not perturb run results.
+	Metrics *obs.Registry
+	// Trace, when non-nil, collects per-batch spans from every rank of
+	// every (non-memoized) run for Chrome trace export (-trace-out).
+	Trace *obs.TraceSink
 }
 
 func (o Options) seed() uint64 {

@@ -267,6 +267,31 @@ func (c *Comm) Gather(mine []byte, root int) ([][]byte, error) {
 	return out, err
 }
 
+// GatherNoCost collects contributions on root like Gather, but charges no
+// modeled cost to the virtual clocks — the telemetry path, which must not
+// perturb the simulated timings it is observing. Call it right after a
+// costed collective (the epoch barrier), where the clocks are already
+// aligned and the zero-cost synchronization is exact.
+func (c *Comm) GatherNoCost(mine []byte, root int) ([][]byte, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("comm: GatherNoCost root %d out of range [0,%d)", root, c.Size())
+	}
+	var out [][]byte
+	err := c.exchange(mine, nil, func(slots []any) {
+		if c.idx != root {
+			return
+		}
+		out = make([][]byte, len(slots))
+		for i, s := range slots {
+			src := s.([]byte)
+			cp := make([]byte, len(src))
+			copy(cp, src)
+			out[i] = cp
+		}
+	})
+	return out, err
+}
+
 // Scatter distributes parts[i] from root to rank i. Only root's parts are
 // consulted; it must have exactly Size() entries.
 func (c *Comm) Scatter(parts [][]byte, root int) ([]byte, error) {

@@ -31,6 +31,7 @@ import (
 	"ddstore/internal/comm"
 	"ddstore/internal/fetch"
 	"ddstore/internal/graph"
+	"ddstore/internal/obs"
 	"ddstore/internal/trace"
 	"ddstore/internal/transport"
 )
@@ -88,6 +89,13 @@ type Options struct {
 	// deterministic virtual clock. The same budget is threaded into
 	// DialGroup for the TCP plane.
 	FetchParallelism int
+	// Metrics, if set, receives the engine's fetch-latency histogram and
+	// live cache event counters (alongside the Profiler, when both are
+	// set). Threaded into DialGroup for the TCP plane.
+	Metrics *obs.Registry
+	// Spans, if set, receives per-owner fetch spans for the Chrome trace.
+	// Threaded into DialGroup for the TCP plane.
+	Spans *obs.SpanRing
 }
 
 // entry locates one sample inside its replica group.
@@ -202,8 +210,17 @@ func Open(c *comm.Comm, src SampleSource, opts Options) (*Store, error) {
 	}
 	if opts.CacheBytes > 0 {
 		copts := cache.Options{MaxBytes: opts.CacheBytes, Policy: opts.CachePolicy}
+		var sinks []obs.IncSink
 		if s.prof != nil {
-			copts.Counters = s.prof
+			sinks = append(sinks, s.prof)
+		}
+		if opts.Metrics != nil {
+			sinks = append(sinks, obs.EventSink(opts.Metrics))
+		}
+		if len(sinks) == 1 {
+			copts.Counters = sinks[0]
+		} else if len(sinks) > 1 {
+			copts.Counters = obs.TeeCounters(sinks...)
 		}
 		s.cache = cache.New(copts)
 	}
@@ -296,6 +313,8 @@ func Open(c *comm.Comm, src SampleSource, opts Options) (*Store, error) {
 			}
 		},
 		ErrPrefix: "core",
+		Metrics:   opts.Metrics,
+		Spans:     opts.Spans,
 	})
 	return s, nil
 }
@@ -468,9 +487,20 @@ func (s *Store) DialGroup(replicas [][]string) (*transport.Group, error) {
 		CacheBytes:       s.opts.CacheBytes,
 		CachePolicy:      s.opts.CachePolicy,
 		FetchParallelism: s.opts.FetchParallelism,
+		Metrics:          s.opts.Metrics,
+		Spans:            s.opts.Spans,
 	}
+	var sinks []obs.IncSink
 	if s.prof != nil {
-		opts.Client.Counters = s.prof
+		sinks = append(sinks, s.prof)
+	}
+	if s.opts.Metrics != nil {
+		sinks = append(sinks, obs.EventSink(s.opts.Metrics))
+	}
+	if len(sinks) == 1 {
+		opts.Client.Counters = sinks[0]
+	} else if len(sinks) > 1 {
+		opts.Client.Counters = obs.TeeCounters(sinks...)
 	}
 	return transport.NewGroupReplicas(replicas, opts)
 }

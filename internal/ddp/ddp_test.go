@@ -1,7 +1,10 @@
 package ddp
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -13,6 +16,7 @@ import (
 	"ddstore/internal/datasets"
 	"ddstore/internal/graph"
 	"ddstore/internal/hydra"
+	"ddstore/internal/obs"
 	"ddstore/internal/pff"
 	"ddstore/internal/pfs"
 	"ddstore/internal/trace"
@@ -620,4 +624,121 @@ func (r *recordingLoader) Len() int { return r.inner.Len() }
 func (r *recordingLoader) LoadBatch(ids []int64) ([]*graph.Graph, []time.Duration, error) {
 	r.requested = append(r.requested, ids...)
 	return r.inner.LoadBatch(ids)
+}
+
+// TestTelemetryAggregationAcrossRanks drives the full cluster-telemetry
+// path over real comm collectives: every rank gathers its profiler to rank
+// 0 each epoch, rank 0 folds the Fig. 7-style time-share table and the
+// per-epoch loading-skew series, and — because the gather is cost-free —
+// the run's virtual timings are bit-identical to a run without telemetry.
+func TestTelemetryAggregationAcrossRanks(t *testing.T) {
+	machine := cluster.Perlmutter()
+	const n = 4
+	ds := datasets.AISDExDiscrete(datasets.Config{NumGraphs: 800})
+	base := Config{
+		LocalBatch:       8,
+		Epochs:           2,
+		MaxStepsPerEpoch: 4,
+		Seed:             3,
+		SimModel:         hydra.PaperConfig(ds.NodeFeatDim(), ds.EdgeFeatDim(), ds.OutputDim()),
+	}
+
+	run := func(withObs bool) (*Result, []*obs.SpanRing) {
+		w, err := comm.NewWorld(n, 77, comm.WithMachine(machine))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings := make([]*obs.SpanRing, n)
+		var res *Result
+		var mu sync.Mutex
+		err = w.Run(func(c *comm.Comm) error {
+			st, err := core.Open(c, ds, core.Options{})
+			if err != nil {
+				return err
+			}
+			cfg := base
+			cfg.Loader = &PlaneLoader{Plane: st}
+			prof := trace.New()
+			cfg.Profiler = prof
+			if withObs {
+				cfg.Telemetry = obs.NewTelemetry(c, prof)
+				cfg.Spans = obs.NewSpanRing(1024, c.Rank())
+				rings[c.Rank()] = cfg.Spans
+			}
+			r, err := Run(c, cfg)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			if c.Rank() == 0 {
+				res = r
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, rings
+	}
+
+	withTel, rings := run(true)
+	plain, _ := run(false)
+
+	if withTel.TotalDuration != plain.TotalDuration {
+		t.Fatalf("telemetry perturbed virtual time: %v with vs %v without",
+			withTel.TotalDuration, plain.TotalDuration)
+	}
+
+	ct := withTel.Telemetry
+	if ct == nil {
+		t.Fatal("rank 0 result carries no cluster telemetry")
+	}
+	if ct.Ranks != n || len(ct.Epochs) != base.Epochs || len(ct.PerRank) != n {
+		t.Fatalf("telemetry shape: ranks=%d epochs=%d perRank=%d", ct.Ranks, len(ct.Epochs), len(ct.PerRank))
+	}
+	var hasLoading bool
+	for _, row := range ct.TimeShare {
+		if row.Region == trace.RegionLoading && row.Total > 0 {
+			hasLoading = true
+		}
+	}
+	if !hasLoading {
+		t.Fatalf("time-share table missing %s: %+v", trace.RegionLoading, ct.TimeShare)
+	}
+	for _, e := range ct.Epochs {
+		if e.Mean <= 0 || e.Max < e.Mean || e.Min > e.Mean {
+			t.Fatalf("inconsistent epoch skew: %+v", e)
+		}
+	}
+	out := ct.String()
+	for _, want := range []string{"cluster time-share (4 ranks)", trace.RegionLoading, "skew"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// Every rank's span ring saw training-loop spans with epoch/step tags,
+	// and the rings render as one valid Chrome trace.
+	for rank, ring := range rings {
+		if ring.Len() == 0 {
+			t.Fatalf("rank %d recorded no spans", rank)
+		}
+		var sawLoad bool
+		for _, s := range ring.Spans() {
+			if s.Name == "load-batch" && s.Rank == rank {
+				sawLoad = true
+			}
+		}
+		if !sawLoad {
+			t.Fatalf("rank %d has no load-batch span", rank)
+		}
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, rings...); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("exported trace is not valid JSON")
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"ddstore/internal/comm"
 	"ddstore/internal/graph"
 	"ddstore/internal/hydra"
+	"ddstore/internal/obs"
 	"ddstore/internal/optim"
 	"ddstore/internal/trace"
 )
@@ -54,6 +55,15 @@ type Config struct {
 	// KeepLatencies retains every per-sample load latency in the result
 	// (for the CDF experiments).
 	KeepLatencies bool
+	// Spans, when set, receives one span per training-loop stage per step
+	// (load, batch, forward, backward, comm, optimizer) on this rank's
+	// timeline, for the Chrome trace export. Per-rank state.
+	Spans *obs.SpanRing
+	// Telemetry, when set, gathers this rank's profiler snapshot to rank 0
+	// after every epoch over a cost-free collective. Either every rank of
+	// the run sets it or none — the gather is collective. Requires
+	// Profiler. Per-rank state.
+	Telemetry *obs.Telemetry
 }
 
 // EpochStats summarizes one epoch on this rank.
@@ -78,6 +88,10 @@ type Result struct {
 	TotalDuration time.Duration
 	// MeanThroughput is the global samples/sec over all epochs.
 	MeanThroughput float64
+	// Telemetry is the cluster-wide time-share and skew report, assembled
+	// from the per-epoch gathers. Rank 0 only (nil elsewhere, and nil when
+	// Config.Telemetry was not set).
+	Telemetry *obs.ClusterTelemetry
 }
 
 // Run executes the training loop on this rank. Call it from every rank of
@@ -151,6 +165,9 @@ func Run(c *comm.Comm, cfg Config) (*Result, error) {
 		var lossSum float64
 
 		for step := 0; step < steps; step++ {
+			if cfg.Spans != nil {
+				cfg.Spans.SetContext(epoch, step)
+			}
 			ids, err := sampler.Batch(step)
 			if err != nil {
 				return nil, err
@@ -177,6 +194,12 @@ func Run(c *comm.Comm, cfg Config) (*Result, error) {
 			if prof != nil {
 				prof.Add(trace.RegionLoading, loadDone-loadStart)
 				prof.Add(trace.RegionBatching, cpuDone-loadDone)
+			}
+			if cfg.Spans != nil {
+				cfg.Spans.Record(obs.Span{Name: "load-batch", Cat: "train", Owner: -1,
+					Samples: len(ids), Start: loadStart, Dur: loadDone - loadStart})
+				cfg.Spans.Record(obs.Span{Name: "cpu-batch", Cat: "train", Owner: -1,
+					Samples: len(ids), Bytes: batch.Bytes(), Start: loadDone, Dur: cpuDone - loadDone})
 			}
 
 			// --- GPU: forward + backward. ---
@@ -237,6 +260,17 @@ func Run(c *comm.Comm, cfg Config) (*Result, error) {
 				opt.Step()
 			}
 			gpuDone = commDone + optCost
+			if cfg.Spans != nil {
+				fwdDone := gpuStart + gpuCost/3
+				cfg.Spans.Record(obs.Span{Name: "gpu-forward", Cat: "gpu", Owner: -1,
+					Samples: len(ids), Start: gpuStart, Dur: fwdDone - gpuStart})
+				cfg.Spans.Record(obs.Span{Name: "gpu-backward", Cat: "gpu", Owner: -1,
+					Samples: len(ids), Start: fwdDone, Dur: backwardDone - fwdDone})
+				cfg.Spans.Record(obs.Span{Name: "gpu-comm", Cat: "gpu", Owner: -1,
+					Bytes: gradBytes, Start: backwardDone, Dur: commDone - backwardDone})
+				cfg.Spans.Record(obs.Span{Name: "optimizer", Cat: "gpu", Owner: -1,
+					Start: commDone, Dur: optCost})
+			}
 
 			// The CPU may prefetch the next batch as soon as the GPU starts
 			// consuming this one (queue depth 1): wait until then, not until
@@ -280,8 +314,17 @@ func Run(c *comm.Comm, cfg Config) (*Result, error) {
 			}
 		}
 		res.Epochs = append(res.Epochs, st)
+
+		// Telemetry rides right behind the epoch barrier: the clocks are
+		// already aligned, so the cost-free gather perturbs nothing.
+		if cfg.Telemetry != nil {
+			if err := cfg.Telemetry.GatherEpoch(epoch); err != nil {
+				return nil, err
+			}
+		}
 	}
 	res.TotalDuration = clock.Now() - runStart
+	res.Telemetry = cfg.Telemetry.Report()
 	var totalSamples int
 	for _, e := range res.Epochs {
 		totalSamples += e.Samples

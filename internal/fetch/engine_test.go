@@ -11,6 +11,7 @@ import (
 
 	"ddstore/internal/cache"
 	"ddstore/internal/graph"
+	"ddstore/internal/obs"
 )
 
 // testGraph builds a tiny valid graph for sample id.
@@ -588,4 +589,54 @@ func TestConcurrentHammer(t *testing.T) {
 		}(int64(w))
 	}
 	wg.Wait()
+}
+
+func TestEngineMetricsAndSpans(t *testing.T) {
+	reg := obs.NewRegistry()
+	ring := obs.NewSpanRing(64, 5)
+	p := newMockPlane(8, 2)
+	c := newCache(1 << 20)
+	e := New(Config{Plane: p, Cache: c, Metrics: reg, Spans: ring})
+
+	ids := []int64{0, 1, 2, 3}
+	if _, _, err := e.Load(ids); err != nil {
+		t.Fatal(err)
+	}
+	// Second load of the same ids: all cache hits.
+	if _, _, err := e.Load(ids); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every unique id of both loads landed in the canonical histogram.
+	if got := obs.FetchLatencyHistogram(reg).Count(); got != 8 {
+		t.Fatalf("histogram count = %d, want 8", got)
+	}
+
+	var fetchSpans, hitSpans int
+	var fetchedSamples int
+	for _, s := range ring.Spans() {
+		switch s.Name {
+		case "fetch-owner":
+			fetchSpans++
+			fetchedSamples += s.Samples
+			if s.Owner < 0 || s.Bytes <= 0 {
+				t.Fatalf("fetch-owner span missing owner/bytes: %+v", s)
+			}
+			if s.Rank != 5 {
+				t.Fatalf("span rank = %d, want ring rank 5", s.Rank)
+			}
+		case "cache-hits":
+			hitSpans++
+			if !s.CacheHit || s.Samples != 4 || s.Bytes <= 0 {
+				t.Fatalf("cache-hits span: %+v", s)
+			}
+		}
+	}
+	// First load: two owners fetched; second load: one aggregate hit span.
+	if fetchSpans != 2 || fetchedSamples != 4 {
+		t.Fatalf("fetch-owner spans = %d covering %d samples, want 2/4", fetchSpans, fetchedSamples)
+	}
+	if hitSpans != 1 {
+		t.Fatalf("cache-hits spans = %d, want 1", hitSpans)
+	}
 }

@@ -34,6 +34,7 @@ import (
 
 	"ddstore/internal/cache"
 	"ddstore/internal/graph"
+	"ddstore/internal/obs"
 	"ddstore/internal/stats"
 )
 
@@ -104,6 +105,12 @@ type Config struct {
 	// WindowSize bounds the per-sample latency window LatencyStats
 	// summarizes (default 4096).
 	WindowSize int
+	// Metrics, when non-nil, receives every per-sample latency into the
+	// canonical ddstore_fetch_latency_seconds histogram.
+	Metrics *obs.Registry
+	// Spans, when non-nil, receives one span per owner fetch and one per
+	// cache-hit batch — the engine's contribution to the Chrome trace.
+	Spans *obs.SpanRing
 }
 
 // LatencySummary is a percentile digest of recent per-sample load
@@ -126,6 +133,9 @@ type Engine struct {
 	onLocal func(n int)
 	prefix  string
 
+	latHist *obs.Histogram // nil unless Config.Metrics was set
+	spans   *obs.SpanRing  // nil unless Config.Spans was set
+
 	latMu   sync.Mutex
 	window  []time.Duration
 	widx    int
@@ -147,6 +157,10 @@ func New(cfg Config) *Engine {
 		now:     cfg.Now,
 		onLocal: cfg.OnLocalBytes,
 		prefix:  cfg.ErrPrefix,
+		spans:   cfg.Spans,
+	}
+	if cfg.Metrics != nil {
+		e.latHist = obs.FetchLatencyHistogram(cfg.Metrics)
 	}
 	if ep, ok := cfg.Plane.(EpochPlane); ok {
 		e.epochs = ep
@@ -285,6 +299,8 @@ func (e *Engine) Load(ids []int64) ([]*graph.Graph, []time.Duration, error) {
 
 	// Serve cache hits: a memory read plus a decode. Iterating uniq (not
 	// the map) keeps virtual-clock charging deterministic.
+	hitStart := e.now()
+	var hitBytes int64
 	for _, id := range uniq {
 		raw, ok := resolved[id]
 		if !ok {
@@ -294,12 +310,20 @@ func (e *Engine) Load(ids []int64) ([]*graph.Graph, []time.Duration, error) {
 		if e.onLocal != nil {
 			e.onLocal(len(raw))
 		}
+		hitBytes += int64(len(raw))
 		g, err := graph.Decode(raw)
 		if err != nil {
 			// Cannot happen: only decode-validated bytes are cached.
 			return nil, nil, fail(fmt.Errorf("%s: cached sample %d: %w", e.prefix, id, err))
 		}
 		res.set(id, g, e.now()-before)
+	}
+	if e.spans != nil && len(resolved) > 0 {
+		e.spans.Record(obs.Span{
+			Name: "cache-hits", Cat: "fetch", Owner: -1,
+			Samples: len(resolved), Bytes: hitBytes, CacheHit: true,
+			Start: hitStart, Dur: e.now() - hitStart,
+		})
 	}
 
 	// Group fetchable ids by owner; fetch owners in ascending order.
@@ -355,8 +379,15 @@ func (e *Engine) Load(ids []int64) ([]*graph.Graph, []time.Duration, error) {
 }
 
 // fetchOwner brackets one owner's transfer in its epoch (when the plane
-// has one) and folds the lock cost into the first delivered sample.
+// has one) and folds the lock cost into the first delivered sample. With
+// span tracing on, the whole owner transfer becomes one "fetch-owner" span
+// carrying the owner token, sample count, and delivered byte volume.
 func (e *Engine) fetchOwner(owner int, ids []int64, res *results) error {
+	var start time.Duration
+	var fetchedBytes int64 // written only by this owner's deliver chain
+	if e.spans != nil {
+		start = e.now()
+	}
 	var lockCost time.Duration
 	if e.epochs != nil {
 		cost, err := e.epochs.BeginEpoch(owner)
@@ -371,6 +402,7 @@ func (e *Engine) fetchOwner(owner int, ids []int64, res *results) error {
 			lat += lockCost
 			first = false
 		}
+		fetchedBytes += int64(len(raw))
 		return res.deliver(id, raw, g, lat)
 	}
 	err := e.plane.FetchOwner(owner, ids, deliver)
@@ -378,6 +410,13 @@ func (e *Engine) fetchOwner(owner int, ids []int64, res *results) error {
 		if uerr := e.epochs.EndEpoch(owner); uerr != nil && err == nil {
 			err = uerr
 		}
+	}
+	if e.spans != nil {
+		e.spans.Record(obs.Span{
+			Name: "fetch-owner", Cat: "fetch", Owner: owner,
+			Samples: len(ids), Bytes: fetchedBytes,
+			Start: start, Dur: e.now() - start,
+		})
 	}
 	return err
 }
@@ -437,7 +476,8 @@ func (e *Engine) forEachOwner(keys []int, byOwner map[int][]int64, res *results)
 	return nil
 }
 
-// record appends one batch's per-unique-id latencies to the window.
+// record appends one batch's per-unique-id latencies to the window and the
+// metrics histogram.
 func (e *Engine) record(uniq []int64, lats map[int64]time.Duration) {
 	e.latMu.Lock()
 	for _, id := range uniq {
@@ -449,6 +489,11 @@ func (e *Engine) record(uniq []int64, lats map[int64]time.Duration) {
 	}
 	e.latSeen += int64(len(uniq))
 	e.latMu.Unlock()
+	if e.latHist != nil {
+		for _, id := range uniq {
+			e.latHist.ObserveDuration(lats[id])
+		}
+	}
 }
 
 // LatencyStats digests the recent per-sample latency window into

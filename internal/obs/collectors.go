@@ -1,0 +1,168 @@
+// Bridges from DDStore's existing signal sources into the registry: the
+// region profiler (internal/trace), the hot-sample cache (internal/cache),
+// fetch-latency summaries, the Go runtime, and the Inc(name, delta) counter
+// sinks the transport and cache packages emit events through.
+package obs
+
+import (
+	"runtime"
+	"time"
+
+	"ddstore/internal/cache"
+	"ddstore/internal/trace"
+)
+
+// Canonical metric names shared by every DDStore process, so dashboards
+// work against ddstore-serve and ddstore-train alike.
+const (
+	// MetricFetchLatency is the per-sample fetch latency histogram: the
+	// engine's per-unique-id load latency on the client side, the
+	// per-request service latency on the server side.
+	MetricFetchLatency = "ddstore_fetch_latency_seconds"
+	// MetricEvents is the labeled event-counter family the trace/cache/
+	// transport counter names feed: ddstore_events_total{event="cache-hits"}.
+	MetricEvents = "ddstore_events_total"
+	// MetricRegionSeconds / MetricRegionSteps are the profiler's per-region
+	// accumulated time (seconds, as a monotonic gauge so fractional virtual
+	// time survives) and occurrence count.
+	MetricRegionSeconds = "ddstore_region_seconds_total"
+	MetricRegionSteps   = "ddstore_region_steps_total"
+)
+
+// FetchLatencyHistogram returns the canonical fetch-latency histogram of a
+// registry (creating it with the default bucket spread).
+func FetchLatencyHistogram(reg *Registry) *Histogram {
+	h := reg.Histogram(MetricFetchLatency, DefLatencyBuckets)
+	reg.Help(MetricFetchLatency, "Per-sample fetch latency (client engine) or per-request service latency (server).")
+	return h
+}
+
+// IncSink is the structural counter-sink interface shared by
+// trace.Profiler, cache.Counters, and transport.Counters: named monotonic
+// event counts.
+type IncSink interface {
+	Inc(name string, delta int64)
+}
+
+// CounterSink adapts a labeled registry counter family to the IncSink
+// interface, so cache/transport event counters flow live into the
+// registry: Inc("cache-hits", 1) bumps metric{labelKey="cache-hits"}.
+type CounterSink struct {
+	reg      *Registry
+	metric   string
+	labelKey string
+}
+
+// NewCounterSink builds a sink over metric/labelKey and pre-registers the
+// known label values at zero, so a scrape before any traffic still shows
+// every series a dashboard expects.
+func NewCounterSink(reg *Registry, metric, labelKey string, known ...string) *CounterSink {
+	for _, name := range known {
+		reg.Counter(metric, labelKey, name)
+	}
+	return &CounterSink{reg: reg, metric: metric, labelKey: labelKey}
+}
+
+// Inc implements the counter-sink interface.
+func (s *CounterSink) Inc(name string, delta int64) {
+	s.reg.Counter(s.metric, s.labelKey, name).Add(delta)
+}
+
+// EventSink returns the canonical ddstore_events_total{event=...} sink of a
+// registry.
+func EventSink(reg *Registry) *CounterSink {
+	reg.Help(MetricEvents, "DDStore event counts: cache hits/misses/evictions, transport retries/failovers/timeouts.")
+	return NewCounterSink(reg, MetricEvents, "event")
+}
+
+// TeeCounters fans one Inc out to several sinks (e.g. a trace.Profiler and
+// a registry EventSink receiving the same cache events).
+func TeeCounters(sinks ...IncSink) IncSink { return teeSink(sinks) }
+
+type teeSink []IncSink
+
+func (t teeSink) Inc(name string, delta int64) {
+	for _, s := range t {
+		s.Inc(name, delta)
+	}
+}
+
+// AddProfiler folds a finished run's profiler into the registry with Add
+// semantics, so several runs accumulate (the bench suite's registry).
+func AddProfiler(reg *Registry, p *trace.Profiler) {
+	for _, r := range p.Regions() {
+		reg.Gauge(MetricRegionSeconds, "region", r.Name).Add(r.Total.Seconds())
+		reg.Counter(MetricRegionSteps, "region", r.Name).Add(r.Count)
+	}
+	for name, v := range p.Counters() {
+		reg.Counter(MetricEvents, "event", name).Add(v)
+	}
+}
+
+// CollectProfiler registers a collector that mirrors the profiler's region
+// totals and event counters into the registry on every scrape. get is
+// called per scrape to produce the profiler to read — the hook
+// ddstore-train uses to fold per-rank profilers into one on demand.
+func CollectProfiler(reg *Registry, get func() *trace.Profiler) {
+	reg.Help(MetricRegionSeconds, "Accumulated per-region time in seconds (virtual time under a machine model).")
+	reg.Help(MetricRegionSteps, "Per-region occurrence count.")
+	reg.AddCollector(func() {
+		p := get()
+		if p == nil {
+			return
+		}
+		for _, r := range p.Regions() {
+			reg.Gauge(MetricRegionSeconds, "region", r.Name).Set(r.Total.Seconds())
+			reg.Counter(MetricRegionSteps, "region", r.Name).Set(r.Count)
+		}
+		for name, v := range p.Counters() {
+			reg.Counter(MetricEvents, "event", name).Set(v)
+		}
+	})
+}
+
+// CollectCache registers a collector that mirrors a cache's statistics
+// into the registry on every scrape: the event totals plus resident
+// entry/byte gauges.
+func CollectCache(reg *Registry, get func() cache.Stats) {
+	reg.Help("ddstore_cache_entries", "Resident hot-sample cache entries.")
+	reg.Help("ddstore_cache_bytes", "Resident hot-sample cache bytes.")
+	reg.AddCollector(func() {
+		st := get()
+		reg.Counter(MetricEvents, "event", cache.CounterHits).Set(st.Hits)
+		reg.Counter(MetricEvents, "event", cache.CounterMisses).Set(st.Misses)
+		reg.Counter(MetricEvents, "event", cache.CounterCoalesced).Set(st.Coalesced)
+		reg.Counter(MetricEvents, "event", cache.CounterEvictions).Set(st.Evictions)
+		reg.Gauge("ddstore_cache_entries").Set(float64(st.Entries))
+		reg.Gauge("ddstore_cache_bytes").Set(float64(st.Bytes))
+		reg.Gauge("ddstore_cache_hit_rate").Set(st.HitRate())
+	})
+}
+
+// CollectLatencySummary registers a collector exporting percentile gauges
+// of a latency digest (the engine's sliding window) on every scrape.
+func CollectLatencySummary(reg *Registry, get func() (count int64, p50, p95, p99 time.Duration)) {
+	reg.Help("ddstore_fetch_latency_quantile_seconds", "Sliding-window fetch latency percentiles from the engine.")
+	reg.AddCollector(func() {
+		count, p50, p95, p99 := get()
+		reg.Counter("ddstore_fetch_latency_window_count").Set(count)
+		reg.Gauge("ddstore_fetch_latency_quantile_seconds", "quantile", "0.5").Set(p50.Seconds())
+		reg.Gauge("ddstore_fetch_latency_quantile_seconds", "quantile", "0.95").Set(p95.Seconds())
+		reg.Gauge("ddstore_fetch_latency_quantile_seconds", "quantile", "0.99").Set(p99.Seconds())
+	})
+}
+
+// CollectGoRuntime registers the standard Go process gauges: goroutines,
+// heap residency, GC cycles.
+func CollectGoRuntime(reg *Registry) {
+	reg.Help("go_goroutines", "Live goroutines.")
+	reg.Help("go_heap_alloc_bytes", "Heap bytes allocated and in use.")
+	reg.AddCollector(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		reg.Gauge("go_goroutines").Set(float64(runtime.NumGoroutine()))
+		reg.Gauge("go_heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+		reg.Gauge("go_sys_bytes").Set(float64(ms.Sys))
+		reg.Counter("go_gc_cycles_total").Set(int64(ms.NumGC))
+	})
+}

@@ -1,0 +1,77 @@
+// Optional HTTP debug server: /metrics (Prometheus text exposition of a
+// Registry), /healthz, /trace (Chrome trace JSON of the live span rings),
+// and the standard net/http/pprof endpoints under /debug/pprof/. Enabled
+// by the -debug-addr flag on ddstore-serve and ddstore-train.
+package obs
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is a running debug endpoint.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewDebugMux builds the debug handler tree over a registry and an
+// optional trace sink (nil disables /trace).
+func NewDebugMux(reg *Registry, traces *TraceSink) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			log.Printf("obs: /metrics write: %v", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	if traces != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="ddstore-trace.json"`)
+			if err := traces.WriteChromeTrace(w); err != nil {
+				log.Printf("obs: /trace write: %v", err)
+			}
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebug listens on addr (e.g. "127.0.0.1:9090", or ":0" for an
+// ephemeral port) and serves the debug endpoints in a background
+// goroutine. traces may be nil.
+func StartDebug(addr string, reg *Registry, traces *TraceSink) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           NewDebugMux(reg, traces),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("obs: debug server: %v", err)
+		}
+	}()
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address (resolves ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the server down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

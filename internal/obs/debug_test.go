@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	FetchLatencyHistogram(reg).Observe(0.001)
+	EventSink(reg).Inc("cache-hits", 2)
+	sink := NewTraceSink(8)
+	sink.NewRing("train", 0).Record(Span{Name: "load-batch", Cat: "train", Dur: time.Millisecond})
+
+	srv, err := StartDebug("127.0.0.1:0", reg, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+
+	code, body = get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE ddstore_fetch_latency_seconds histogram",
+		"ddstore_fetch_latency_seconds_count 1",
+		`ddstore_events_total{event="cache-hits"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace: %d", code)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatalf("/trace not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("/trace has no events")
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+}
+
+func TestDebugServerNoTraceSink(t *testing.T) {
+	srv, err := StartDebug("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, _ := get(t, "http://"+srv.Addr()+"/trace")
+	if code != http.StatusNotFound {
+		t.Fatalf("/trace without sink: %d, want 404", code)
+	}
+}
+
+func TestStartDebugBadAddr(t *testing.T) {
+	if _, err := StartDebug("256.256.256.256:1", NewRegistry(), nil); err == nil {
+		t.Fatal("bad addr did not error")
+	}
+}

@@ -1,0 +1,277 @@
+// Cluster telemetry aggregation: each epoch every rank serializes its
+// profiler snapshot and gathers it to rank 0 over a cost-free collective,
+// where it folds into a Fig. 7-style time-share table plus a per-epoch
+// loading-time skew report that flags stragglers. The gather rides the
+// same collectives the training loop already synchronizes on, but charges
+// no modeled cost, so enabling telemetry never perturbs the virtual-time
+// results the bench suite pins.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ddstore/internal/trace"
+)
+
+// Gatherer is the collective surface telemetry needs — satisfied
+// structurally by *comm.Comm so obs does not import the comm package.
+// GatherNoCost must synchronize all ranks without charging virtual time.
+type Gatherer interface {
+	Rank() int
+	Size() int
+	GatherNoCost(mine []byte, root int) ([][]byte, error)
+}
+
+// StragglerFactor flags a rank as a straggler when its per-epoch loading
+// time exceeds this multiple of the epoch's mean.
+const StragglerFactor = 1.5
+
+// RegionSample is one region's accumulated state in a serialized snapshot.
+type RegionSample struct {
+	Name  string        `json:"name"`
+	Total time.Duration `json:"total_ns"`
+	Count int64         `json:"count"`
+}
+
+// rankSnapshot is the wire form of one rank's cumulative profiler state.
+type rankSnapshot struct {
+	Rank     int              `json:"rank"`
+	Epoch    int              `json:"epoch"`
+	Regions  []RegionSample   `json:"regions"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+func snapshotProfiler(rank, epoch int, p *trace.Profiler) rankSnapshot {
+	snap := rankSnapshot{Rank: rank, Epoch: epoch, Counters: p.Counters()}
+	for _, r := range p.Regions() {
+		snap.Regions = append(snap.Regions, RegionSample{Name: r.Name, Total: r.Total, Count: r.Count})
+	}
+	return snap
+}
+
+// Telemetry drives the per-epoch gathers on one rank. Every rank of a run
+// constructs one over its own profiler and the shared communicator; rank 0
+// additionally accumulates the cluster view and produces the Report.
+type Telemetry struct {
+	g    Gatherer
+	prof *trace.Profiler
+
+	// Root-only accumulation state.
+	mu          sync.Mutex
+	prevLoading []time.Duration // cumulative CPU-Loading per rank at the previous gather
+	epochs      []EpochSkew
+	latest      []rankSnapshot // most recent cumulative snapshot per rank
+}
+
+// NewTelemetry wires one rank's profiler to the communicator. prof may be
+// nil only if GatherEpoch is never called.
+func NewTelemetry(g Gatherer, prof *trace.Profiler) *Telemetry {
+	return &Telemetry{g: g, prof: prof, prevLoading: make([]time.Duration, g.Size())}
+}
+
+// GatherEpoch serializes this rank's cumulative profiler state and gathers
+// all ranks' snapshots to rank 0, which folds the epoch's loading-time
+// deltas into the skew series. Collective: every rank must call it the
+// same number of times. Call it right after the epoch barrier so the
+// cost-free gather sees already-aligned clocks.
+func (t *Telemetry) GatherEpoch(epoch int) error {
+	b, err := json.Marshal(snapshotProfiler(t.g.Rank(), epoch, t.prof))
+	if err != nil {
+		return fmt.Errorf("obs: telemetry encode: %w", err)
+	}
+	all, err := t.g.GatherNoCost(b, 0)
+	if err != nil {
+		return fmt.Errorf("obs: telemetry gather: %w", err)
+	}
+	if t.g.Rank() != 0 {
+		return nil
+	}
+	snaps := make([]rankSnapshot, len(all))
+	for i, raw := range all {
+		if err := json.Unmarshal(raw, &snaps[i]); err != nil {
+			return fmt.Errorf("obs: telemetry decode rank %d: %w", i, err)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.latest = snaps
+	t.epochs = append(t.epochs, t.epochSkewLocked(epoch, snaps))
+	return nil
+}
+
+// epochSkewLocked computes the loading-time skew of one epoch from the
+// per-rank cumulative snapshots, updating prevLoading in place.
+func (t *Telemetry) epochSkewLocked(epoch int, snaps []rankSnapshot) EpochSkew {
+	sk := EpochSkew{Epoch: epoch, Region: trace.RegionLoading, MinRank: -1, MaxRank: -1}
+	deltas := make([]time.Duration, len(snaps))
+	var sum time.Duration
+	for i, snap := range snaps {
+		var cum time.Duration
+		for _, r := range snap.Regions {
+			if r.Name == trace.RegionLoading {
+				cum = r.Total
+				break
+			}
+		}
+		d := cum - t.prevLoading[i]
+		t.prevLoading[i] = cum
+		deltas[i] = d
+		sum += d
+		if sk.MinRank < 0 || d < sk.Min {
+			sk.Min, sk.MinRank = d, i
+		}
+		if sk.MaxRank < 0 || d > sk.Max {
+			sk.Max, sk.MaxRank = d, i
+		}
+	}
+	if len(deltas) > 0 {
+		sk.Mean = sum / time.Duration(len(deltas))
+	}
+	if sk.Mean > 0 {
+		for rank, d := range deltas {
+			if float64(d) > StragglerFactor*float64(sk.Mean) {
+				sk.Stragglers = append(sk.Stragglers, rank)
+			}
+		}
+	}
+	return sk
+}
+
+// Report folds the accumulated cluster state into a ClusterTelemetry.
+// Returns nil on non-root ranks or before the first gather.
+func (t *Telemetry) Report() *ClusterTelemetry {
+	if t == nil || t.g.Rank() != 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.latest) == 0 {
+		return nil
+	}
+	ct := &ClusterTelemetry{
+		Ranks:  len(t.latest),
+		Epochs: append([]EpochSkew(nil), t.epochs...),
+	}
+
+	// Per-rank cumulative profiles and the merged whole-cluster totals.
+	merged := map[string]*ShareRow{}
+	var order []string
+	counters := map[string]int64{}
+	for _, snap := range t.latest {
+		rp := RankProfile{Rank: snap.Rank}
+		for _, r := range snap.Regions {
+			rp.Regions = append(rp.Regions, r)
+			rp.Total += r.Total
+			row, ok := merged[r.Name]
+			if !ok {
+				row = &ShareRow{Region: r.Name}
+				merged[r.Name] = row
+				order = append(order, r.Name)
+			}
+			row.Total += r.Total
+			row.Count += r.Count
+		}
+		for name, v := range snap.Counters {
+			counters[name] += v
+		}
+		ct.PerRank = append(ct.PerRank, rp)
+	}
+	var total time.Duration
+	for _, name := range order {
+		total += merged[name].Total
+	}
+	for _, name := range order {
+		row := *merged[name]
+		if total > 0 {
+			row.Share = float64(row.Total) / float64(total)
+		}
+		ct.TimeShare = append(ct.TimeShare, row)
+	}
+	sort.Slice(ct.TimeShare, func(i, j int) bool { return ct.TimeShare[i].Total > ct.TimeShare[j].Total })
+	if len(counters) > 0 {
+		ct.Counters = counters
+	}
+	return ct
+}
+
+// ClusterTelemetry is the whole-run cluster view assembled on rank 0: the
+// Fig. 7-style time-share table over all ranks, per-rank cumulative
+// profiles, and the per-epoch loading-time skew series. It serializes into
+// the bench JSON report.
+type ClusterTelemetry struct {
+	Ranks     int              `json:"ranks"`
+	TimeShare []ShareRow       `json:"time_share"`
+	PerRank   []RankProfile    `json:"per_rank"`
+	Epochs    []EpochSkew      `json:"epochs,omitempty"`
+	Counters  map[string]int64 `json:"counters,omitempty"`
+}
+
+// ShareRow is one region of the cluster-wide time-share table.
+type ShareRow struct {
+	Region string        `json:"region"`
+	Total  time.Duration `json:"total_ns"`
+	Count  int64         `json:"count"`
+	Share  float64       `json:"share"`
+}
+
+// RankProfile is one rank's cumulative region profile.
+type RankProfile struct {
+	Rank    int            `json:"rank"`
+	Regions []RegionSample `json:"regions"`
+	Total   time.Duration  `json:"total_ns"`
+}
+
+// EpochSkew summarizes one epoch's per-rank loading-time spread.
+type EpochSkew struct {
+	Epoch      int           `json:"epoch"`
+	Region     string        `json:"region"`
+	Mean       time.Duration `json:"mean_ns"`
+	Min        time.Duration `json:"min_ns"`
+	Max        time.Duration `json:"max_ns"`
+	MinRank    int           `json:"min_rank"`
+	MaxRank    int           `json:"max_rank"`
+	Stragglers []int         `json:"stragglers,omitempty"`
+}
+
+// String renders the cluster time-share table and the per-epoch skew
+// series as the end-of-run report block.
+func (ct *ClusterTelemetry) String() string {
+	if ct == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster time-share (%d ranks)\n", ct.Ranks)
+	fmt.Fprintf(&b, "  %-16s %14s %10s %7s\n", "region", "total", "count", "share")
+	for _, row := range ct.TimeShare {
+		fmt.Fprintf(&b, "  %-16s %14v %10d %6.1f%%\n",
+			row.Region, row.Total.Round(time.Microsecond), row.Count, row.Share*100)
+	}
+	if len(ct.Epochs) > 0 {
+		fmt.Fprintf(&b, "per-epoch %s skew (straggler > %.1fx mean)\n", ct.Epochs[0].Region, StragglerFactor)
+		fmt.Fprintf(&b, "  %5s %12s %12s %6s %12s %6s %8s %s\n",
+			"epoch", "mean", "min", "rank", "max", "rank", "max/mean", "stragglers")
+		for _, e := range ct.Epochs {
+			ratio := 0.0
+			if e.Mean > 0 {
+				ratio = float64(e.Max) / float64(e.Mean)
+			}
+			strag := "-"
+			if len(e.Stragglers) > 0 {
+				parts := make([]string, len(e.Stragglers))
+				for i, r := range e.Stragglers {
+					parts[i] = fmt.Sprintf("%d", r)
+				}
+				strag = strings.Join(parts, ",")
+			}
+			fmt.Fprintf(&b, "  %5d %12v %12v %6d %12v %6d %7.2fx %s\n",
+				e.Epoch, e.Mean.Round(time.Microsecond), e.Min.Round(time.Microsecond), e.MinRank,
+				e.Max.Round(time.Microsecond), e.MaxRank, ratio, strag)
+		}
+	}
+	return b.String()
+}

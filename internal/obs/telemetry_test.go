@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ddstore/internal/trace"
+)
+
+// fakeGather is an in-process stand-in for comm's cost-free gather: every
+// rank deposits into a shared slot array; the root (called last in these
+// tests) reads the full set.
+type fakeGather struct {
+	rank, size int
+	slots      *[][]byte
+}
+
+func newFakeWorld(size int) []*fakeGather {
+	slots := make([][]byte, size)
+	out := make([]*fakeGather, size)
+	for i := range out {
+		out[i] = &fakeGather{rank: i, size: size, slots: &slots}
+	}
+	return out
+}
+
+func (f *fakeGather) Rank() int { return f.rank }
+func (f *fakeGather) Size() int { return f.size }
+func (f *fakeGather) GatherNoCost(mine []byte, root int) ([][]byte, error) {
+	(*f.slots)[f.rank] = append([]byte(nil), mine...)
+	if f.rank == root {
+		return *f.slots, nil
+	}
+	return nil, nil
+}
+
+// gatherAll runs one telemetry epoch across the fake world, root last so
+// its read sees every deposit.
+func gatherAll(t *testing.T, tels []*Telemetry, epoch int) {
+	t.Helper()
+	for i := len(tels) - 1; i >= 0; i-- {
+		if err := tels[i].GatherEpoch(epoch); err != nil {
+			t.Fatalf("rank %d epoch %d: %v", i, epoch, err)
+		}
+	}
+}
+
+func TestTelemetrySkewAndStragglers(t *testing.T) {
+	const ranks = 4
+	world := newFakeWorld(ranks)
+	profs := make([]*trace.Profiler, ranks)
+	tels := make([]*Telemetry, ranks)
+	for i := range profs {
+		profs[i] = trace.New()
+		tels[i] = NewTelemetry(world[i], profs[i])
+	}
+
+	// Epoch 0: rank 3 is a straggler (10x the others' loading time).
+	for i := 0; i < ranks; i++ {
+		d := 100 * time.Millisecond
+		if i == 3 {
+			d = time.Second
+		}
+		profs[i].Add(trace.RegionLoading, d)
+		profs[i].Add(trace.RegionForward, 50*time.Millisecond)
+	}
+	gatherAll(t, tels, 0)
+
+	// Epoch 1: even loading; the skew must be computed on per-epoch deltas,
+	// not cumulative totals, so rank 3 is no longer flagged.
+	for i := 0; i < ranks; i++ {
+		profs[i].Add(trace.RegionLoading, 200*time.Millisecond)
+		profs[i].Add(trace.RegionForward, 50*time.Millisecond)
+	}
+	gatherAll(t, tels, 1)
+
+	for i := 1; i < ranks; i++ {
+		if tels[i].Report() != nil {
+			t.Fatalf("rank %d produced a report; only root should", i)
+		}
+	}
+	ct := tels[0].Report()
+	if ct == nil {
+		t.Fatal("root report is nil")
+	}
+	if ct.Ranks != ranks || len(ct.Epochs) != 2 || len(ct.PerRank) != ranks {
+		t.Fatalf("shape: ranks=%d epochs=%d perRank=%d", ct.Ranks, len(ct.Epochs), len(ct.PerRank))
+	}
+
+	e0 := ct.Epochs[0]
+	if e0.MaxRank != 3 || e0.Max != time.Second {
+		t.Fatalf("epoch 0 max: rank=%d dur=%v", e0.MaxRank, e0.Max)
+	}
+	if e0.Min != 100*time.Millisecond {
+		t.Fatalf("epoch 0 min = %v", e0.Min)
+	}
+	if want := 325 * time.Millisecond; e0.Mean != want {
+		t.Fatalf("epoch 0 mean = %v, want %v", e0.Mean, want)
+	}
+	if len(e0.Stragglers) != 1 || e0.Stragglers[0] != 3 {
+		t.Fatalf("epoch 0 stragglers = %v, want [3]", e0.Stragglers)
+	}
+
+	e1 := ct.Epochs[1]
+	if e1.Mean != 200*time.Millisecond || e1.Min != 200*time.Millisecond || e1.Max != 200*time.Millisecond {
+		t.Fatalf("epoch 1 deltas not even: %+v", e1)
+	}
+	if len(e1.Stragglers) != 0 {
+		t.Fatalf("epoch 1 stragglers = %v, want none", e1.Stragglers)
+	}
+
+	// Time-share table: loading dominates and shares sum to ~1.
+	if ct.TimeShare[0].Region != trace.RegionLoading {
+		t.Fatalf("largest region = %q, want %q", ct.TimeShare[0].Region, trace.RegionLoading)
+	}
+	var shareSum float64
+	for _, row := range ct.TimeShare {
+		shareSum += row.Share
+	}
+	if shareSum < 0.999 || shareSum > 1.001 {
+		t.Fatalf("shares sum to %v", shareSum)
+	}
+	// Cumulative loading over both epochs: 3*300ms + 1200ms = 2.1s.
+	if want := 2100 * time.Millisecond; ct.TimeShare[0].Total != want {
+		t.Fatalf("loading total = %v, want %v", ct.TimeShare[0].Total, want)
+	}
+}
+
+func TestTelemetryCountersAggregate(t *testing.T) {
+	world := newFakeWorld(2)
+	var tels []*Telemetry
+	for i := 0; i < 2; i++ {
+		p := trace.New()
+		p.Add(trace.RegionLoading, time.Millisecond)
+		p.Inc("net-retries", int64(i+1))
+		tels = append(tels, NewTelemetry(world[i], p))
+	}
+	gatherAll(t, tels, 0)
+	ct := tels[0].Report()
+	if ct.Counters["net-retries"] != 3 {
+		t.Fatalf("net-retries = %d, want 3", ct.Counters["net-retries"])
+	}
+}
+
+func TestTelemetryString(t *testing.T) {
+	world := newFakeWorld(2)
+	var tels []*Telemetry
+	for i := 0; i < 2; i++ {
+		p := trace.New()
+		p.Add(trace.RegionLoading, time.Duration(i+1)*100*time.Millisecond)
+		p.Add(trace.RegionForward, 20*time.Millisecond)
+		tels = append(tels, NewTelemetry(world[i], p))
+	}
+	gatherAll(t, tels, 0)
+	s := tels[0].Report().String()
+	for _, want := range []string{"cluster time-share (2 ranks)", trace.RegionLoading, "skew", "max/mean"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+	var nilCT *ClusterTelemetry
+	if nilCT.String() != "" {
+		t.Fatal("nil report must render empty")
+	}
+}
+
+func TestTelemetryReportBeforeGather(t *testing.T) {
+	world := newFakeWorld(1)
+	tel := NewTelemetry(world[0], trace.New())
+	if tel.Report() != nil {
+		t.Fatal("report before any gather must be nil")
+	}
+	var nilTel *Telemetry
+	if nilTel.Report() != nil {
+		t.Fatal("nil telemetry must report nil")
+	}
+}

@@ -6,6 +6,8 @@ package trace
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
@@ -36,17 +38,33 @@ type Profiler struct {
 	order    []string
 	counters map[string]int64
 	corder   []string
+	rng      *rand.Rand
 	// KeepSamples enables raw-sample retention (for CDFs). Off by default to
 	// bound memory.
 	KeepSamples bool
+	// MaxSamples caps the per-region sample buffer (0 means
+	// DefaultMaxSamples). Once a region exceeds the cap, retention switches
+	// to uniform reservoir sampling over the region's whole stream, so
+	// percentile estimates stay valid while memory stays constant.
+	MaxSamples int
 }
+
+// DefaultMaxSamples is the per-region reservoir size when MaxSamples is 0:
+// large enough that p99 over the reservoir tracks p99 over the stream to
+// well under a percentile point, small enough that a week-long run holds a
+// few hundred KiB of samples per region.
+const DefaultMaxSamples = 8192
 
 // Region is the accumulated timing of one named region.
 type Region struct {
 	Name    string
 	Total   time.Duration
 	Count   int64
-	Samples []time.Duration // only if KeepSamples
+	Samples []time.Duration // only if KeepSamples; reservoir, unordered past the cap
+	// sampleStream is the number of observations the reservoir represents
+	// (== Count for regions fed only by Add; tracked separately so Merge can
+	// weight two reservoirs correctly).
+	sampleStream int64
 }
 
 // New returns an empty profiler.
@@ -71,7 +89,27 @@ func (p *Profiler) region(name string) *Region {
 	return r
 }
 
-// Add records one occurrence of a region taking d.
+func (p *Profiler) maxSamples() int {
+	if p.MaxSamples > 0 {
+		return p.MaxSamples
+	}
+	return DefaultMaxSamples
+}
+
+// rand returns the profiler's reservoir rng, created lazily under p.mu.
+// Seeded deterministically so runs with identical streams retain identical
+// reservoirs.
+func (p *Profiler) rand() *rand.Rand {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(0x5eed))
+	}
+	return p.rng
+}
+
+// Add records one occurrence of a region taking d. With KeepSamples on,
+// the first MaxSamples observations are retained verbatim; past the cap,
+// Algorithm R reservoir sampling keeps a uniform sample of the whole
+// stream, so memory is bounded and percentile estimates stay unbiased.
 func (p *Profiler) Add(name string, d time.Duration) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -79,7 +117,13 @@ func (p *Profiler) Add(name string, d time.Duration) {
 	r.Total += d
 	r.Count++
 	if p.KeepSamples {
-		r.Samples = append(r.Samples, d)
+		r.sampleStream++
+		max := p.maxSamples()
+		if len(r.Samples) < max {
+			r.Samples = append(r.Samples, d)
+		} else if j := p.rand().Int63n(r.sampleStream); j < int64(max) {
+			r.Samples[j] = d
+		}
 	}
 }
 
@@ -113,22 +157,35 @@ func (p *Profiler) Counters() map[string]int64 {
 	return out
 }
 
+// copyRegion snapshots a region, cloning the sample reservoir — the live
+// reservoir is overwritten in place past the cap, so handing out the
+// shared backing array would race with concurrent Adds.
+func copyRegion(r *Region) Region {
+	out := *r
+	if r.Samples != nil {
+		out.Samples = append([]time.Duration(nil), r.Samples...)
+	}
+	return out
+}
+
 // Get returns the region's accumulated state (zero Region if absent).
 func (p *Profiler) Get(name string) Region {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if r, ok := p.regions[name]; ok {
-		return *r
+		return copyRegion(r)
 	}
 	return Region{Name: name}
 }
 
-// Samples returns the retained samples of a region.
+// Samples returns a copy of the retained samples of a region. Past
+// MaxSamples the samples are a uniform reservoir of the stream, in no
+// particular order.
 func (p *Profiler) Samples(name string) []time.Duration {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if r, ok := p.regions[name]; ok {
-		return r.Samples
+	if r, ok := p.regions[name]; ok && r.Samples != nil {
+		return append([]time.Duration(nil), r.Samples...)
 	}
 	return nil
 }
@@ -169,7 +226,7 @@ func (p *Profiler) Merge(other *Profiler) {
 	names := append([]string(nil), other.order...)
 	regions := make([]Region, 0, len(names))
 	for _, name := range names {
-		regions = append(regions, *other.regions[name])
+		regions = append(regions, copyRegion(other.regions[name]))
 	}
 	cnames := append([]string(nil), other.corder...)
 	counts := make([]int64, 0, len(cnames))
@@ -185,7 +242,7 @@ func (p *Profiler) Merge(other *Profiler) {
 		dst.Total += regions[i].Total
 		dst.Count += regions[i].Count
 		if p.KeepSamples {
-			dst.Samples = append(dst.Samples, regions[i].Samples...)
+			p.mergeSamples(dst, regions[i])
 		}
 	}
 	for i, name := range cnames {
@@ -196,13 +253,56 @@ func (p *Profiler) Merge(other *Profiler) {
 	}
 }
 
-// Regions returns all regions in first-use order.
+// mergeSamples folds src's sample reservoir into dst's under p.mu. When
+// the combined samples fit the cap they concatenate; otherwise a weighted
+// reservoir merge (A-Res: key u^(1/w), weight = represented stream length
+// per retained sample) keeps the top MaxSamples, so a sample from a
+// heavily subsampled reservoir correctly outweighs one retained verbatim.
+func (p *Profiler) mergeSamples(dst *Region, src Region) {
+	defer func() { dst.sampleStream += src.sampleStream }()
+	if len(src.Samples) == 0 {
+		return
+	}
+	max := p.maxSamples()
+	if len(dst.Samples)+len(src.Samples) <= max {
+		dst.Samples = append(dst.Samples, src.Samples...)
+		return
+	}
+	type keyed struct {
+		d   time.Duration
+		key float64
+	}
+	rng := p.rand()
+	all := make([]keyed, 0, len(dst.Samples)+len(src.Samples))
+	weigh := func(samples []time.Duration, stream int64) {
+		if len(samples) == 0 {
+			return
+		}
+		w := float64(stream) / float64(len(samples))
+		if w < 1 {
+			w = 1
+		}
+		for _, d := range samples {
+			all = append(all, keyed{d: d, key: math.Pow(rng.Float64(), 1/w)})
+		}
+	}
+	weigh(dst.Samples, dst.sampleStream)
+	weigh(src.Samples, src.sampleStream)
+	sort.Slice(all, func(i, j int) bool { return all[i].key > all[j].key })
+	out := make([]time.Duration, max)
+	for i := range out {
+		out[i] = all[i].d
+	}
+	dst.Samples = out
+}
+
+// Regions returns all regions in first-use order (samples copied).
 func (p *Profiler) Regions() []Region {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	out := make([]Region, 0, len(p.order))
 	for _, name := range p.order {
-		out = append(out, *p.regions[name])
+		out = append(out, copyRegion(p.regions[name]))
 	}
 	return out
 }

@@ -10,6 +10,7 @@ import (
 	"ddstore/internal/cache"
 	"ddstore/internal/fetch"
 	"ddstore/internal/graph"
+	"ddstore/internal/obs"
 )
 
 // GroupOptions configure a Group's clients and failover behaviour.
@@ -43,6 +44,11 @@ type GroupOptions struct {
 	// for concurrent use, so two chunks failing over to the same peer
 	// simply serialize on its connection.
 	FetchParallelism int
+	// Metrics, when non-nil, receives the engine's fetch-latency histogram.
+	Metrics *obs.Registry
+	// Spans, when non-nil, receives per-owner fetch spans for the Chrome
+	// trace.
+	Spans *obs.SpanRing
 }
 
 // member is one peer of one replica group.
@@ -178,6 +184,8 @@ func NewGroupReplicas(replicas [][]string, opts GroupOptions) (*Group, error) {
 		Cache:       g.cache,
 		Parallelism: opts.FetchParallelism,
 		ErrPrefix:   "transport",
+		Metrics:     opts.Metrics,
+		Spans:       opts.Spans,
 	})
 	return g, nil
 }

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"ddstore/internal/graph"
+	"ddstore/internal/obs"
 )
 
 // Protocol constants. Every request is a fixed 17-byte header
@@ -101,6 +102,49 @@ type ServerOptions struct {
 	// IdleTimeout closes a connection that sends no request for this long.
 	// 0 means no limit.
 	IdleTimeout time.Duration
+	// Metrics, when non-nil, records per-request service latency into the
+	// canonical fetch-latency histogram plus per-op request, error, and
+	// payload-byte counters — what ddstore-serve exposes on /metrics.
+	Metrics *obs.Registry
+}
+
+// serverMetrics holds the server's pre-resolved instrument handles so the
+// request loop never touches the registry's lookup path.
+type serverMetrics struct {
+	reqs   [5]*obs.Counter // indexed by op; 0 unused
+	errors *obs.Counter
+	bytes  *obs.Counter
+	lat    *obs.Histogram
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	reg.Help("ddstore_serve_requests_total", "Requests handled by the chunk server, by op.")
+	reg.Help("ddstore_serve_errors_total", "Requests answered with an error status.")
+	reg.Help("ddstore_serve_bytes_total", "Response payload bytes served.")
+	m := &serverMetrics{
+		errors: reg.Counter("ddstore_serve_errors_total"),
+		bytes:  reg.Counter("ddstore_serve_bytes_total"),
+		lat:    obs.FetchLatencyHistogram(reg),
+	}
+	for op, name := range map[byte]string{opMeta: "meta", opGet: "get", opMulti: "multi", opGetBatch: "getbatch"} {
+		m.reqs[op] = reg.Counter("ddstore_serve_requests_total", "op", name)
+	}
+	return m
+}
+
+// observe records one handled request.
+func (m *serverMetrics) observe(op byte, payload int, err error, dur time.Duration) {
+	if m == nil {
+		return
+	}
+	if int(op) < len(m.reqs) && m.reqs[op] != nil {
+		m.reqs[op].Inc()
+	}
+	if err != nil {
+		m.errors.Inc()
+	}
+	m.bytes.Add(int64(payload))
+	m.lat.ObserveDuration(dur)
 }
 
 // Server serves one chunk over TCP.
@@ -108,6 +152,7 @@ type Server struct {
 	ln        net.Listener
 	src       ChunkSource
 	opts      ServerOptions
+	metrics   *serverMetrics // nil without ServerOptions.Metrics
 	wg        sync.WaitGroup
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
@@ -135,6 +180,9 @@ func ServeWith(addr string, src ChunkSource, opts ServerOptions) (*Server, error
 // resets, stalls, and corruption into every accepted connection.
 func ServeListener(ln net.Listener, src ChunkSource, opts ServerOptions) *Server {
 	s := &Server{ln: ln, src: src, opts: opts, conns: map[net.Conn]struct{}{}, done: make(chan struct{})}
+	if opts.Metrics != nil {
+		s.metrics = newServerMetrics(opts.Metrics)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -236,6 +284,7 @@ func (s *Server) handle(conn net.Conn) {
 		op := header[0]
 		a := int64(binary.LittleEndian.Uint64(header[1:]))
 		b := int64(binary.LittleEndian.Uint64(header[9:]))
+		start := time.Now()
 		var payload []byte
 		err := s.checkHeader(op, a, b)
 		if err != nil && op == opGetBatch {
@@ -243,6 +292,7 @@ func (s *Server) handle(conn net.Conn) {
 			// (8 bytes per id) is unknown, so the stream cannot be
 			// resynchronized: report the error, then drop the connection.
 			s.writeResponse(conn, nil, err)
+			s.metrics.observe(op, 0, err, time.Since(start))
 			return
 		}
 		if err == nil {
@@ -272,7 +322,9 @@ func (s *Server) handle(conn net.Conn) {
 				payload, err = s.batchPayload(decodeBatchIDs(body, int(a)))
 			}
 		}
-		if werr := s.writeResponse(conn, payload, err); werr != nil {
+		werr := s.writeResponse(conn, payload, err)
+		s.metrics.observe(op, len(payload), err, time.Since(start))
+		if werr != nil {
 			return
 		}
 	}
