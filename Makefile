@@ -32,9 +32,11 @@ fuzz:
 
 # Coverage gates. internal/fetch is the one pipeline both data planes ride
 # (engine unit tests + cross-plane conformance); internal/obs is the
-# metrics/span/telemetry surface every layer now feeds.
+# metrics/span/telemetry surface every layer now feeds; internal/loadgen is
+# the live-serve latency harness whose e2e suite drives real TCP.
 COVER_MIN ?= 85
 OBS_COVER_MIN ?= 75
+LOADGEN_COVER_MIN ?= 85
 
 cover:
 	$(GO) test -coverprofile=fetch.cover -coverpkg=./internal/fetch/ ./internal/fetch/
@@ -47,6 +49,11 @@ cover:
 	echo "internal/obs coverage: $$total% (floor $(OBS_COVER_MIN)%)"; \
 	awk -v t="$$total" -v min="$(OBS_COVER_MIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
 		{ echo "coverage $$total% is below the $(OBS_COVER_MIN)% floor" >&2; exit 1; }
+	$(GO) test -coverprofile=loadgen.cover -coverpkg=./internal/loadgen/ ./internal/loadgen/
+	@total=$$($(GO) tool cover -func=loadgen.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/loadgen coverage: $$total% (floor $(LOADGEN_COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(LOADGEN_COVER_MIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% is below the $(LOADGEN_COVER_MIN)% floor" >&2; exit 1; }
 
 fmt:
 	gofmt -w .

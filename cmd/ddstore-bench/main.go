@@ -1,25 +1,44 @@
-// Command ddstore-bench runs the paper-reproduction experiments: one per
-// table and figure of the DDStore paper's evaluation section.
+// Command ddstore-bench runs the paper-reproduction experiments — one per
+// table and figure of the DDStore paper's evaluation section — and, with
+// -loadgen, the closed-loop load generator against a live ddstore-serve
+// cluster.
 //
 // Usage:
 //
 //	ddstore-bench -exp fig4           # one experiment, full scale
 //	ddstore-bench -exp all -quick     # whole suite at test scale
-//	ddstore-bench -list               # show available experiments
+//	ddstore-bench -list               # show available experiments and modes
 //	ddstore-bench -exp table2 -csv    # machine-readable output
+//
+//	# drive a live server: QPS/concurrency sweep with warm/cold phases
+//	ddstore-serve -dataset homolumo -n 10000 -lo 0 -hi 10000 -addr 127.0.0.1:7001 &
+//	ddstore-bench -loadgen -addr 127.0.0.1:7001 -clients 8 -qps 500 -mix 0.25
+//	ddstore-bench -loadgen -addr 127.0.0.1:7001 -quick -out BENCH_loadgen.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime/debug"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"ddstore/internal/bench"
+	"ddstore/internal/loadgen"
 	"ddstore/internal/obs"
 )
+
+// usageError prints a usage-level complaint and exits 2, matching flag
+// package conventions.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ddstore-bench: "+format+"\n", args...)
+	os.Exit(2)
+}
 
 func main() {
 	// The at-scale experiments allocate aggressively (hundreds of thousands
@@ -40,13 +59,54 @@ func main() {
 		cachePol   = flag.String("cache-policy", "lru", "cache eviction policy: lru, fifo, clock")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of per-batch spans from every run (load in about://tracing)")
 		metricsOut = flag.String("metrics-json", "", "write the final metrics registry snapshot to this JSON file")
+
+		// Load-generator mode: drive a live ddstore-serve cluster instead
+		// of running simulated experiments.
+		loadgenMode = flag.Bool("loadgen", false, "drive a live ddstore-serve cluster (requires -addr)")
+		addrs       = flag.String("addr", "", "comma-separated ddstore-serve addresses to drive")
+		clients     = flag.Int("clients", 4, "concurrent load-generator workers")
+		qps         = flag.Float64("qps", 200, "open-loop target QPS (token-bucket rate)")
+		duration    = flag.Duration("duration", 5*time.Second, "per-phase wall budget in full mode")
+		ramp        = flag.String("ramp", "", "comma-separated client counts for a closed-loop concurrency ramp (e.g. 1,4,16)")
+		mix         = flag.Float64("mix", 0.25, "fraction of requests issued as OpGetBatch bulk fetches [0,1]")
+		batch       = flag.Int("batch", 8, "ids per bulk fetch")
+		metricsURL  = flag.String("scrape", "", "server /metrics URL to scrape after each phase (e.g. http://127.0.0.1:7901/metrics)")
+		artifactOut = flag.String("out", "BENCH_loadgen.json", "loadgen JSON artifact path ('' = don't write)")
 	)
 	flag.Parse()
 
+	// Contradictory or incomplete flag combos are usage errors, not silent
+	// preferences.
+	if *csv && *jsonOut {
+		usageError("-csv and -json are mutually exclusive; pick one output format")
+	}
+	if *loadgenMode && *addrs == "" {
+		usageError("-loadgen needs -addr: the address(es) of a live ddstore-serve (start one with: ddstore-serve -dataset homolumo -n 10000 -lo 0 -hi 10000)")
+	}
+	if !*loadgenMode {
+		for name, set := range map[string]bool{
+			"-addr": *addrs != "", "-ramp": *ramp != "", "-scrape": *metricsURL != "",
+		} {
+			if set {
+				usageError("%s only applies to -loadgen mode", name)
+			}
+		}
+	}
+
 	if *list {
+		fmt.Printf("%-8s %s\n", "loadgen", "Live-serve load generator: open/closed-loop QPS and concurrency sweeps (-loadgen -addr ...)")
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
+		return
+	}
+
+	if *loadgenMode {
+		runLoadgen(loadgenFlags{
+			addrs: *addrs, quick: *quick, seed: *seed, csv: *csv, json: *jsonOut,
+			clients: *clients, qps: *qps, duration: *duration, ramp: *ramp,
+			mix: *mix, batch: *batch, metricsURL: *metricsURL, out: *artifactOut,
+		})
 		return
 	}
 
@@ -64,8 +124,7 @@ func main() {
 		for _, id := range strings.Split(*exp, ",") {
 			e, ok := bench.Lookup(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "ddstore-bench: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				usageError("unknown experiment %q (use -list)", id)
 			}
 			exps = append(exps, e)
 		}
@@ -98,19 +157,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ddstore-bench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		switch {
-		case *jsonOut:
-			out, err := report.JSON()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "ddstore-bench: %s: %v\n", e.ID, err)
-				os.Exit(1)
-			}
-			fmt.Println(out)
-		case *csv:
-			fmt.Printf("# %s — %s\n%s\n", report.ID, report.Title, report.CSV())
-		default:
-			fmt.Println(report.String())
-		}
+		printReport(report, *csv, *jsonOut)
 		if !*jsonOut {
 			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
@@ -143,5 +190,85 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (load in about://tracing)\n", *traceOut)
+	}
+}
+
+func printReport(report *bench.Report, csv, jsonOut bool) {
+	switch {
+	case jsonOut:
+		out, err := report.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddstore-bench: %s: %v\n", report.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	case csv:
+		fmt.Printf("# %s — %s\n%s\n", report.ID, report.Title, report.CSV())
+	default:
+		fmt.Println(report.String())
+	}
+}
+
+type loadgenFlags struct {
+	addrs      string
+	quick      bool
+	seed       uint64
+	csv, json  bool
+	clients    int
+	qps        float64
+	duration   time.Duration
+	ramp       string
+	mix        float64
+	batch      int
+	metricsURL string
+	out        string
+}
+
+func runLoadgen(f loadgenFlags) {
+	var rampSteps []int
+	if f.ramp != "" {
+		for _, s := range strings.Split(f.ramp, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				usageError("bad -ramp step %q: want positive client counts like 1,4,16", s)
+			}
+			rampSteps = append(rampSteps, n)
+		}
+	}
+
+	cfg := loadgen.Config{
+		Addrs: strings.Split(f.addrs, ","),
+		Seed:  f.seed,
+		Phases: loadgen.Sweep(loadgen.SweepOptions{
+			Quick: f.quick, Clients: f.clients, Ramp: rampSteps,
+			QPS: f.qps, Duration: f.duration, Mix: f.mix, BatchSize: f.batch,
+		}),
+		MetricsURL: f.metricsURL,
+	}
+	for i := range cfg.Addrs {
+		cfg.Addrs[i] = strings.TrimSpace(cfg.Addrs[i])
+	}
+
+	// Ctrl-C drains in-flight workers and still reports the phases that
+	// completed, so a long sweep interrupted late is not wasted.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := loadgen.Run(ctx, cfg)
+	if res == nil && err != nil {
+		fmt.Fprintf(os.Stderr, "ddstore-bench: loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ddstore-bench: loadgen interrupted (%v); reporting completed phases\n", err)
+	}
+
+	printReport(res.Report(), f.csv, f.json)
+	if f.out != "" {
+		title := fmt.Sprintf("loadgen sweep against %s", f.addrs)
+		if err := res.Artifact(title).WriteFile(f.out); err != nil {
+			fmt.Fprintf(os.Stderr, "ddstore-bench: write artifact: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote loadgen artifact to %s\n", f.out)
 	}
 }

@@ -2,7 +2,9 @@
 // plane, so DDStore chunks can be fetched between real processes — one
 // server per node, for example. Peers connect with transport.Dial /
 // transport.NewGroup (or any client speaking the simple length-prefixed
-// protocol in internal/transport).
+// protocol in internal/transport). The assembly itself lives in
+// internal/serveboot so tests and the load-generator harness can boot the
+// same server in-process on a loopback port.
 //
 // Usage:
 //
@@ -18,53 +20,14 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
-	"ddstore/internal/cache"
-	"ddstore/internal/cff"
-	"ddstore/internal/datasets"
 	"ddstore/internal/faultnet"
-	"ddstore/internal/graph"
-	"ddstore/internal/obs"
-	"ddstore/internal/pff"
-	"ddstore/internal/transport"
+	"ddstore/internal/serveboot"
 )
-
-// sampleSource is the subset of dataset/store behaviour the server needs.
-type sampleSource interface {
-	Len() int
-	ReadSample(id int64) (*graph.Graph, error)
-}
-
-// lazyChunk is a ChunkSource that encodes samples on demand through a
-// byte-budgeted cache instead of preloading the whole range — the
-// -cache-bytes serving mode for ranges too large to hold encoded in
-// memory. Concurrent requests for the same cold sample are coalesced into
-// one backing read.
-type lazyChunk struct {
-	src    sampleSource
-	lo, hi int64
-	c      *cache.Cache
-}
-
-func (l *lazyChunk) LocalRange() (int64, int64) { return l.lo, l.hi }
-
-func (l *lazyChunk) LocalSampleBytes(id int64) ([]byte, error) {
-	if id < l.lo || id >= l.hi {
-		return nil, fmt.Errorf("sample %d not in chunk [%d,%d)", id, l.lo, l.hi)
-	}
-	return l.c.GetOrFetch(id, func() ([]byte, error) {
-		g, err := l.src.ReadSample(id)
-		if err != nil {
-			return nil, err
-		}
-		return g.Encode(), nil
-	})
-}
 
 func main() {
 	var (
@@ -97,125 +60,44 @@ func main() {
 	)
 	flag.Parse()
 
-	var src sampleSource
-	var err error
-	switch {
-	case *cffDir != "":
-		var st *cff.Store
-		if st, err = cff.Open(*cffDir); err == nil {
-			defer st.Close()
-			src = st
-		}
-	case *pffDir != "":
-		src, err = pff.Open(*pffDir)
-	case *dsName != "":
-		cfg := datasets.Config{NumGraphs: *n, SpectrumBins: *bins}
-		switch *dsName {
-		case "ising":
-			src = datasets.Ising(cfg)
-		case "homolumo":
-			src = datasets.HomoLumo(cfg)
-		case "discrete":
-			src = datasets.AISDExDiscrete(cfg)
-		case "smooth":
-			src = datasets.AISDExSmooth(cfg)
-		default:
-			err = fmt.Errorf("unknown dataset %q", *dsName)
-		}
-	default:
-		err = fmt.Errorf("one of -cff, -pff, or -dataset is required")
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ddstore-serve: %v\n", err)
-		os.Exit(2)
-	}
-
-	end := *hi
-	if end < 0 {
-		end = int64(src.Len())
-	}
-	if *lo < 0 || end > int64(src.Len()) || *lo >= end {
-		fmt.Fprintf(os.Stderr, "ddstore-serve: bad range [%d,%d) for %d samples\n", *lo, end, src.Len())
-		os.Exit(2)
-	}
-
-	var chunk transport.ChunkSource
-	var hotCache *cache.Cache
-	if *cacheBytes > 0 {
-		// Lazy mode: no preload; samples are read and encoded on first
-		// request and held under the cache's byte budget.
-		pol, err := cache.ParsePolicy(*cachePol)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ddstore-serve: %v\n", err)
-			os.Exit(2)
-		}
-		hotCache = cache.New(cache.Options{MaxBytes: *cacheBytes, Policy: pol})
-		chunk = &lazyChunk{src: src, lo: *lo, hi: end, c: hotCache}
-	} else {
-		// Materialize the served chunk (encoded) so requests are memory
-		// reads — the same preload step a DDStore rank performs.
-		graphs := make([]*graph.Graph, 0, end-*lo)
-		for id := *lo; id < end; id++ {
-			g, err := src.ReadSample(id)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "ddstore-serve: preload %d: %v\n", id, err)
-				os.Exit(1)
-			}
-			graphs = append(graphs, g)
-		}
-		chunk = transport.NewMemChunk(*lo, graphs)
-	}
-	opts := transport.ServerOptions{WriteTimeout: *writeTimeout, IdleTimeout: *idleTimeout}
-
-	// The debug endpoint exports the server's request/latency metrics plus
-	// cache and runtime gauges. Known resilience counters are pre-registered
-	// at zero so a scrape shows the full schema before any traffic.
-	var reg *obs.Registry
-	if *debugAddr != "" {
-		reg = obs.NewRegistry()
-		obs.NewCounterSink(reg, obs.MetricEvents, "event",
-			cache.CounterHits, cache.CounterMisses, cache.CounterCoalesced, cache.CounterEvictions,
-			transport.CounterRoundTrips, transport.CounterRetries, transport.CounterReconnects,
-			transport.CounterTimeouts, transport.CounterChecksumErrors,
-			transport.CounterFailovers, transport.CounterGiveUps)
-		obs.FetchLatencyHistogram(reg)
-		obs.CollectGoRuntime(reg)
-		if hotCache != nil {
-			obs.CollectCache(reg, hotCache.Stats)
-		}
-		opts.Metrics = reg
-	}
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ddstore-serve: %v\n", err)
-		os.Exit(1)
+	cfg := serveboot.Config{
+		Addr:         *addr,
+		CFFDir:       *cffDir,
+		PFFDir:       *pffDir,
+		Dataset:      *dsName,
+		N:            *n,
+		Bins:         *bins,
+		Lo:           *lo,
+		Hi:           *hi,
+		WriteTimeout: *writeTimeout,
+		IdleTimeout:  *idleTimeout,
+		CacheBytes:   *cacheBytes,
+		CachePolicy:  *cachePol,
+		DebugAddr:    *debugAddr,
 	}
 	chaotic := *chaosReset > 0 || *chaosStallProb > 0 || *chaosCorrupt > 0 || *chaosSlowStart > 0
-	var injector *faultnet.Injector
 	if chaotic {
-		injector = faultnet.New(faultnet.Scenario{
+		cfg.Chaos = &faultnet.Scenario{
 			Seed:      *chaosSeed,
 			ResetProb: *chaosReset,
 			StallProb: *chaosStallProb, StallFor: *chaosStall,
 			CorruptProb: *chaosCorrupt,
 			SlowStart:   *chaosSlowStart,
-		})
-		ln = injector.Listener(ln)
-	}
-	srv := transport.ServeListener(ln, chunk, opts)
-	fmt.Printf("serving samples [%d,%d) on %s (ctrl-c to stop)\n", *lo, end, srv.Addr())
-	if reg != nil {
-		dbg, err := obs.StartDebug(*debugAddr, reg, nil)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ddstore-serve: debug server: %v\n", err)
-			os.Exit(1)
 		}
-		defer dbg.Close()
-		fmt.Printf("debug server on http://%s (/metrics, /healthz, /debug/pprof/)\n", dbg.Addr())
 	}
-	if hotCache != nil {
-		fmt.Printf("lazy mode: %s cache, %d byte budget\n", hotCache.Policy(), *cacheBytes)
+
+	inst, err := serveboot.Boot(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ddstore-serve: %v\n", err)
+		os.Exit(2)
+	}
+	srvLo, srvHi := inst.Range()
+	fmt.Printf("serving samples [%d,%d) on %s (ctrl-c to stop)\n", srvLo, srvHi, inst.Addr())
+	if dbg := inst.DebugAddr(); dbg != "" {
+		fmt.Printf("debug server on http://%s (/metrics, /healthz, /debug/pprof/)\n", dbg)
+	}
+	if pol := inst.CachePolicy(); pol != "" {
+		fmt.Printf("lazy mode: %s cache, %d byte budget\n", pol, *cacheBytes)
 	}
 	if chaotic {
 		fmt.Printf("chaos mode: seed=%d reset=%g stall=%g/%s corrupt=%g slow-start=%s\n",
@@ -225,12 +107,11 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	srv.Close()
-	if injector != nil {
-		fmt.Printf("\ninjected faults: %+v\n", injector.Stats())
+	inst.Close()
+	if st, ok := inst.FaultStats(); ok {
+		fmt.Printf("\ninjected faults: %+v\n", st)
 	}
-	if hotCache != nil {
-		st := hotCache.Stats()
+	if st, ok := inst.CacheStats(); ok {
 		fmt.Printf("\ncache: %.1f%% hit rate, %d hits, %d misses, %d evictions, %d coalesced, %d entries / %d B resident\n",
 			100*st.HitRate(), st.Hits, st.Misses, st.Evictions, st.Coalesced, st.Entries, st.Bytes)
 	}

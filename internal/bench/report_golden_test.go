@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ddstore/internal/fetch"
+	"ddstore/internal/obs"
+)
+
+// fixedReport populates every Report field with environment-independent
+// values so its JSON encoding is reproducible.
+func fixedReport() *Report {
+	r := &Report{
+		ID:      "fig4",
+		Title:   "golden fixture",
+		Columns: []string{"dataset", "throughput", "p99-ms"},
+	}
+	r.AddRow("Ising", 102000.0, 0.89)
+	r.AddRow("AISD HOMO-LUMO", 98000.0, 1.21)
+	r.AddNote("expected shape: DDStore >> CFF > PFF")
+	r.Latency = latencyDigest(fetch.LatencySummary{
+		Count: 4096,
+		P50:   276 * time.Microsecond,
+		P95:   512 * time.Microsecond,
+		P99:   890 * time.Microsecond,
+	})
+	r.Telemetry = &obs.ClusterTelemetry{}
+	return r
+}
+
+// TestReportJSONGolden pins the bench Report JSON schema — the other half
+// of the BENCH_*.json artifact surface (ddstore-bench -json). Field
+// renames break cross-PR diffs; a deliberate schema change must
+// regenerate the golden:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/bench -run TestReportJSONGolden
+func TestReportJSONGolden(t *testing.T) {
+	got, err := fixedReport().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := append([]byte(got), '\n')
+	path := filepath.Join("testdata", "report_v1.golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to generate)", err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Errorf("report JSON drifted from %s — regenerate with UPDATE_GOLDEN=1 if intentional\ngot:\n%s\nwant:\n%s", path, out, want)
+	}
+}

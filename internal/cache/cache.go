@@ -322,6 +322,21 @@ func (c *Cache) Stats() Stats {
 	return st
 }
 
+// Reset drops every cached entry, returning the cache to its cold state
+// while keeping the configured budget, policy, and cumulative event
+// counters. In-flight coalesced fetches are untouched: their deliveries
+// land in the fresh state. Load harnesses use it to run warm-vs-cold
+// phases against one server without restarting it.
+func (c *Cache) Reset() {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.entries = map[int64]*entry{}
+		s.head, s.tail = nil, nil
+		s.bytes = 0
+		s.mu.Unlock()
+	}
+}
+
 // Len returns the number of cached entries.
 func (c *Cache) Len() int { return c.Stats().Entries }
 

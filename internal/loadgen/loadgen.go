@@ -1,0 +1,495 @@
+// Package loadgen is the closed-loop load generator and latency harness
+// for a live ddstore-serve cluster: N concurrent workers drive the real
+// TCP data plane in open-loop (fixed-QPS token bucket, measuring
+// queue-induced latency) or closed-loop (back-to-back, measuring maximum
+// sustainable throughput) phases, with a configurable mix of single
+// OpGet lookups vs OpGetBatch bulk fetches to model interactive vs
+// training traffic.
+//
+// A run is a sequence of Phases — concurrency or QPS ramps, warm vs cold
+// cache passes — each producing a PhaseResult with p50/p95/p99/max
+// latency, achieved QPS, error/retry counts, and bytes moved, plus an
+// optional scrape of the server's /metrics endpoint. Results render as a
+// bench.Report table or a versioned JSON artifact diffable across PRs
+// (see report.go).
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ddstore/internal/obs"
+	"ddstore/internal/stats"
+	"ddstore/internal/transport"
+)
+
+// Mode selects how a phase paces its requests.
+type Mode string
+
+const (
+	// Open paces requests at a fixed target QPS with a token bucket;
+	// latency is measured from the token's scheduled issue time, so a
+	// server that cannot keep up shows queue-induced latency growth —
+	// the honest open-loop number coordinated-omission hides.
+	Open Mode = "open"
+	// Closed issues requests back to back from every worker; throughput
+	// is bounded by server capacity and round-trip time.
+	Closed Mode = "closed"
+)
+
+// Phase is one step of a load run.
+type Phase struct {
+	// Name labels the phase in tables and artifacts ("closed-cold-c8").
+	Name string
+	// Mode is Open or Closed.
+	Mode Mode
+	// Workers is the number of concurrent client workers.
+	Workers int
+	// TargetQPS is the token-bucket rate for Open phases.
+	TargetQPS float64
+	// Duration bounds the phase's wall clock. For Closed phases with
+	// MaxRequests it is a safety cap (0 = none).
+	Duration time.Duration
+	// MaxRequests, for Closed phases, issues exactly this many requests
+	// and stops — the deterministic quick mode.
+	MaxRequests int64
+	// Mix is the fraction of requests issued as OpGetBatch bulk fetches
+	// (0 = all single OpGet lookups, 1 = all batches).
+	Mix float64
+	// BatchSize is the ids per batch request (default 8).
+	BatchSize int
+	// Seed, when non-zero, pins this phase's request stream instead of
+	// deriving it from the phase index. A warm phase that shares its cold
+	// partner's seed (and worker count) replays the exact same id
+	// sequence, so warm-vs-cold isolates the server cache.
+	Seed uint64
+	// Before, if set, runs just before the phase starts — the hook a
+	// harness uses to reset server caches for a cold phase. Not part of
+	// the artifact.
+	Before func()
+}
+
+// Config describes a full load run against one or more live servers.
+type Config struct {
+	// Addrs are the ddstore-serve endpoints to drive. Each worker draws a
+	// target uniformly per request, so load spreads across the cluster.
+	Addrs []string
+	// Seed makes the id streams reproducible (0 = 1).
+	Seed uint64
+	// Lo, Hi, when Hi > Lo, give the id range served by every addr and
+	// skip the startup Meta probes — the knob for driving a cluster so
+	// faulty that even discovery round trips may fail.
+	Lo, Hi int64
+	// Phases run in order.
+	Phases []Phase
+	// Policy is the per-client retry/deadline policy (zero = defaults).
+	Policy transport.RetryPolicy
+	// Dialer overrides the TCP dialer — the faultnet seam (nil = TCP).
+	Dialer transport.DialFunc
+	// MetricsURL, when set, is scraped after every phase and the
+	// ddstore_* families attached to the PhaseResult.
+	MetricsURL string
+	// Registry, when set, carries the in-flight worker gauge
+	// (obs.MetricLoadgenInFlight) while phases run.
+	Registry *obs.Registry
+}
+
+// PhaseResult is the measured outcome of one phase. Field names and types
+// are pinned by the artifact golden test: BENCH_*.json files must stay
+// comparable across PRs, so additions are fine but renames are not.
+type PhaseResult struct {
+	Name        string  `json:"name"`
+	Mode        string  `json:"mode"`
+	Workers     int     `json:"workers"`
+	TargetQPS   float64 `json:"target_qps,omitempty"`
+	BatchMix    float64 `json:"batch_mix"`
+	BatchSize   int     `json:"batch_size,omitempty"`
+	DurationS   float64 `json:"duration_s"`
+	Requests    int64   `json:"requests"`
+	Samples     int64   `json:"samples"`
+	Errors      int64   `json:"errors"`
+	Retries     int64   `json:"retries"`
+	Reconnects  int64   `json:"reconnects"`
+	GiveUps     int64   `json:"giveups"`
+	Dropped     int64   `json:"dropped_tokens,omitempty"`
+	Bytes       int64   `json:"bytes"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	SamplesPerS float64 `json:"samples_per_s"`
+	P50ms       float64 `json:"p50_ms"`
+	P95ms       float64 `json:"p95_ms"`
+	P99ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+	// Server holds the post-phase /metrics scrape (ddstore_* families),
+	// keyed by series name including labels.
+	Server map[string]float64 `json:"server_metrics,omitempty"`
+}
+
+// Result is a completed (or cancelled) load run.
+type Result struct {
+	Addrs  []string            `json:"addrs"`
+	Seed   uint64              `json:"seed"`
+	Phases []PhaseResult       `json:"phases"`
+	Pool   transport.PoolStats `json:"pool"`
+}
+
+// target is one server and its advertised sample range.
+type target struct {
+	addr   string
+	lo, hi int64
+}
+
+// counterSink aggregates the transport's resilience events across every
+// pooled client; phases report deltas between snapshots.
+type counterSink struct {
+	retries, reconnects, giveups atomic.Int64
+}
+
+func (s *counterSink) Inc(name string, delta int64) {
+	switch name {
+	case transport.CounterRetries:
+		s.retries.Add(delta)
+	case transport.CounterReconnects:
+		s.reconnects.Add(delta)
+	case transport.CounterGiveUps:
+		s.giveups.Add(delta)
+	}
+}
+
+type counterSnap struct{ retries, reconnects, giveups int64 }
+
+func (s *counterSink) snapshot() counterSnap {
+	return counterSnap{s.retries.Load(), s.reconnects.Load(), s.giveups.Load()}
+}
+
+func validate(cfg Config) error {
+	if len(cfg.Addrs) == 0 {
+		return fmt.Errorf("loadgen: no server addresses")
+	}
+	if len(cfg.Phases) == 0 {
+		return fmt.Errorf("loadgen: no phases")
+	}
+	for i, ph := range cfg.Phases {
+		switch ph.Mode {
+		case Open:
+			if ph.TargetQPS <= 0 {
+				return fmt.Errorf("loadgen: phase %d (%s): open loop needs TargetQPS > 0", i, ph.Name)
+			}
+			if ph.Duration <= 0 {
+				return fmt.Errorf("loadgen: phase %d (%s): open loop needs Duration > 0", i, ph.Name)
+			}
+		case Closed:
+			if ph.Duration <= 0 && ph.MaxRequests <= 0 {
+				return fmt.Errorf("loadgen: phase %d (%s): closed loop needs Duration or MaxRequests", i, ph.Name)
+			}
+		default:
+			return fmt.Errorf("loadgen: phase %d (%s): unknown mode %q", i, ph.Name, ph.Mode)
+		}
+		if ph.Workers <= 0 {
+			return fmt.Errorf("loadgen: phase %d (%s): %d workers", i, ph.Name, ph.Workers)
+		}
+		if ph.Mix < 0 || ph.Mix > 1 {
+			return fmt.Errorf("loadgen: phase %d (%s): batch mix %g outside [0,1]", i, ph.Name, ph.Mix)
+		}
+	}
+	return nil
+}
+
+// Run executes every phase in order. On context cancellation it drains
+// in-flight workers cleanly, returns the phases completed so far, and
+// reports the context's error.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	sink := &counterSink{}
+	pool := transport.NewClientPool(transport.ClientOptions{
+		Policy:   cfg.Policy,
+		Counters: sink,
+		Dialer:   cfg.Dialer,
+	})
+	defer pool.Close()
+
+	// Discover each server's advertised range once, so workers draw ids
+	// that the target actually owns. An explicit Lo/Hi skips the probes.
+	targets := make([]target, len(cfg.Addrs))
+	for i, addr := range cfg.Addrs {
+		if cfg.Hi > cfg.Lo {
+			targets[i] = target{addr: addr, lo: cfg.Lo, hi: cfg.Hi}
+			continue
+		}
+		cl, err := pool.Get(addr)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: dial %s: %w", addr, err)
+		}
+		lo, hi, err := cl.Meta()
+		pool.Put(cl)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: meta %s: %w", addr, err)
+		}
+		if hi <= lo {
+			return nil, fmt.Errorf("loadgen: %s advertises empty range [%d,%d)", addr, lo, hi)
+		}
+		targets[i] = target{addr: addr, lo: lo, hi: hi}
+	}
+
+	var gauge *obs.Gauge
+	if cfg.Registry != nil {
+		gauge = obs.LoadgenWorkersGauge(cfg.Registry)
+	}
+
+	res := &Result{Addrs: cfg.Addrs, Seed: seed}
+	for i, ph := range cfg.Phases {
+		if err := ctx.Err(); err != nil {
+			res.Pool = pool.Stats()
+			return res, err
+		}
+		if ph.Before != nil {
+			ph.Before()
+		}
+		phaseSeed := seed + uint64(i)*1_000_003
+		if ph.Seed != 0 {
+			phaseSeed = ph.Seed
+		}
+		pr := runPhase(ctx, ph, targets, pool, sink, gauge, phaseSeed)
+		if cfg.MetricsURL != "" {
+			if m, err := ScrapeMetrics(cfg.MetricsURL); err == nil {
+				pr.Server = m
+			}
+		}
+		res.Phases = append(res.Phases, pr)
+	}
+	res.Pool = pool.Stats()
+	return res, ctx.Err()
+}
+
+// workerStats is one worker's private tally, merged after the phase so
+// the hot loop never shares a cache line.
+type workerStats struct {
+	lats    []time.Duration
+	errors  int64
+	bytes   int64
+	samples int64
+}
+
+func runPhase(ctx context.Context, ph Phase, targets []target, pool *transport.ClientPool,
+	sink *counterSink, gauge *obs.Gauge, seed uint64) PhaseResult {
+
+	batch := ph.BatchSize
+	if batch <= 0 {
+		batch = 8
+	}
+	before := sink.snapshot()
+
+	// Open loop: a dispatcher issues tokens carrying their scheduled time;
+	// the bounded queue models the arrival queue, and a full queue drops
+	// (and counts) tokens rather than blocking the schedule.
+	var tokens chan time.Time
+	var dropped atomic.Int64
+	start := time.Now()
+	var deadline time.Time
+	if ph.Duration > 0 {
+		deadline = start.Add(ph.Duration)
+	}
+	dispatchDone := make(chan struct{})
+	if ph.Mode == Open {
+		tokens = make(chan time.Time, tokenQueueCap)
+		go func() {
+			defer close(tokens)
+			defer close(dispatchDone)
+			interval := time.Duration(float64(time.Second) / ph.TargetQPS)
+			if interval <= 0 {
+				interval = time.Nanosecond
+			}
+			next := time.Now()
+			timer := time.NewTimer(0)
+			defer timer.Stop()
+			if !timer.Stop() {
+				<-timer.C
+			}
+			for {
+				now := time.Now()
+				if now.After(deadline) {
+					return
+				}
+				if wait := next.Sub(now); wait > 0 {
+					timer.Reset(wait)
+					select {
+					case <-ctx.Done():
+						return
+					case <-timer.C:
+					}
+				}
+				select {
+				case tokens <- next:
+				default:
+					dropped.Add(1)
+				}
+				next = next.Add(interval)
+			}
+		}()
+	} else {
+		close(dispatchDone)
+	}
+
+	// Closed loop with MaxRequests: a shared ticket counter makes the
+	// total request count exact regardless of worker interleaving.
+	var issued atomic.Int64
+
+	perWorker := make([]workerStats, ph.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < ph.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if gauge != nil {
+				gauge.Add(1)
+				defer gauge.Add(-1)
+			}
+			rng := rand.New(rand.NewSource(int64(seed) + int64(w)*7919))
+			ws := &perWorker[w]
+
+			// Each worker checks one client per distinct target out of the
+			// pool for the phase and returns them on exit, so connections
+			// stay warm across phases.
+			clients := make(map[string]*transport.Client, len(targets))
+			defer func() {
+				for _, c := range clients {
+					pool.Put(c)
+				}
+			}()
+
+			one := func(issuedAt time.Time) {
+				t := targets[rng.Intn(len(targets))]
+				cl, ok := clients[t.addr]
+				if !ok {
+					var err error
+					if cl, err = pool.Get(t.addr); err != nil {
+						ws.errors++
+						return
+					}
+					clients[t.addr] = cl
+				}
+				span := t.hi - t.lo
+				var nbytes, nsamples int64
+				var err error
+				if rng.Float64() < ph.Mix {
+					ids := make([]int64, batch)
+					for i := range ids {
+						ids[i] = t.lo + rng.Int63n(span)
+					}
+					var parts [][]byte
+					if parts, err = cl.GetBatchRaw(ids); err == nil {
+						for _, p := range parts {
+							nbytes += int64(len(p))
+						}
+						nsamples = int64(len(parts))
+					}
+				} else {
+					var raw []byte
+					if raw, err = cl.GetRaw(t.lo + rng.Int63n(span)); err == nil {
+						nbytes = int64(len(raw))
+						nsamples = 1
+					}
+				}
+				if err != nil {
+					ws.errors++
+					return
+				}
+				ws.lats = append(ws.lats, time.Since(issuedAt))
+				ws.bytes += nbytes
+				ws.samples += nsamples
+			}
+
+			switch ph.Mode {
+			case Open:
+				for tok := range tokens {
+					select {
+					case <-ctx.Done():
+						// Drain without issuing: the dispatcher stops on
+						// cancel, and leftover queued tokens must not keep
+						// the phase alive.
+						continue
+					default:
+					}
+					one(tok)
+				}
+			case Closed:
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					default:
+					}
+					if !deadline.IsZero() && time.Now().After(deadline) {
+						return
+					}
+					if ph.MaxRequests > 0 && issued.Add(1) > ph.MaxRequests {
+						return
+					}
+					one(time.Now())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	<-dispatchDone
+	elapsed := time.Since(start)
+	delta := sink.snapshot()
+
+	pr := PhaseResult{
+		Name:      ph.Name,
+		Mode:      string(ph.Mode),
+		Workers:   ph.Workers,
+		TargetQPS: ph.TargetQPS,
+		BatchMix:  ph.Mix,
+		DurationS: elapsed.Seconds(),
+		Dropped:   dropped.Load(),
+	}
+	if ph.Mix > 0 {
+		pr.BatchSize = batch
+	}
+	var all []time.Duration
+	for i := range perWorker {
+		ws := &perWorker[i]
+		all = append(all, ws.lats...)
+		pr.Errors += ws.errors
+		pr.Bytes += ws.bytes
+		pr.Samples += ws.samples
+	}
+	pr.Requests = int64(len(all)) + pr.Errors
+	pr.Retries = delta.retries - before.retries
+	pr.Reconnects = delta.reconnects - before.reconnects
+	pr.GiveUps = delta.giveups - before.giveups
+	if secs := elapsed.Seconds(); secs > 0 {
+		pr.AchievedQPS = float64(len(all)) / secs
+		pr.SamplesPerS = float64(pr.Samples) / secs
+	}
+	if len(all) > 0 {
+		msOf := func(d time.Duration) float64 { return d.Seconds() * 1e3 }
+		pr.P50ms = msOf(stats.DurationPercentile(all, 50))
+		pr.P95ms = msOf(stats.DurationPercentile(all, 95))
+		pr.P99ms = msOf(stats.DurationPercentile(all, 99))
+		max := all[0]
+		for _, d := range all[1:] {
+			if d > max {
+				max = d
+			}
+		}
+		pr.MaxMs = msOf(max)
+	}
+	return pr
+}
+
+// tokenQueueCap bounds the open-loop arrival queue. A server that falls
+// behind sees latency grow up to the queue depth; beyond that, tokens are
+// dropped and counted, keeping the generator itself unbounded-memory-safe.
+const tokenQueueCap = 4096

@@ -1,0 +1,303 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ddstore/internal/datasets"
+	"ddstore/internal/obs"
+	"ddstore/internal/serveboot"
+	"ddstore/internal/transport"
+)
+
+// waitGoroutines retries until the process is back to at most want
+// goroutines — servers, workers, and HTTP connections need a few
+// scheduler rounds to unwind after Close.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("%d goroutines still running, want <= %d\n%s", n, want, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// checkOrdering asserts the percentile invariants of one phase.
+func checkOrdering(t *testing.T, ph PhaseResult) {
+	t.Helper()
+	if ph.P50ms <= 0 {
+		t.Errorf("%s: p50 %.4f ms, want > 0", ph.Name, ph.P50ms)
+	}
+	if !(ph.P50ms <= ph.P95ms && ph.P95ms <= ph.P99ms && ph.P99ms <= ph.MaxMs) {
+		t.Errorf("%s: percentile ordering violated: p50=%.4f p95=%.4f p99=%.4f max=%.4f",
+			ph.Name, ph.P50ms, ph.P95ms, ph.P99ms, ph.MaxMs)
+	}
+}
+
+// TestEndToEndLoopback is the headline e2e: boot ddstore-serve in-process,
+// run the quick sweep (closed cold, closed warm, open loop) against it
+// over real TCP, and check the harness's accounting — deterministic
+// request counts, non-zero achieved QPS, ordered percentiles, a server
+// metrics scrape per phase, warm-phase cache hits, and zero leaked
+// goroutines after shutdown.
+func TestEndToEndLoopback(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 300})
+	inst, err := serveboot.Boot(serveboot.Config{
+		Source: ds, Lo: 0, Hi: 300,
+		CacheBytes: 8 << 20, WriteTimeout: 5 * time.Second,
+		DebugAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	cfg := Config{
+		Addrs:      []string{inst.Addr()},
+		Seed:       42,
+		Phases:     Sweep(SweepOptions{Quick: true, Clients: 4, Mix: 0.25, ColdStart: inst.ResetCache}),
+		MetricsURL: inst.MetricsURL(),
+		Registry:   reg,
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 3 {
+		t.Fatalf("%d phases, want 3 (closed-cold, closed-warm, open)", len(res.Phases))
+	}
+
+	for _, ph := range res.Phases {
+		if ph.Errors != 0 {
+			t.Errorf("%s: %d errors against a healthy server", ph.Name, ph.Errors)
+		}
+		if ph.AchievedQPS <= 0 {
+			t.Errorf("%s: achieved QPS %.2f, want > 0", ph.Name, ph.AchievedQPS)
+		}
+		if ph.Samples <= 0 || ph.Bytes <= 0 {
+			t.Errorf("%s: samples=%d bytes=%d, want > 0", ph.Name, ph.Samples, ph.Bytes)
+		}
+		checkOrdering(t, ph)
+		if len(ph.Server) == 0 {
+			t.Errorf("%s: no server metrics scraped", ph.Name)
+		}
+	}
+
+	cold, warm, open := res.Phases[0], res.Phases[1], res.Phases[2]
+	// Deterministic closed-loop quick mode: exactly QuickClosedRequests
+	// requests per closed phase, all accounted for.
+	for _, ph := range []PhaseResult{cold, warm} {
+		if ph.Mode != string(Closed) {
+			t.Errorf("%s: mode %q, want closed", ph.Name, ph.Mode)
+		}
+		if ph.Requests != QuickClosedRequests {
+			t.Errorf("%s: %d requests, want exactly %d", ph.Name, ph.Requests, QuickClosedRequests)
+		}
+	}
+	if open.Mode != string(Open) {
+		t.Errorf("%s: mode %q, want open", open.Name, open.Mode)
+	}
+	if open.TargetQPS <= 0 {
+		t.Errorf("open phase lost its target QPS")
+	}
+
+	// The warm phase rides the cold phase's cache fill: the server must
+	// report cache hits by the time the warm scrape happens.
+	hits := warm.Server[`ddstore_events_total{event="cache-hits"}`]
+	if hits <= 0 {
+		t.Errorf("warm-phase scrape shows no cache hits (scrape: %v)", warm.Server)
+	}
+	if got := warm.Server[`ddstore_serve_requests_total{op="get"}`] +
+		warm.Server[`ddstore_serve_requests_total{op="getbatch"}`]; got <= 0 {
+		t.Errorf("warm-phase scrape shows no served requests")
+	}
+
+	// The in-flight gauge must be back to zero once Run returns.
+	if v := obs.LoadgenWorkersGauge(reg).Value(); v != 0 {
+		t.Errorf("in-flight worker gauge = %v after run, want 0", v)
+	}
+	// Client-pool reuse across phases: 3 phases × 4 workers against one
+	// server must not cost 12 dials.
+	if res.Pool.Dials == 0 || res.Pool.Reuses == 0 {
+		t.Errorf("pool stats %+v: want both dials and reuses > 0", res.Pool)
+	}
+	if res.Pool.Dials > 5 { // 4 workers + the meta probe
+		t.Errorf("pool dialed %d times for 4 workers, connections are not being reused", res.Pool.Dials)
+	}
+
+	// Report and artifact render without error and carry every phase.
+	rep := res.Report()
+	if len(rep.Rows) != 3 {
+		t.Errorf("report has %d rows, want 3", len(rep.Rows))
+	}
+	if !strings.Contains(rep.String(), "closed-cold-c4") {
+		t.Errorf("report table missing phase name:\n%s", rep.String())
+	}
+	art := res.Artifact("e2e test")
+	if art.Schema != ArtifactSchema || art.Kind != "loadgen" || len(art.Phases) != 3 {
+		t.Errorf("artifact schema=%d kind=%q phases=%d", art.Schema, art.Kind, len(art.Phases))
+	}
+	if _, err := art.JSON(); err != nil {
+		t.Errorf("artifact JSON: %v", err)
+	}
+
+	inst.Close()
+	waitGoroutines(t, before)
+}
+
+// TestRunDrainsOnCancel cancels mid-phase and checks the harness drains
+// cleanly: Run returns promptly with context.Canceled, the partial result
+// is usable, and no worker or dispatcher goroutines leak.
+func TestRunDrainsOnCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 100})
+	inst, err := serveboot.Boot(serveboot.Config{Source: ds, Lo: 0, Hi: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := Run(ctx, Config{
+		Addrs: []string{inst.Addr()},
+		Phases: []Phase{
+			{Name: "open-long", Mode: Open, Workers: 3, TargetQPS: 500, Duration: time.Hour},
+			{Name: "never-runs", Mode: Closed, Workers: 2, MaxRequests: 10},
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancel took %v to drain", elapsed)
+	}
+	if res == nil {
+		t.Fatal("no partial result on cancel")
+	}
+	// The cancelled phase still reports what it measured before the cut.
+	if len(res.Phases) != 1 {
+		t.Fatalf("%d phases in partial result, want 1 (the cancelled one)", len(res.Phases))
+	}
+	if res.Phases[0].Requests == 0 {
+		t.Error("cancelled phase recorded no requests in 150ms at 500 QPS")
+	}
+
+	inst.Close()
+	waitGoroutines(t, before)
+}
+
+// TestRunValidation rejects malformed configs up front.
+func TestRunValidation(t *testing.T) {
+	valid := Phase{Name: "ok", Mode: Closed, Workers: 1, MaxRequests: 1}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no addrs", Config{Phases: []Phase{valid}}},
+		{"no phases", Config{Addrs: []string{"x"}}},
+		{"open without qps", Config{Addrs: []string{"x"}, Phases: []Phase{{Mode: Open, Workers: 1, Duration: time.Second}}}},
+		{"open without duration", Config{Addrs: []string{"x"}, Phases: []Phase{{Mode: Open, Workers: 1, TargetQPS: 10}}}},
+		{"closed without bound", Config{Addrs: []string{"x"}, Phases: []Phase{{Mode: Closed, Workers: 1}}}},
+		{"zero workers", Config{Addrs: []string{"x"}, Phases: []Phase{{Mode: Closed, MaxRequests: 1}}}},
+		{"bad mix", Config{Addrs: []string{"x"}, Phases: []Phase{{Mode: Closed, Workers: 1, MaxRequests: 1, Mix: 1.5}}}},
+		{"bad mode", Config{Addrs: []string{"x"}, Phases: []Phase{{Mode: "burst", Workers: 1}}}},
+	}
+	for _, tc := range cases {
+		if _, err := Run(context.Background(), tc.cfg); err == nil {
+			t.Errorf("%s: Run accepted the config", tc.name)
+		}
+	}
+}
+
+// TestMultiServerSpread drives two servers covering disjoint ranges and
+// checks both see traffic — the cluster path of the harness.
+func TestMultiServerSpread(t *testing.T) {
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 200})
+	a, err := serveboot.Boot(serveboot.Config{Source: ds, Lo: 0, Hi: 100, DebugAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := serveboot.Boot(serveboot.Config{Source: ds, Lo: 100, Hi: 200, DebugAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	res, err := Run(context.Background(), Config{
+		Addrs: []string{a.Addr(), b.Addr()},
+		Seed:  7,
+		Phases: []Phase{
+			{Name: "closed", Mode: Closed, Workers: 4, MaxRequests: 200, Mix: 0.5, BatchSize: 4},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := res.Phases[0]
+	if ph.Requests != 200 || ph.Errors != 0 {
+		t.Fatalf("requests=%d errors=%d, want 200/0", ph.Requests, ph.Errors)
+	}
+	for name, url := range map[string]string{"a": a.MetricsURL(), "b": b.MetricsURL()} {
+		m, err := ScrapeMetrics(url)
+		if err != nil {
+			t.Fatalf("scrape %s: %v", name, err)
+		}
+		served := m[`ddstore_serve_requests_total{op="get"}`] + m[`ddstore_serve_requests_total{op="getbatch"}`]
+		if served <= 0 {
+			t.Errorf("server %s saw no traffic", name)
+		}
+	}
+}
+
+// TestPoolReuseAcrossRuns shares one pool-backed config across two runs
+// implicitly via transport.ClientPool inside Run; here we verify the
+// pool primitive itself against a live server.
+func TestPoolReuseAcrossRuns(t *testing.T) {
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 50})
+	inst, err := serveboot.Boot(serveboot.Config{Source: ds, Lo: 0, Hi: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	pool := transport.NewClientPool(transport.ClientOptions{})
+	defer pool.Close()
+	c1, err := pool.Get(inst.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(c1)
+	c2, err := pool.Get(inst.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("pool dialed a fresh client with one idle")
+	}
+	if _, err := c2.Get(3); err != nil {
+		t.Fatalf("pooled client get: %v", err)
+	}
+	pool.Put(c2)
+	if st := pool.Stats(); st.Dials != 1 || st.Reuses != 1 {
+		t.Errorf("pool stats %+v, want 1 dial / 1 reuse", st)
+	}
+}

@@ -27,7 +27,19 @@ const (
 	// time survives) and occurrence count.
 	MetricRegionSeconds = "ddstore_region_seconds_total"
 	MetricRegionSteps   = "ddstore_region_steps_total"
+	// MetricLoadgenInFlight gauges load-generator workers currently driving
+	// requests at a live server (internal/loadgen); it rises to the phase's
+	// worker count while a phase runs and drains back to zero between
+	// phases, so a scrape distinguishes "idle harness" from "mid-phase".
+	MetricLoadgenInFlight = "ddstore_loadgen_workers_inflight"
 )
+
+// LoadgenWorkersGauge returns the canonical in-flight load-generator
+// worker gauge of a registry, registering its help text on first use.
+func LoadgenWorkersGauge(reg *Registry) *Gauge {
+	reg.Help(MetricLoadgenInFlight, "Load-generator workers currently issuing requests.")
+	return reg.Gauge(MetricLoadgenInFlight)
+}
 
 // FetchLatencyHistogram returns the canonical fetch-latency histogram of a
 // registry (creating it with the default bucket spread).

@@ -1,0 +1,312 @@
+// Package serveboot assembles a complete ddstore-serve instance — data
+// source, preload-or-lazy chunk, metrics registry, debug endpoint, and
+// optional chaos injection — from one Config. cmd/ddstore-serve is a thin
+// flag-parsing shell over Boot; tests and the load-generator harness call
+// Boot directly to spin a real TCP server on a loopback port inside the
+// test process.
+package serveboot
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"ddstore/internal/cache"
+	"ddstore/internal/cff"
+	"ddstore/internal/datasets"
+	"ddstore/internal/faultnet"
+	"ddstore/internal/graph"
+	"ddstore/internal/obs"
+	"ddstore/internal/pff"
+	"ddstore/internal/transport"
+)
+
+// SampleSource is the subset of dataset/store behaviour the server needs.
+type SampleSource interface {
+	Len() int
+	ReadSample(id int64) (*graph.Graph, error)
+}
+
+// Config describes one serving process. Exactly one of CFFDir, PFFDir,
+// Dataset, or Source selects the backing data.
+type Config struct {
+	// Addr is the TCP listen address; default "127.0.0.1:0" (ephemeral
+	// loopback port, resolved by Instance.Addr).
+	Addr string
+
+	// CFFDir / PFFDir serve from an on-disk dataset directory.
+	CFFDir string
+	PFFDir string
+	// Dataset names a synthetic dataset: ising, homolumo, discrete, smooth.
+	Dataset string
+	// N and Bins size the synthetic dataset.
+	N    int
+	Bins int
+	// Source serves a caller-provided dataset directly (tests).
+	Source SampleSource
+
+	// Lo and Hi bound the served id range [Lo, Hi); Hi < 0 means the
+	// dataset end.
+	Lo, Hi int64
+
+	// WriteTimeout / IdleTimeout are the server's defensive limits.
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
+
+	// CacheBytes switches from eager preload to lazy on-demand serving
+	// through a byte-budgeted hot-sample cache of this size.
+	CacheBytes  int64
+	CachePolicy string
+
+	// DebugAddr enables the /metrics, /healthz, /debug/pprof endpoint on
+	// this address ("" = disabled; "127.0.0.1:0" for an ephemeral port).
+	DebugAddr string
+
+	// Chaos, when non-nil, wraps the listener in a faultnet injector so
+	// the instance misbehaves deterministically (resilience drills and
+	// the fault-mix load tests).
+	Chaos *faultnet.Scenario
+}
+
+// Instance is a booted server and its attached subsystems.
+type Instance struct {
+	srv      *transport.Server
+	dbg      *obs.DebugServer
+	reg      *obs.Registry
+	hot      *cache.Cache
+	injector *faultnet.Injector
+	lo, hi   int64
+	closers  []func() error
+}
+
+// lazyChunk is a ChunkSource that encodes samples on demand through a
+// byte-budgeted cache instead of preloading the whole range — the
+// CacheBytes serving mode for ranges too large to hold encoded in
+// memory. Concurrent requests for the same cold sample are coalesced into
+// one backing read.
+type lazyChunk struct {
+	src    SampleSource
+	lo, hi int64
+	c      *cache.Cache
+}
+
+func (l *lazyChunk) LocalRange() (int64, int64) { return l.lo, l.hi }
+
+func (l *lazyChunk) LocalSampleBytes(id int64) ([]byte, error) {
+	if id < l.lo || id >= l.hi {
+		return nil, fmt.Errorf("sample %d not in chunk [%d,%d)", id, l.lo, l.hi)
+	}
+	return l.c.GetOrFetch(id, func() ([]byte, error) {
+		g, err := l.src.ReadSample(id)
+		if err != nil {
+			return nil, err
+		}
+		return g.Encode(), nil
+	})
+}
+
+// openSource resolves the configured data backing.
+func openSource(cfg Config) (SampleSource, []func() error, error) {
+	switch {
+	case cfg.Source != nil:
+		return cfg.Source, nil, nil
+	case cfg.CFFDir != "":
+		st, err := cff.Open(cfg.CFFDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		return st, []func() error{st.Close}, nil
+	case cfg.PFFDir != "":
+		src, err := pff.Open(cfg.PFFDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		return src, nil, nil
+	case cfg.Dataset != "":
+		dcfg := datasets.Config{NumGraphs: cfg.N, SpectrumBins: cfg.Bins}
+		switch cfg.Dataset {
+		case "ising":
+			return datasets.Ising(dcfg), nil, nil
+		case "homolumo":
+			return datasets.HomoLumo(dcfg), nil, nil
+		case "discrete":
+			return datasets.AISDExDiscrete(dcfg), nil, nil
+		case "smooth":
+			return datasets.AISDExSmooth(dcfg), nil, nil
+		default:
+			return nil, nil, fmt.Errorf("serveboot: unknown dataset %q", cfg.Dataset)
+		}
+	default:
+		return nil, nil, fmt.Errorf("serveboot: one of CFFDir, PFFDir, Dataset, or Source is required")
+	}
+}
+
+// Boot starts a server from cfg. The returned Instance owns every
+// resource it started; Close releases them all.
+func Boot(cfg Config) (*Instance, error) {
+	src, closers, err := openSource(cfg)
+	if err != nil {
+		return nil, err
+	}
+	closeAll := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+
+	end := cfg.Hi
+	if end < 0 {
+		end = int64(src.Len())
+	}
+	if cfg.Lo < 0 || end > int64(src.Len()) || cfg.Lo >= end {
+		closeAll()
+		return nil, fmt.Errorf("serveboot: bad range [%d,%d) for %d samples", cfg.Lo, end, src.Len())
+	}
+
+	inst := &Instance{lo: cfg.Lo, hi: end, closers: closers}
+	var chunk transport.ChunkSource
+	if cfg.CacheBytes > 0 {
+		// Lazy mode: no preload; samples are read and encoded on first
+		// request and held under the cache's byte budget.
+		pol, err := cache.ParsePolicy(cfg.CachePolicy)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		inst.hot = cache.New(cache.Options{MaxBytes: cfg.CacheBytes, Policy: pol})
+		chunk = &lazyChunk{src: src, lo: cfg.Lo, hi: end, c: inst.hot}
+	} else {
+		// Materialize the served chunk (encoded) so requests are memory
+		// reads — the same preload step a DDStore rank performs.
+		graphs := make([]*graph.Graph, 0, end-cfg.Lo)
+		for id := cfg.Lo; id < end; id++ {
+			g, err := src.ReadSample(id)
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("serveboot: preload %d: %w", id, err)
+			}
+			graphs = append(graphs, g)
+		}
+		chunk = transport.NewMemChunk(cfg.Lo, graphs)
+	}
+
+	opts := transport.ServerOptions{WriteTimeout: cfg.WriteTimeout, IdleTimeout: cfg.IdleTimeout}
+
+	// The debug endpoint exports the server's request/latency metrics plus
+	// cache and runtime gauges. Known resilience counters are pre-registered
+	// at zero so a scrape shows the full schema before any traffic.
+	if cfg.DebugAddr != "" {
+		inst.reg = obs.NewRegistry()
+		obs.NewCounterSink(inst.reg, obs.MetricEvents, "event",
+			cache.CounterHits, cache.CounterMisses, cache.CounterCoalesced, cache.CounterEvictions,
+			transport.CounterRoundTrips, transport.CounterRetries, transport.CounterReconnects,
+			transport.CounterTimeouts, transport.CounterChecksumErrors,
+			transport.CounterFailovers, transport.CounterGiveUps)
+		obs.FetchLatencyHistogram(inst.reg)
+		obs.CollectGoRuntime(inst.reg)
+		if inst.hot != nil {
+			obs.CollectCache(inst.reg, inst.hot.Stats)
+		}
+		opts.Metrics = inst.reg
+	}
+
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		closeAll()
+		return nil, fmt.Errorf("serveboot: %w", err)
+	}
+	if cfg.Chaos != nil {
+		inst.injector = faultnet.New(*cfg.Chaos)
+		ln = inst.injector.Listener(ln)
+	}
+	inst.srv = transport.ServeListener(ln, chunk, opts)
+
+	if inst.reg != nil {
+		dbg, err := obs.StartDebug(cfg.DebugAddr, inst.reg, nil)
+		if err != nil {
+			inst.srv.Close()
+			closeAll()
+			return nil, err
+		}
+		inst.dbg = dbg
+	}
+	return inst, nil
+}
+
+// Addr returns the resolved TCP listen address.
+func (i *Instance) Addr() string { return i.srv.Addr() }
+
+// Range returns the served id range [lo, hi).
+func (i *Instance) Range() (lo, hi int64) { return i.lo, i.hi }
+
+// DebugAddr returns the debug endpoint's address, or "" if disabled.
+func (i *Instance) DebugAddr() string {
+	if i.dbg == nil {
+		return ""
+	}
+	return i.dbg.Addr()
+}
+
+// MetricsURL returns the full /metrics scrape URL, or "" if disabled.
+func (i *Instance) MetricsURL() string {
+	if i.dbg == nil {
+		return ""
+	}
+	return "http://" + i.dbg.Addr() + "/metrics"
+}
+
+// Registry returns the metrics registry, or nil when DebugAddr is unset.
+func (i *Instance) Registry() *obs.Registry { return i.reg }
+
+// CacheStats reports the lazy-mode hot cache's stats; ok is false in
+// preload mode, which has no cache.
+func (i *Instance) CacheStats() (st cache.Stats, ok bool) {
+	if i.hot == nil {
+		return cache.Stats{}, false
+	}
+	return i.hot.Stats(), true
+}
+
+// CachePolicy returns the lazy-mode eviction policy name, or "".
+func (i *Instance) CachePolicy() string {
+	if i.hot == nil {
+		return ""
+	}
+	return i.hot.Policy().String()
+}
+
+// ResetCache drops every cached entry so the next phase of a load run
+// starts cold. It is a no-op in preload mode.
+func (i *Instance) ResetCache() {
+	if i.hot != nil {
+		i.hot.Reset()
+	}
+}
+
+// FaultStats reports the chaos injector's tally; ok is false when the
+// instance was booted without Chaos.
+func (i *Instance) FaultStats() (st faultnet.Stats, ok bool) {
+	if i.injector == nil {
+		return faultnet.Stats{}, false
+	}
+	return i.injector.Stats(), true
+}
+
+// Close shuts down the server, the debug endpoint, and any opened
+// dataset files. Idempotent.
+func (i *Instance) Close() error {
+	err := i.srv.Close()
+	if i.dbg != nil {
+		i.dbg.Close()
+	}
+	for _, c := range i.closers {
+		if cerr := c(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

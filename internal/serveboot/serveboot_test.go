@@ -1,0 +1,204 @@
+package serveboot
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ddstore/internal/datasets"
+	"ddstore/internal/transport"
+)
+
+// TestLazyChunkServes drives the CacheBytes serving mode end to end: a
+// lazyChunk behind a real TCP server answers repeated Gets correctly, the
+// second pass over the ids is all cache hits, and ids outside the served
+// range are rejected without touching the backing source.
+func TestLazyChunkServes(t *testing.T) {
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 100})
+	inst, err := Boot(Config{
+		Source: ds, Lo: 10, Hi: 40,
+		CacheBytes: 1 << 20, WriteTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	cl, err := transport.Dial(inst.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for pass := 0; pass < 2; pass++ {
+		for id := int64(10); id < 40; id++ {
+			g, err := cl.Get(id)
+			if err != nil {
+				t.Fatalf("pass %d get %d: %v", pass, id, err)
+			}
+			if g.ID != id {
+				t.Fatalf("pass %d get %d returned sample %d", pass, id, g.ID)
+			}
+		}
+	}
+	st, ok := inst.CacheStats()
+	if !ok {
+		t.Fatal("lazy mode reported no cache")
+	}
+	if st.Misses != 30 {
+		t.Fatalf("%d cache misses over two passes, want 30 (one per id)", st.Misses)
+	}
+	if st.Hits != 30 {
+		t.Fatalf("%d cache hits on the repeat pass, want 30", st.Hits)
+	}
+
+	for _, id := range []int64{9, 40} {
+		if _, err := cl.Get(id); err == nil {
+			t.Fatalf("get %d outside the served range succeeded", id)
+		}
+	}
+	if after, _ := inst.CacheStats(); after.Misses != st.Misses {
+		t.Fatal("out-of-range gets reached the cache")
+	}
+
+	// ResetCache returns the instance to a cold state: the same ids miss
+	// again on the next pass — the warm/cold phase seam the load
+	// generator relies on.
+	inst.ResetCache()
+	if _, err := cl.Get(15); err != nil {
+		t.Fatalf("get after reset: %v", err)
+	}
+	if after, _ := inst.CacheStats(); after.Misses != st.Misses+1 {
+		t.Fatalf("post-reset get was not a miss (misses %d, want %d)", after.Misses, st.Misses+1)
+	}
+}
+
+// TestDebugMetricsExposition boots an instance exactly the way
+// ddstore-serve -debug-addr does — server metrics, cache collector,
+// pre-registered resilience counters — drives a little traffic, and checks
+// the /metrics and /healthz endpoints serve a scrape containing the full
+// schema.
+func TestDebugMetricsExposition(t *testing.T) {
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 50})
+	inst, err := Boot(Config{
+		Source: ds, Lo: 0, Hi: 50,
+		CacheBytes: 1 << 20, WriteTimeout: time.Second,
+		DebugAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	cl, err := transport.Dial(inst.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for pass := 0; pass < 2; pass++ {
+		for id := int64(0); id < 5; id++ {
+			if _, err := cl.Get(id); err != nil {
+				t.Fatalf("get %d: %v", id, err)
+			}
+		}
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + inst.DebugAddr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/healthz"); !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %q", body)
+	}
+	if url := inst.MetricsURL(); !strings.HasSuffix(url, "/metrics") {
+		t.Fatalf("MetricsURL = %q", url)
+	}
+	body := get("/metrics")
+	for _, want := range []string{
+		"ddstore_fetch_latency_seconds_bucket",
+		"ddstore_fetch_latency_seconds_count 10",
+		`ddstore_serve_requests_total{op="get"} 10`,
+		`ddstore_events_total{event="cache-hits"} 5`,
+		`ddstore_events_total{event="cache-misses"} 5`,
+		`ddstore_events_total{event="net-retries"} 0`,
+		`ddstore_events_total{event="net-failovers"} 0`,
+		"ddstore_cache_hit_rate 0.5",
+		"go_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full scrape:\n%s", body)
+	}
+}
+
+// TestBootRejectsBadConfig covers the validation paths: no source, an
+// unknown synthetic dataset, and an inverted or oversized range.
+func TestBootRejectsBadConfig(t *testing.T) {
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 10})
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no source", Config{Lo: 0, Hi: 10}},
+		{"unknown dataset", Config{Dataset: "nope", N: 10, Hi: -1}},
+		{"inverted range", Config{Source: ds, Lo: 5, Hi: 5}},
+		{"range past end", Config{Source: ds, Lo: 0, Hi: 11}},
+		{"negative lo", Config{Source: ds, Lo: -1, Hi: 5}},
+		{"bad cache policy", Config{Source: ds, Lo: 0, Hi: 10, CacheBytes: 1 << 20, CachePolicy: "mru"}},
+	}
+	for _, tc := range cases {
+		if inst, err := Boot(tc.cfg); err == nil {
+			inst.Close()
+			t.Errorf("%s: Boot succeeded", tc.name)
+		}
+	}
+}
+
+// TestBootPreloadMode exercises the eager-preload path (no cache) and the
+// default ephemeral loopback address.
+func TestBootPreloadMode(t *testing.T) {
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 20})
+	inst, err := Boot(Config{Source: ds, Lo: 0, Hi: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if lo, hi := inst.Range(); lo != 0 || hi != 20 {
+		t.Fatalf("Range() = [%d,%d), want [0,20)", lo, hi)
+	}
+	if _, ok := inst.CacheStats(); ok {
+		t.Fatal("preload mode reported a cache")
+	}
+	if inst.DebugAddr() != "" || inst.MetricsURL() != "" {
+		t.Fatal("debug endpoint reported without DebugAddr")
+	}
+	cl, err := transport.Dial(inst.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	lo, hi, err := cl.Meta()
+	if err != nil || lo != 0 || hi != 20 {
+		t.Fatalf("Meta() = %d,%d,%v", lo, hi, err)
+	}
+	if g, err := cl.Get(7); err != nil || g.ID != 7 {
+		t.Fatalf("Get(7) = %v, %v", g, err)
+	}
+}

@@ -249,6 +249,13 @@ func (c *Client) Get(id int64) (*graph.Graph, error) {
 	return graph.Decode(payload)
 }
 
+// GetRaw fetches the encoded bytes of one sample without decoding. Load
+// generators and relays use it to measure or move wire bytes without
+// paying (or perturbing the measurement with) graph materialization.
+func (c *Client) GetRaw(id int64) ([]byte, error) {
+	return c.roundTrip(opGet, id, 0, nil)
+}
+
 // GetBatchRaw fetches the encoded bytes of an arbitrary id list in one
 // round trip. Every id must be in this server's chunk; the result is
 // aligned with ids. The raw form exists so callers that cache or relay
