@@ -33,10 +33,13 @@ fuzz:
 # Coverage gates. internal/fetch is the one pipeline both data planes ride
 # (engine unit tests + cross-plane conformance); internal/obs is the
 # metrics/span/telemetry surface every layer now feeds; internal/loadgen is
-# the live-serve latency harness whose e2e suite drives real TCP.
+# the live-serve latency harness whose e2e suite drives real TCP;
+# internal/frontend is the multi-tenant admission/queueing/shedding layer
+# in front of the serving data plane.
 COVER_MIN ?= 85
 OBS_COVER_MIN ?= 75
 LOADGEN_COVER_MIN ?= 85
+FRONTEND_COVER_MIN ?= 85
 
 cover:
 	$(GO) test -coverprofile=fetch.cover -coverpkg=./internal/fetch/ ./internal/fetch/
@@ -54,6 +57,11 @@ cover:
 	echo "internal/loadgen coverage: $$total% (floor $(LOADGEN_COVER_MIN)%)"; \
 	awk -v t="$$total" -v min="$(LOADGEN_COVER_MIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
 		{ echo "coverage $$total% is below the $(LOADGEN_COVER_MIN)% floor" >&2; exit 1; }
+	$(GO) test -coverprofile=frontend.cover -coverpkg=./internal/frontend/ ./internal/frontend/
+	@total=$$($(GO) tool cover -func=frontend.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/frontend coverage: $$total% (floor $(FRONTEND_COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(FRONTEND_COVER_MIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% is below the $(FRONTEND_COVER_MIN)% floor" >&2; exit 1; }
 
 fmt:
 	gofmt -w .

@@ -72,6 +72,14 @@ func main() {
 		batch       = flag.Int("batch", 8, "ids per bulk fetch")
 		metricsURL  = flag.String("scrape", "", "server /metrics URL to scrape after each phase (e.g. http://127.0.0.1:7901/metrics)")
 		artifactOut = flag.String("out", "BENCH_loadgen.json", "loadgen JSON artifact path ('' = don't write)")
+		tenant      = flag.String("tenant", "", "tenant identity declared to the server's admission control (loadgen mode)")
+
+		// Isolation mode: the two-tenant sweep proving a hostile tenant
+		// cannot push a polite tenant's tail latency past its baseline.
+		isolation  = flag.Bool("isolation", false, "run the two-tenant isolation sweep against a live ddstore-serve (requires -addr; uses -qps for the polite tenant)")
+		tenantA    = flag.String("tenant-a", "alpha", "polite tenant name for -isolation")
+		tenantB    = flag.String("tenant-b", "beta", "hostile tenant name for -isolation")
+		hostileQPS = flag.Float64("hostile-qps", 0, "hostile tenant's offered QPS for -isolation (0 = 4x -qps)")
 	)
 	flag.Parse()
 
@@ -80,33 +88,47 @@ func main() {
 	if *csv && *jsonOut {
 		usageError("-csv and -json are mutually exclusive; pick one output format")
 	}
+	if *loadgenMode && *isolation {
+		usageError("-loadgen and -isolation are mutually exclusive; pick one mode")
+	}
 	if *loadgenMode && *addrs == "" {
 		usageError("-loadgen needs -addr: the address(es) of a live ddstore-serve (start one with: ddstore-serve -dataset homolumo -n 10000 -lo 0 -hi 10000)")
 	}
-	if !*loadgenMode {
+	if *isolation && *addrs == "" {
+		usageError("-isolation needs -addr: a live ddstore-serve with the front end enabled (e.g. ddstore-serve -dataset homolumo -tenants 'alpha:rate=2000;beta:rate=100')")
+	}
+	if !*loadgenMode && !*isolation {
 		for name, set := range map[string]bool{
 			"-addr": *addrs != "", "-ramp": *ramp != "", "-scrape": *metricsURL != "",
+			"-tenant": *tenant != "",
 		} {
 			if set {
-				usageError("%s only applies to -loadgen mode", name)
+				usageError("%s only applies to -loadgen or -isolation mode", name)
 			}
 		}
 	}
 
 	if *list {
 		fmt.Printf("%-8s %s\n", "loadgen", "Live-serve load generator: open/closed-loop QPS and concurrency sweeps (-loadgen -addr ...)")
+		fmt.Printf("%-8s %s\n", "isolation", "Two-tenant isolation sweep: polite tenant alone vs alongside a hostile flood (-isolation -addr ...)")
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return
 	}
 
-	if *loadgenMode {
-		runLoadgen(loadgenFlags{
+	if *loadgenMode || *isolation {
+		lf := loadgenFlags{
 			addrs: *addrs, quick: *quick, seed: *seed, csv: *csv, json: *jsonOut,
 			clients: *clients, qps: *qps, duration: *duration, ramp: *ramp,
 			mix: *mix, batch: *batch, metricsURL: *metricsURL, out: *artifactOut,
-		})
+			tenant: *tenant,
+		}
+		if *isolation {
+			runIsolation(lf, *tenantA, *tenantB, *hostileQPS)
+		} else {
+			runLoadgen(lf)
+		}
 		return
 	}
 
@@ -222,6 +244,7 @@ type loadgenFlags struct {
 	batch      int
 	metricsURL string
 	out        string
+	tenant     string
 }
 
 func runLoadgen(f loadgenFlags) {
@@ -244,6 +267,7 @@ func runLoadgen(f loadgenFlags) {
 			QPS: f.qps, Duration: f.duration, Mix: f.mix, BatchSize: f.batch,
 		}),
 		MetricsURL: f.metricsURL,
+		Tenant:     f.tenant,
 	}
 	for i := range cfg.Addrs {
 		cfg.Addrs[i] = strings.TrimSpace(cfg.Addrs[i])
@@ -270,5 +294,64 @@ func runLoadgen(f loadgenFlags) {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote loadgen artifact to %s\n", f.out)
+	}
+}
+
+func runIsolation(f loadgenFlags, tenantA, tenantB string, hostileQPS float64) {
+	qpsA := f.qps
+	if qpsA <= 0 {
+		qpsA = 200
+	}
+	if hostileQPS <= 0 {
+		hostileQPS = 4 * qpsA
+	}
+	addrs := strings.Split(f.addrs, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := loadgen.RunIsolation(ctx, loadgen.IsolationConfig{
+		Addrs:      addrs,
+		MetricsURL: f.metricsURL,
+		Seed:       f.seed,
+		TenantA:    tenantA,
+		TenantB:    tenantB,
+		QPSA:       qpsA,
+		QPSB:       hostileQPS,
+		Duration:   f.duration,
+		Workers:    f.clients,
+		MixB:       f.mix,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ddstore-bench: isolation: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Reuse the loadgen table: three rows (baseline, contended, hostile).
+	synth := &loadgen.Result{
+		Addrs:  addrs,
+		Seed:   f.seed,
+		Phases: []loadgen.PhaseResult{res.Baseline, res.Contended, res.Hostile},
+	}
+	printReport(synth.Report(), f.csv, f.json)
+	if !f.json {
+		verdict := "HELD"
+		if res.P99Ratio > 2 {
+			verdict = "BROKEN"
+		}
+		fmt.Printf("isolation: %s p99 %.3fms alone -> %.3fms contended (ratio %.2fx, bound 2x: %s); %s shed %d of %d offered\n",
+			tenantA, res.Baseline.P99ms, res.Contended.P99ms, res.P99Ratio, verdict,
+			tenantB, res.Hostile.Shed, res.Hostile.Requests)
+	}
+	if f.out != "" {
+		title := fmt.Sprintf("two-tenant isolation sweep against %s (%s at %.0f qps vs %s at %.0f qps)",
+			f.addrs, tenantA, qpsA, tenantB, hostileQPS)
+		if err := synth.Artifact(title).WriteFile(f.out); err != nil {
+			fmt.Fprintf(os.Stderr, "ddstore-bench: write artifact: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote isolation artifact to %s\n", f.out)
 	}
 }

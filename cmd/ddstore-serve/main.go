@@ -44,6 +44,14 @@ func main() {
 		idleTimeout  = flag.Duration("idle-timeout", 0, "close connections idle this long (0 = never)")
 		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty = disabled)")
 
+		// Front-end flags enable multi-tenant admission control: per-tenant
+		// budgets, priority queues, load shedding, and graceful drain.
+		tenants      = flag.String("tenants", "", `per-tenant budgets, e.g. "alpha:rate=500,burst=50,conns=8;*:rate=100" (setting any front-end flag enables admission control)`)
+		maxConns     = flag.Int("max-conns", 0, "cap concurrent client connections (0 = unlimited)")
+		queueDepth   = flag.Int("queue-depth", 0, "bound each priority-class request queue (0 = default)")
+		feWorkers    = flag.Int("frontend-workers", 0, "request worker permits draining the queues (0 = GOMAXPROCS)")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-drain bound on shutdown")
+
 		// Cache flags switch from eager preload to lazy on-demand serving
 		// through a byte-budgeted hot-sample cache.
 		cacheBytes = flag.Int64("cache-bytes", 0, "serve lazily through a cache of this many bytes instead of preloading the range (0 = preload)")
@@ -74,6 +82,12 @@ func main() {
 		CacheBytes:   *cacheBytes,
 		CachePolicy:  *cachePol,
 		DebugAddr:    *debugAddr,
+
+		Tenants:         *tenants,
+		MaxConns:        *maxConns,
+		QueueDepth:      *queueDepth,
+		FrontendWorkers: *feWorkers,
+		DrainTimeout:    *drainTimeout,
 	}
 	chaotic := *chaosReset > 0 || *chaosStallProb > 0 || *chaosCorrupt > 0 || *chaosSlowStart > 0
 	if chaotic {
@@ -99,6 +113,10 @@ func main() {
 	if pol := inst.CachePolicy(); pol != "" {
 		fmt.Printf("lazy mode: %s cache, %d byte budget\n", pol, *cacheBytes)
 	}
+	if _, ok := inst.FrontendStats(); ok {
+		fmt.Printf("front end: tenants=%q max-conns=%d queue-depth=%d workers=%d drain-timeout=%s\n",
+			*tenants, *maxConns, *queueDepth, *feWorkers, *drainTimeout)
+	}
 	if chaotic {
 		fmt.Printf("chaos mode: seed=%d reset=%g stall=%g/%s corrupt=%g slow-start=%s\n",
 			*chaosSeed, *chaosReset, *chaosStallProb, *chaosStall, *chaosCorrupt, *chaosSlowStart)
@@ -108,6 +126,10 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	inst.Close()
+	if st, ok := inst.FrontendStats(); ok {
+		fmt.Printf("\nfront end: %d lookup + %d bulk admitted, %d shed %v\n",
+			st.AdmittedByClass[0], st.AdmittedByClass[1], st.Shed, st.ShedByReason)
+	}
 	if st, ok := inst.FaultStats(); ok {
 		fmt.Printf("\ninjected faults: %+v\n", st)
 	}

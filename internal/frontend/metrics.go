@@ -1,0 +1,101 @@
+package frontend
+
+import (
+	"time"
+
+	"ddstore/internal/obs"
+	"ddstore/internal/transport"
+)
+
+// metrics wires the front end into an obs.Registry. A nil *metrics (no
+// registry configured) makes every method a no-op, so the hot path never
+// branches on configuration.
+type metrics struct {
+	reg       *obs.Registry
+	draining  *obs.Gauge
+	connRejct *obs.Counter
+	queueD    [2]*obs.Gauge
+	queueW    [2]*obs.Histogram
+	svc       [2]*obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		return nil
+	}
+	m := &metrics{reg: reg, draining: obs.DrainingGauge(reg)}
+	reg.Help(obs.MetricConnRejected, "Connections refused by the serving front end (caps, drain).")
+	m.connRejct = reg.Counter(obs.MetricConnRejected)
+	reg.Help(obs.MetricTenantRequests, "Admitted requests per tenant and priority class.")
+	reg.Help(obs.MetricTenantShed, "Shed requests per tenant and reason (rate, bytes, queue, conns, drain).")
+	reg.Help(obs.MetricQueueDepth, "Current front-end queue depth per priority class.")
+	reg.Help(obs.MetricQueueWait, "Time requests spend queued before a worker permit, per class.")
+	reg.Help(obs.MetricServiceByClass, "Service time from worker grant to response written, per class.")
+	reg.Help(obs.MetricConnsOpen, "Currently admitted connections per tenant.")
+	for _, cl := range []transport.Class{transport.ClassLookup, transport.ClassBulk} {
+		m.queueD[cl] = reg.Gauge(obs.MetricQueueDepth, "class", cl.String())
+		m.queueW[cl] = reg.Histogram(obs.MetricQueueWait, nil, "class", cl.String())
+		m.svc[cl] = reg.Histogram(obs.MetricServiceByClass, nil, "class", cl.String())
+	}
+	return m
+}
+
+func (m *metrics) setDraining(on bool) {
+	if m == nil {
+		return
+	}
+	if on {
+		m.draining.Set(1)
+	} else {
+		m.draining.Set(0)
+	}
+}
+
+func (m *metrics) connReject() {
+	if m == nil {
+		return
+	}
+	m.connRejct.Add(1)
+}
+
+func (m *metrics) admitted(tenant string, class transport.Class) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter(obs.MetricTenantRequests, "tenant", tenant, "class", class.String()).Add(1)
+}
+
+func (m *metrics) shed(tenant, reason string) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter(obs.MetricTenantShed, "tenant", tenant, "reason", reason).Add(1)
+}
+
+func (m *metrics) connsOpen(tenant string, n int) {
+	if m == nil {
+		return
+	}
+	m.reg.Gauge(obs.MetricConnsOpen, "tenant", tenant).Set(float64(n))
+}
+
+func (m *metrics) queueDepth(class transport.Class, depth int) {
+	if m == nil {
+		return
+	}
+	m.queueD[class].Set(float64(depth))
+}
+
+func (m *metrics) queueWait(class transport.Class, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.queueW[class].Observe(d.Seconds())
+}
+
+func (m *metrics) service(class transport.Class, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.svc[class].Observe(d.Seconds())
+}

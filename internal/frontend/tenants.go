@@ -1,0 +1,176 @@
+package frontend
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TenantConfig is the admission budget of one tenant. Zero-valued limits
+// mean "unlimited", so the zero config admits everything — the frontend
+// only ever subtracts capacity, never grants more than the raw server.
+type TenantConfig struct {
+	// Name identifies the tenant; clients declare it in the hello frame.
+	// The name "*" is the template applied to tenants that connect
+	// without an explicit entry.
+	Name string
+	// Rate is the sustained admitted-request rate in requests/second
+	// (token bucket). 0 = unlimited.
+	Rate float64
+	// Burst is the token-bucket capacity; defaults to max(Rate, 1) so a
+	// rate-limited tenant can always make progress.
+	Burst float64
+	// BytesPerSec is the sustained response-byte quota (leaky bucket on
+	// payload bytes, charged after each response). 0 = unlimited.
+	BytesPerSec float64
+	// ByteBurst is the byte-bucket capacity; defaults to BytesPerSec
+	// (one second of quota).
+	ByteBurst float64
+	// MaxConns caps the tenant's concurrent connections. 0 = unlimited.
+	MaxConns int
+}
+
+// withDefaults fills the derived bucket capacities.
+func (c TenantConfig) withDefaults() TenantConfig {
+	if c.Rate > 0 && c.Burst <= 0 {
+		c.Burst = c.Rate
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	if c.BytesPerSec > 0 && c.ByteBurst <= 0 {
+		c.ByteBurst = c.BytesPerSec
+	}
+	return c
+}
+
+// ParseTenants parses the -tenants flag syntax: semicolon-separated
+// entries of the form
+//
+//	name:rate=500,burst=50,bytes=1048576,byteburst=2097152,conns=8
+//
+// The limit list after the colon is optional (a bare name admits the
+// tenant unlimited), every key is optional, and the pseudo-tenant "*"
+// supplies the template for tenants that have no entry of their own.
+func ParseTenants(spec string) ([]TenantConfig, error) {
+	var out []TenantConfig
+	seen := map[string]bool{}
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, limits, _ := strings.Cut(entry, ":")
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("frontend: tenant entry %q has no name", entry)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("frontend: duplicate tenant %q", name)
+		}
+		seen[name] = true
+		cfg := TenantConfig{Name: name}
+		if limits != "" {
+			for _, kv := range strings.Split(limits, ",") {
+				kv = strings.TrimSpace(kv)
+				if kv == "" {
+					continue
+				}
+				key, val, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("frontend: tenant %q: limit %q is not key=value", name, kv)
+				}
+				f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+				if err != nil || f < 0 {
+					return nil, fmt.Errorf("frontend: tenant %q: bad value for %q: %q", name, key, val)
+				}
+				switch strings.TrimSpace(key) {
+				case "rate":
+					cfg.Rate = f
+				case "burst":
+					cfg.Burst = f
+				case "bytes":
+					cfg.BytesPerSec = f
+				case "byteburst":
+					cfg.ByteBurst = f
+				case "conns":
+					cfg.MaxConns = int(f)
+				default:
+					return nil, fmt.Errorf("frontend: tenant %q: unknown limit %q (want rate, burst, bytes, byteburst, conns)", name, key)
+				}
+			}
+		}
+		out = append(out, cfg)
+	}
+	return out, nil
+}
+
+// tenant is the live state behind one TenantConfig: token/byte buckets
+// and the connection count. All fields are guarded by Frontend.mu.
+type tenant struct {
+	cfg     TenantConfig
+	tokens  float64 // request bucket balance
+	balance float64 // byte bucket balance (may go negative: debt)
+	last    time.Time
+	conns   int
+}
+
+func newTenant(cfg TenantConfig, now time.Time) *tenant {
+	cfg = cfg.withDefaults()
+	return &tenant{cfg: cfg, tokens: cfg.Burst, balance: cfg.ByteBurst, last: now}
+}
+
+// refill advances both buckets to now.
+func (t *tenant) refill(now time.Time) {
+	dt := now.Sub(t.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	t.last = now
+	if t.cfg.Rate > 0 {
+		t.tokens += dt * t.cfg.Rate
+		if t.tokens > t.cfg.Burst {
+			t.tokens = t.cfg.Burst
+		}
+	}
+	if t.cfg.BytesPerSec > 0 {
+		t.balance += dt * t.cfg.BytesPerSec
+		if t.balance > t.cfg.ByteBurst {
+			t.balance = t.cfg.ByteBurst
+		}
+	}
+}
+
+// takeToken admits one request against the rate bucket.
+func (t *tenant) takeToken(now time.Time) bool {
+	if t.cfg.Rate <= 0 {
+		return true
+	}
+	t.refill(now)
+	if t.tokens < 1 {
+		return false
+	}
+	t.tokens--
+	return true
+}
+
+// bytesOK reports whether the byte bucket is out of debt. Response sizes
+// are unknown at admission time, so the quota is a debt model: admit
+// while the balance is positive, charge the actual payload at release.
+func (t *tenant) bytesOK(now time.Time) bool {
+	if t.cfg.BytesPerSec <= 0 {
+		return true
+	}
+	t.refill(now)
+	return t.balance > 0
+}
+
+// chargeBytes debits the payload actually served.
+func (t *tenant) chargeBytes(now time.Time, n int64) {
+	if t.cfg.BytesPerSec <= 0 {
+		return
+	}
+	t.refill(now)
+	t.balance -= float64(n)
+}

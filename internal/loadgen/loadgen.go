@@ -16,6 +16,7 @@ package loadgen
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -96,22 +97,31 @@ type Config struct {
 	// Registry, when set, carries the in-flight worker gauge
 	// (obs.MetricLoadgenInFlight) while phases run.
 	Registry *obs.Registry
+	// Tenant, when set, is declared to the server on every connection
+	// (the hello frame), so a front-end-enabled server charges this
+	// run's traffic to that tenant's budget.
+	Tenant string
 }
 
 // PhaseResult is the measured outcome of one phase. Field names and types
 // are pinned by the artifact golden test: BENCH_*.json files must stay
 // comparable across PRs, so additions are fine but renames are not.
 type PhaseResult struct {
-	Name        string  `json:"name"`
-	Mode        string  `json:"mode"`
-	Workers     int     `json:"workers"`
-	TargetQPS   float64 `json:"target_qps,omitempty"`
-	BatchMix    float64 `json:"batch_mix"`
-	BatchSize   int     `json:"batch_size,omitempty"`
-	DurationS   float64 `json:"duration_s"`
-	Requests    int64   `json:"requests"`
-	Samples     int64   `json:"samples"`
-	Errors      int64   `json:"errors"`
+	Name      string  `json:"name"`
+	Mode      string  `json:"mode"`
+	Workers   int     `json:"workers"`
+	TargetQPS float64 `json:"target_qps,omitempty"`
+	BatchMix  float64 `json:"batch_mix"`
+	BatchSize int     `json:"batch_size,omitempty"`
+	DurationS float64 `json:"duration_s"`
+	Requests  int64   `json:"requests"`
+	Samples   int64   `json:"samples"`
+	Errors    int64   `json:"errors"`
+	// Tenant is the identity this run declared; Shed counts requests the
+	// server refused with the overloaded status (admission control working
+	// as intended — kept distinct from Errors, which mean breakage).
+	Tenant      string  `json:"tenant,omitempty"`
+	Shed        int64   `json:"shed,omitempty"`
 	Retries     int64   `json:"retries"`
 	Reconnects  int64   `json:"reconnects"`
 	GiveUps     int64   `json:"giveups"`
@@ -215,6 +225,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Policy:   cfg.Policy,
 		Counters: sink,
 		Dialer:   cfg.Dialer,
+		Tenant:   cfg.Tenant,
 	})
 	defer pool.Close()
 
@@ -260,6 +271,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			phaseSeed = ph.Seed
 		}
 		pr := runPhase(ctx, ph, targets, pool, sink, gauge, phaseSeed)
+		pr.Tenant = cfg.Tenant
 		if cfg.MetricsURL != "" {
 			if m, err := ScrapeMetrics(cfg.MetricsURL); err == nil {
 				pr.Server = m
@@ -276,6 +288,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 type workerStats struct {
 	lats    []time.Duration
 	errors  int64
+	shed    int64
 	bytes   int64
 	samples int64
 }
@@ -401,7 +414,13 @@ func runPhase(ctx context.Context, ph Phase, targets []target, pool *transport.C
 					}
 				}
 				if err != nil {
-					ws.errors++
+					// Overload refusals are the server's admission control
+					// doing its job — tallied apart from real failures.
+					if errors.Is(err, transport.ErrOverloaded) {
+						ws.shed++
+					} else {
+						ws.errors++
+					}
 					return
 				}
 				ws.lats = append(ws.lats, time.Since(issuedAt))
@@ -462,10 +481,11 @@ func runPhase(ctx context.Context, ph Phase, targets []target, pool *transport.C
 		ws := &perWorker[i]
 		all = append(all, ws.lats...)
 		pr.Errors += ws.errors
+		pr.Shed += ws.shed
 		pr.Bytes += ws.bytes
 		pr.Samples += ws.samples
 	}
-	pr.Requests = int64(len(all)) + pr.Errors
+	pr.Requests = int64(len(all)) + pr.Errors + pr.Shed
 	pr.Retries = delta.retries - before.retries
 	pr.Reconnects = delta.reconnects - before.reconnects
 	pr.GiveUps = delta.giveups - before.giveups

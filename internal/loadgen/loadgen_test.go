@@ -301,3 +301,78 @@ func TestPoolReuseAcrossRuns(t *testing.T) {
 		t.Errorf("pool stats %+v, want 1 dial / 1 reuse", st)
 	}
 }
+
+// TestIsolationSweep is the chaos-backed isolation proof from the PR's
+// acceptance bar: with the serving front end enabled, hostile tenant
+// beta offers 4x its quota while polite tenant alpha stays inside its
+// own budget. Alpha must ride through untouched — zero sheds, zero
+// errors, p99 near its isolated baseline — while beta's excess is shed
+// with the overloaded status and counted in both the loadgen artifact
+// and the server's per-tenant metrics.
+func TestIsolationSweep(t *testing.T) {
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 256})
+	inst, err := serveboot.Boot(serveboot.Config{
+		Source: ds, Lo: 0, Hi: 256, WriteTimeout: time.Second,
+		DebugAddr: "127.0.0.1:0",
+		Tenants:   "alpha:rate=2000,burst=200;beta:rate=100,burst=20",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	res, err := RunIsolation(context.Background(), IsolationConfig{
+		Addrs:      []string{inst.Addr()},
+		MetricsURL: inst.MetricsURL(),
+		TenantA:    "alpha", TenantB: "beta",
+		QPSA: 150, QPSB: 400, // beta offers 4x its 100/s quota
+		Duration: 1200 * time.Millisecond,
+		Workers:  4,
+		Policy:   transport.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The polite tenant is untouched by the hostile one.
+	if res.Baseline.Errors != 0 || res.Contended.Errors != 0 {
+		t.Errorf("alpha saw errors: baseline %d, contended %d", res.Baseline.Errors, res.Contended.Errors)
+	}
+	if res.Contended.Shed != 0 {
+		t.Errorf("alpha was shed %d times while inside its quota", res.Contended.Shed)
+	}
+	// Tail-latency isolation: contended p99 within 2x the isolated
+	// baseline, with a small absolute floor so loopback microsecond
+	// noise cannot flake the ratio.
+	if limit := 2 * res.Baseline.P99ms; res.Contended.P99ms > limit && res.Contended.P99ms > 5.0 {
+		t.Errorf("alpha p99 %.3fms under contention, isolated baseline %.3fms (limit 2x)",
+			res.Contended.P99ms, res.Baseline.P99ms)
+	}
+
+	// The hostile tenant's excess was shed, not served and not errored.
+	if res.Hostile.Shed == 0 {
+		t.Error("beta at 4x quota recorded no sheds")
+	}
+	if res.Hostile.Errors != 0 {
+		t.Errorf("beta saw %d hard errors; overload must shed, not break", res.Hostile.Errors)
+	}
+	served := res.Hostile.Requests - res.Hostile.Shed - res.Hostile.Errors
+	if perSec := float64(served) / res.Hostile.DurationS; perSec > 250 {
+		t.Errorf("beta got %.0f successful requests/s, quota is 100/s", perSec)
+	}
+
+	// The server's per-tenant metrics counted beta's sheds.
+	var counted float64
+	for name, v := range res.Hostile.Server {
+		if strings.Contains(name, "ddstore_tenant_shed_total") && strings.Contains(name, "beta") {
+			counted += v
+		}
+	}
+	if counted == 0 {
+		t.Error("/metrics shows no ddstore_tenant_shed_total for beta")
+	}
+
+	if res.P99Ratio <= 0 {
+		t.Errorf("P99Ratio = %g, want > 0", res.P99Ratio)
+	}
+}

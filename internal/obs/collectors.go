@@ -32,7 +32,40 @@ const (
 	// worker count while a phase runs and drains back to zero between
 	// phases, so a scrape distinguishes "idle harness" from "mid-phase".
 	MetricLoadgenInFlight = "ddstore_loadgen_workers_inflight"
+
+	// Serving front-end metrics (internal/frontend + transport server).
+	// MetricAcceptRejected counts connections turned away at the accept
+	// loop because the server's concurrent-connection semaphore was full.
+	MetricAcceptRejected = "ddstore_serve_accept_rejected_total"
+	// MetricConnRejected counts connections admitted by the accept loop
+	// but refused by the front end (tenant conn cap, global cap, drain).
+	MetricConnRejected = "ddstore_serve_conn_rejected_total"
+	// MetricTenantRequests counts admitted requests per tenant and
+	// priority class: {tenant=...,class=...}.
+	MetricTenantRequests = "ddstore_tenant_requests_total"
+	// MetricTenantShed counts shed requests per tenant and reason:
+	// {tenant=...,reason=rate|bytes|queue|drain}.
+	MetricTenantShed = "ddstore_tenant_shed_total"
+	// MetricQueueDepth gauges the front end's current queue depth per
+	// priority class.
+	MetricQueueDepth = "ddstore_frontend_queue_depth"
+	// MetricQueueWait is the time-in-queue histogram per priority class.
+	MetricQueueWait = "ddstore_frontend_queue_wait_seconds"
+	// MetricServiceByClass is the service-time histogram per priority
+	// class (admission grant to response written).
+	MetricServiceByClass = "ddstore_frontend_service_seconds"
+	// MetricConnsOpen gauges currently admitted connections per tenant.
+	MetricConnsOpen = "ddstore_frontend_conns_open"
+	// MetricDraining is 1 while the server is draining, else 0.
+	MetricDraining = "ddstore_serve_draining"
 )
+
+// DrainingGauge returns the canonical draining gauge of a registry,
+// registering its help text on first use.
+func DrainingGauge(reg *Registry) *Gauge {
+	reg.Help(MetricDraining, "1 while the server is draining (refusing new work), else 0.")
+	return reg.Gauge(MetricDraining)
+}
 
 // LoadgenWorkersGauge returns the canonical in-flight load-generator
 // worker gauge of a registry, registering its help text on first use.

@@ -9,12 +9,14 @@ package serveboot
 import (
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"ddstore/internal/cache"
 	"ddstore/internal/cff"
 	"ddstore/internal/datasets"
 	"ddstore/internal/faultnet"
+	"ddstore/internal/frontend"
 	"ddstore/internal/graph"
 	"ddstore/internal/obs"
 	"ddstore/internal/pff"
@@ -62,6 +64,24 @@ type Config struct {
 	// this address ("" = disabled; "127.0.0.1:0" for an ephemeral port).
 	DebugAddr string
 
+	// Tenants enables the multi-tenant serving front end (admission
+	// control, per-tenant budgets, priority queues, load shedding) with
+	// the budgets it describes; see frontend.ParseTenants for the
+	// syntax. Setting any of Tenants, MaxConns, QueueDepth, or
+	// FrontendWorkers enables the front end.
+	Tenants string
+	// MaxConns caps concurrent admitted connections (0 = unlimited).
+	MaxConns int
+	// QueueDepth bounds each priority-class request queue (0 = the
+	// front end's default).
+	QueueDepth int
+	// FrontendWorkers sizes the worker-permit pool draining the queues
+	// (0 = GOMAXPROCS).
+	FrontendWorkers int
+	// DrainTimeout bounds the graceful drain Close performs when the
+	// front end is enabled (default 5s).
+	DrainTimeout time.Duration
+
 	// Chaos, when non-nil, wraps the listener in a faultnet injector so
 	// the instance misbehaves deterministically (resilience drills and
 	// the fault-mix load tests).
@@ -70,13 +90,17 @@ type Config struct {
 
 // Instance is a booted server and its attached subsystems.
 type Instance struct {
-	srv      *transport.Server
-	dbg      *obs.DebugServer
-	reg      *obs.Registry
-	hot      *cache.Cache
-	injector *faultnet.Injector
-	lo, hi   int64
-	closers  []func() error
+	srv          *transport.Server
+	fe           *frontend.Frontend
+	dbg          *obs.DebugServer
+	reg          *obs.Registry
+	hot          *cache.Cache
+	injector     *faultnet.Injector
+	lo, hi       int64
+	drainTimeout time.Duration
+	closers      []func() error
+	closeOnce    sync.Once
+	closeErr     error
 }
 
 // lazyChunk is a ChunkSource that encodes samples on demand through a
@@ -201,13 +225,45 @@ func Boot(cfg Config) (*Instance, error) {
 			cache.CounterHits, cache.CounterMisses, cache.CounterCoalesced, cache.CounterEvictions,
 			transport.CounterRoundTrips, transport.CounterRetries, transport.CounterReconnects,
 			transport.CounterTimeouts, transport.CounterChecksumErrors,
-			transport.CounterFailovers, transport.CounterGiveUps)
+			transport.CounterFailovers, transport.CounterGiveUps, transport.CounterOverloads)
 		obs.FetchLatencyHistogram(inst.reg)
 		obs.CollectGoRuntime(inst.reg)
+		obs.DrainingGauge(inst.reg)
 		if inst.hot != nil {
 			obs.CollectCache(inst.reg, inst.hot.Stats)
 		}
 		opts.Metrics = inst.reg
+	}
+
+	if cfg.Tenants != "" || cfg.MaxConns > 0 || cfg.QueueDepth > 0 || cfg.FrontendWorkers > 0 {
+		tenants, err := frontend.ParseTenants(cfg.Tenants)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		fe, err := frontend.New(frontend.Options{
+			Tenants:    tenants,
+			MaxConns:   cfg.MaxConns,
+			QueueDepth: cfg.QueueDepth,
+			Workers:    cfg.FrontendWorkers,
+			Reg:        inst.reg,
+		})
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		inst.fe = fe
+		opts.Admission = fe
+		if cfg.MaxConns > 0 {
+			// Raw accept-loop backstop a little above the front end's cap:
+			// ordinary refusals come from the front end with the overloaded
+			// wire status, and the semaphore only stops a socket flood.
+			opts.MaxConns = cfg.MaxConns + 64
+		}
+	}
+	inst.drainTimeout = cfg.DrainTimeout
+	if inst.drainTimeout == 0 {
+		inst.drainTimeout = 5 * time.Second
 	}
 
 	addr := cfg.Addr
@@ -296,17 +352,46 @@ func (i *Instance) FaultStats() (st faultnet.Stats, ok bool) {
 	return i.injector.Stats(), true
 }
 
-// Close shuts down the server, the debug endpoint, and any opened
-// dataset files. Idempotent.
+// FrontendStats snapshots the serving front end; ok is false when the
+// instance was booted without one.
+func (i *Instance) FrontendStats() (st frontend.Stats, ok bool) {
+	if i.fe == nil {
+		return frontend.Stats{}, false
+	}
+	return i.fe.Stats(), true
+}
+
+// Close shuts down the instance: with the front end enabled it first
+// drains gracefully — new connections and requests are refused with the
+// overloaded/draining wire status while queued and in-flight work
+// finishes (bounded by DrainTimeout) — then the TCP server stops, and the
+// debug endpoint closes LAST so /metrics stays scrapeable (with the
+// draining gauge at 1) through the whole drain. Opened dataset files are
+// released at the end. Idempotent.
 func (i *Instance) Close() error {
-	err := i.srv.Close()
-	if i.dbg != nil {
-		i.dbg.Close()
-	}
-	for _, c := range i.closers {
-		if cerr := c(); err == nil {
-			err = cerr
+	i.closeOnce.Do(func() {
+		if i.reg != nil {
+			obs.DrainingGauge(i.reg).Set(1)
 		}
-	}
-	return err
+		if i.fe != nil {
+			// The listener stays open during the drain so refusals reach
+			// clients as a wire status instead of a connection reset.
+			i.fe.Drain(i.drainTimeout)
+			i.srv.Drain(time.Second)
+		}
+		err := i.srv.Close()
+		if i.fe != nil {
+			i.fe.Close()
+		}
+		if i.dbg != nil {
+			i.dbg.Close()
+		}
+		for _, c := range i.closers {
+			if cerr := c(); err == nil {
+				err = cerr
+			}
+		}
+		i.closeErr = err
+	})
+	return i.closeErr
 }

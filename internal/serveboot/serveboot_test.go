@@ -1,6 +1,7 @@
 package serveboot
 
 import (
+	"errors"
 	"io"
 	"net/http"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"ddstore/internal/datasets"
+	"ddstore/internal/graph"
 	"ddstore/internal/transport"
 )
 
@@ -162,6 +164,8 @@ func TestBootRejectsBadConfig(t *testing.T) {
 		{"range past end", Config{Source: ds, Lo: 0, Hi: 11}},
 		{"negative lo", Config{Source: ds, Lo: -1, Hi: 5}},
 		{"bad cache policy", Config{Source: ds, Lo: 0, Hi: 10, CacheBytes: 1 << 20, CachePolicy: "mru"}},
+		{"bad tenant spec", Config{Source: ds, Lo: 0, Hi: 10, Tenants: "a:turbo=9"}},
+		{"dup tenant", Config{Source: ds, Lo: 0, Hi: 10, Tenants: "a:rate=1;a:rate=2"}},
 	}
 	for _, tc := range cases {
 		if inst, err := Boot(tc.cfg); err == nil {
@@ -200,5 +204,173 @@ func TestBootPreloadMode(t *testing.T) {
 	}
 	if g, err := cl.Get(7); err != nil || g.ID != 7 {
 		t.Fatalf("Get(7) = %v, %v", g, err)
+	}
+}
+
+// blockingSource stalls reads of one sample id until release is closed,
+// so a test can hold a request in flight server-side at will.
+type blockingSource struct {
+	SampleSource
+	block   int64
+	release chan struct{}
+}
+
+func (b *blockingSource) ReadSample(id int64) (*graph.Graph, error) {
+	if id == b.block {
+		<-b.release
+	}
+	return b.SampleSource.ReadSample(id)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCloseDrainsGracefully is the drain regression test: with the front
+// end enabled, Close must let an in-flight request finish while new work
+// is refused with the overloaded/draining wire status, and the debug
+// endpoint must stay scrapeable — with the draining gauge raised — for
+// the whole drain (it used to be torn down alongside the server).
+func TestCloseDrainsGracefully(t *testing.T) {
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 50})
+	src := &blockingSource{SampleSource: ds, block: 7, release: make(chan struct{})}
+	inst, err := Boot(Config{
+		Source: src, Lo: 0, Hi: 50,
+		CacheBytes: 1 << 20, WriteTimeout: time.Second,
+		DebugAddr:  "127.0.0.1:0",
+		QueueDepth: 8, FrontendWorkers: 2, DrainTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	scrape := func() (int, string) {
+		resp, err := http.Get(inst.MetricsURL())
+		if err != nil {
+			t.Fatalf("scrape: %v", err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if _, body := scrape(); !strings.Contains(body, "ddstore_serve_draining 0") {
+		t.Fatal("draining gauge not 0 before Close")
+	}
+
+	cl, err := transport.Dial(inst.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Get(3); err != nil {
+		t.Fatalf("warmup get: %v", err)
+	}
+
+	type getResult struct {
+		g   *graph.Graph
+		err error
+	}
+	inflight := make(chan getResult, 1)
+	go func() {
+		g, err := cl.Get(7) // blocks in ReadSample until release closes
+		inflight <- getResult{g, err}
+	}()
+	waitFor(t, "request in flight", func() bool {
+		st, _ := inst.FrontendStats()
+		return st.InFlight >= 1
+	})
+
+	closed := make(chan struct{})
+	go func() {
+		inst.Close()
+		close(closed)
+	}()
+	waitFor(t, "drain to start", func() bool {
+		st, _ := inst.FrontendStats()
+		return st.Draining
+	})
+
+	// Mid-drain: /metrics still answers and shows the draining gauge up.
+	if code, body := scrape(); code != http.StatusOK {
+		t.Fatalf("/metrics during drain: status %d", code)
+	} else if !strings.Contains(body, "ddstore_serve_draining 1") {
+		t.Fatal("/metrics during drain missing ddstore_serve_draining 1")
+	}
+
+	// Mid-drain: new connections are admitted at the socket but every
+	// request is refused with the overloaded status, so clients back off
+	// instead of failing over.
+	cl2, err := transport.Dial(inst.Addr())
+	if err != nil {
+		t.Fatalf("dial during drain: %v", err)
+	}
+	defer cl2.Close()
+	if _, err := cl2.Get(3); !errors.Is(err, transport.ErrOverloaded) {
+		t.Fatalf("get during drain: %v, want ErrOverloaded", err)
+	}
+
+	// The in-flight request completes once the source unblocks, and Close
+	// then finishes.
+	close(src.release)
+	res := <-inflight
+	if res.err != nil || res.g.ID != 7 {
+		t.Fatalf("in-flight get = %v, %v; want sample 7", res.g, res.err)
+	}
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return after the drain finished")
+	}
+	st, ok := inst.FrontendStats()
+	if !ok || st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("front end not empty after Close: %+v", st)
+	}
+}
+
+// TestFrontendShedsOverRate proves the wire-level shed path end to end:
+// a tenant with a 1-token budget gets exactly one admit; the next request
+// comes back as the distinguishable overloaded status and is counted.
+func TestFrontendShedsOverRate(t *testing.T) {
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 20})
+	inst, err := Boot(Config{
+		Source: ds, Lo: 0, Hi: 20, WriteTimeout: time.Second,
+		Tenants: "tiny:rate=0.001,burst=1", FrontendWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	cl, err := transport.DialOptions(inst.Addr(), transport.ClientOptions{
+		Tenant: "tiny",
+		Policy: transport.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Get(3); err != nil {
+		t.Fatalf("budgeted get: %v", err)
+	}
+	if _, err := cl.Get(4); !errors.Is(err, transport.ErrOverloaded) {
+		t.Fatalf("over-budget get: %v, want ErrOverloaded", err)
+	}
+	st, ok := inst.FrontendStats()
+	if !ok {
+		t.Fatal("no front end stats")
+	}
+	if st.ShedByReason["rate"] == 0 {
+		t.Fatalf("no rate sheds recorded: %+v", st)
+	}
+	if st.AdmittedByClass[transport.ClassLookup] != 1 { // hello is not a data op
+		t.Fatalf("admitted = %+v, want exactly one lookup", st.AdmittedByClass)
 	}
 }

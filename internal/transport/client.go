@@ -29,6 +29,23 @@ type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return "transport: remote error: " + e.Msg }
 
+// ErrOverloaded marks a request shed by the server's admission control
+// (rate limit, full queue, connection cap, or drain). The connection is
+// healthy and the server is alive but saturated, so the client treats it
+// as backoff-don't-failover: retry on the same connection after the
+// policy's backoff, never re-dial, and never quarantine the peer.
+// Match with errors.Is(err, ErrOverloaded).
+var ErrOverloaded = errors.New("transport: server overloaded")
+
+// OverloadedError carries the server's shed reason ("rate limit", "queue
+// full", "draining", ...) alongside the ErrOverloaded identity.
+type OverloadedError struct{ Msg string }
+
+func (e *OverloadedError) Error() string { return "transport: overloaded: " + e.Msg }
+
+// Is reports the ErrOverloaded identity for errors.Is.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
 // DialFunc opens a connection to addr. Custom dialers let tests route
 // through in-memory pipes or faultnet-wrapped connections.
 type DialFunc func(addr string) (net.Conn, error)
@@ -41,6 +58,11 @@ type ClientOptions struct {
 	Counters Counters
 	// Dialer overrides the TCP dialer (nil = net.DialTimeout).
 	Dialer DialFunc
+	// Tenant, when non-empty, is declared to the server in a hello
+	// handshake on every (re)connect, so a multi-tenant front end can
+	// charge this client's traffic to the right quota. Servers without a
+	// front end acknowledge and ignore it.
+	Tenant string
 }
 
 // Client is a connection to one chunk server. Safe for concurrent use:
@@ -51,11 +73,13 @@ type Client struct {
 	policy   RetryPolicy
 	counters Counters
 	dialer   DialFunc
+	tenant   string
 
-	mu     sync.Mutex
-	conn   net.Conn
-	rng    *rand.Rand
-	closed bool
+	mu      sync.Mutex
+	conn    net.Conn
+	helloed bool // tenant declared on the current connection
+	rng     *rand.Rand
+	closed  bool
 }
 
 // Dial connects to a server with default options.
@@ -67,11 +91,15 @@ func Dial(addr string) (*Client, error) {
 // initial connection is established eagerly so configuration errors
 // surface immediately; later reconnects are transparent.
 func DialOptions(addr string, opts ClientOptions) (*Client, error) {
+	if len(opts.Tenant) > maxTenantName {
+		return nil, fmt.Errorf("transport: tenant name %q exceeds %d bytes", opts.Tenant, maxTenantName)
+	}
 	c := &Client{
 		addr:     addr,
 		policy:   opts.Policy.withDefaults(),
 		counters: opts.Counters,
 		dialer:   opts.Dialer,
+		tenant:   opts.Tenant,
 	}
 	if c.counters == nil {
 		c.counters = nopCounters{}
@@ -143,34 +171,65 @@ func (c *Client) roundTrip(op byte, a, b int64, extra []byte) ([]byte, error) {
 				continue
 			}
 			c.conn = conn
+			c.helloed = false
 			if attempt > 0 {
 				c.counters.Inc(CounterReconnects, 1)
 			}
+		}
+		// Declare the tenant once per connection before the first real
+		// request, so admission control charges the right quota.
+		if c.tenant != "" && !c.helloed && op != opHello {
+			if _, err := c.exchange(opHello, int64(len(c.tenant)), 0, []byte(c.tenant)); err != nil {
+				if herr := c.classify(err, &lastErr); herr != nil {
+					return nil, herr
+				}
+				continue
+			}
+			c.helloed = true
 		}
 		payload, err := c.exchange(op, a, b, extra)
 		if err == nil {
 			return payload, nil
 		}
-		var rerr *RemoteError
-		if errors.As(err, &rerr) {
-			return nil, err
+		if ferr := c.classify(err, &lastErr); ferr != nil {
+			return nil, ferr
 		}
-		lastErr = err
-		var ne net.Error
-		if errors.As(err, &ne) && ne.Timeout() {
-			c.counters.Inc(CounterTimeouts, 1)
-		}
-		if errors.Is(err, ErrChecksum) {
-			c.counters.Inc(CounterChecksumErrors, 1)
-		}
-		// The stream may hold a half-read frame; only a fresh connection
-		// is safe to reuse.
-		c.conn.Close()
-		c.conn = nil
 	}
 	c.counters.Inc(CounterGiveUps, 1)
 	return nil, fmt.Errorf("transport: op %d to %s failed after %d attempts: %w",
 		op, c.addr, c.policy.MaxAttempts, lastErr)
+}
+
+// classify sorts one failed exchange into the retry taxonomy. A non-nil
+// return is terminal (application-level error: every retry would get the
+// same answer). Otherwise *lastErr is updated and nil is returned, meaning
+// back off and retry: overloaded responses keep the healthy connection
+// (the server shed the request, not the stream), transport-level failures
+// drop it so the next attempt re-dials. The caller must hold c.mu.
+func (c *Client) classify(err error, lastErr *error) error {
+	if errors.Is(err, ErrOverloaded) {
+		// Backoff-don't-failover: the peer is alive but saturated.
+		c.counters.Inc(CounterOverloads, 1)
+		*lastErr = err
+		return nil
+	}
+	var rerr *RemoteError
+	if errors.As(err, &rerr) {
+		return err
+	}
+	*lastErr = err
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		c.counters.Inc(CounterTimeouts, 1)
+	}
+	if errors.Is(err, ErrChecksum) {
+		c.counters.Inc(CounterChecksumErrors, 1)
+	}
+	// The stream may hold a half-read frame; only a fresh connection is
+	// safe to reuse.
+	c.conn.Close()
+	c.conn = nil
+	return nil
 }
 
 // exchange performs one framed request/response on the live connection,
@@ -222,6 +281,8 @@ func (c *Client) exchange(op byte, a, b int64, extra []byte) ([]byte, error) {
 		return payload, nil
 	case statusError:
 		return nil, &RemoteError{Msg: string(payload)}
+	case statusOverloaded:
+		return nil, &OverloadedError{Msg: string(payload)}
 	default:
 		return nil, fmt.Errorf("transport: unknown response status %d", head[0])
 	}

@@ -45,12 +45,12 @@ func fuzzServerSide(t testing.TB, data []byte) {
 	{
 		// Server side: data is a hostile request stream.
 		srv := &Server{src: chunk, opts: ServerOptions{WriteTimeout: time.Second},
-			conns: map[net.Conn]struct{}{}, done: make(chan struct{})}
+			conns: map[net.Conn]*connState{}, done: make(chan struct{})}
 		serverEnd, clientEnd := net.Pipe()
 		handleDone := make(chan struct{})
 		go func() {
 			defer close(handleDone)
-			srv.handle(serverEnd)
+			srv.handle(serverEnd, &connState{}, nil)
 		}()
 		go io.Copy(io.Discard, clientEnd) // drain responses
 		clientEnd.SetWriteDeadline(time.Now().Add(time.Second))

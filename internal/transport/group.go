@@ -362,6 +362,12 @@ func (g *Group) fetchChunk(start int, ids []int64, deliver fetch.Deliver) error 
 				per := time.Since(before) / time.Duration(len(want))
 				if err != nil {
 					lastErr = err
+					if errors.Is(err, ErrOverloaded) {
+						// The peer is shedding load, not dying: leave its
+						// health alone (the client already backed off) and
+						// let another replica try the leftovers.
+						continue
+					}
 					var rerr *RemoteError
 					if !errors.As(err, &rerr) {
 						// Transport-level failure: the peer may be down.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ddstore/internal/datasets"
+	"ddstore/internal/trace"
 	"ddstore/internal/transport"
 )
 
@@ -96,6 +97,67 @@ func TestClientPoolClose(t *testing.T) {
 	pool.Put(out)
 	if _, err := out.Get(1); err == nil {
 		t.Error("client returned to a closed pool was not closed")
+	}
+}
+
+// TestClientPoolServerRestart bounces the server under a pool with a
+// parked idle client. The next checkout must hand back that client, and
+// the client must notice its dead conn and re-dial the restarted server
+// transparently — counted as a reconnect, not surfaced as an error.
+func TestClientPoolServerRestart(t *testing.T) {
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 10})
+	srv, err := transport.Serve("127.0.0.1:0", chunkFor(t, ds, 0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	prof := trace.New()
+	pool := transport.NewClientPool(transport.ClientOptions{
+		Policy: fastPolicy(4), Counters: prof,
+	})
+	defer pool.Close()
+
+	c, err := pool.Get(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(3); err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(c)
+
+	// Bounce the server on the same address; the parked conn is now dead.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := transport.Serve(addr, chunkFor(t, ds, 0, 10))
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	c2, err := pool.Get(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c {
+		t.Fatal("pool dialed fresh instead of reusing the parked client")
+	}
+	s, err := c2.Get(3)
+	if err != nil {
+		t.Fatalf("Get through restarted server: %v", err)
+	}
+	if s == nil || s.ID != 3 {
+		t.Fatalf("got %+v, want sample 3", s)
+	}
+	pool.Put(c2)
+
+	if n := prof.Counter(transport.CounterReconnects); n < 1 {
+		t.Errorf("reconnects = %d, want >= 1: %v", n, prof.Counters())
+	}
+	if st := pool.Stats(); st.Reuses < 1 {
+		t.Errorf("stats %+v, want at least one reuse across the restart", st)
 	}
 }
 

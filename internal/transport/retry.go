@@ -114,6 +114,7 @@ const (
 	CounterChecksumErrors = "net-checksum-errors" // CRC32-rejected responses
 	CounterFailovers      = "net-failovers"       // samples served by a non-preferred replica
 	CounterGiveUps        = "net-giveups"         // operations that exhausted every attempt
+	CounterOverloads      = "net-overloads"       // responses shed by server admission control
 )
 
 // nopCounters discards counts; used when no sink is configured.

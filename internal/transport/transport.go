@@ -22,11 +22,13 @@ package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ddstore/internal/graph"
@@ -43,9 +45,11 @@ const (
 	opGet      = 2 // request sample a; response payload: encoded graph
 	opMulti    = 3 // request samples [a, b); response payload: concatenated graphs
 	opGetBatch = 4 // request a ids (listed in the body); response: length-prefixed graphs
+	opHello    = 5 // declare tenant identity: a name bytes in the body; response: empty
 
-	statusOK    = 0
-	statusError = 1
+	statusOK         = 0
+	statusError      = 1
+	statusOverloaded = 2 // request shed by admission control: back off, don't fail over
 
 	reqHeaderSize  = 17
 	respHeaderSize = 9
@@ -58,6 +62,60 @@ const (
 	maxPayload   = 1 << 30
 	eagerPayload = 1 << 20
 )
+
+// maxTenantName bounds the opHello body so a hostile handshake cannot make
+// the server allocate unbounded memory.
+const maxTenantName = 128
+
+// Class is the priority class admission control schedules a request on.
+// The server derives it from the wire op: single-sample lookups and
+// metadata probes are interactive, range and batch fetches are training
+// bulk traffic.
+type Class uint8
+
+// The two priority classes.
+const (
+	ClassLookup Class = iota // interactive: Meta, Get
+	ClassBulk                // training: Multi, GetBatch
+)
+
+// String returns the label value used in metrics ("lookup", "bulk").
+func (c Class) String() string {
+	if c == ClassBulk {
+		return "bulk"
+	}
+	return "lookup"
+}
+
+// classOf maps a wire op to its priority class.
+func classOf(op byte) Class {
+	if op == opMulti || op == opGetBatch {
+		return ClassBulk
+	}
+	return ClassLookup
+}
+
+// ConnGate is the per-connection handle a serving front end returns from
+// AdmitConn. The server calls Hello when the client declares a tenant,
+// Admit before serving each request (blocking while the request waits in
+// an admission queue, or failing with an ErrOverloaded-wrapped error to
+// shed it), and Close when the connection ends. Admit's release callback
+// must be invoked exactly once, after the response is written, with the
+// payload size — the hook byte quotas are charged through.
+type ConnGate interface {
+	Hello(tenant string) error
+	Admit(class Class) (release func(payloadBytes int64), err error)
+	Close()
+}
+
+// Admission is the connection-level admission hook a serving front end
+// (internal/frontend) implements. AdmitConn runs once per accepted
+// connection; an error rejects the connection — the server answers its
+// first request with statusOverloaded and closes it, so well-behaved
+// clients back off instead of hammering a full or draining server.
+type Admission interface {
+	AdmitConn(remoteAddr string) (ConnGate, error)
+}
 
 // ChunkSource is what a Server exposes: a contiguous range of samples with
 // access to their encoded bytes. core.Store implements it for its local
@@ -102,6 +160,16 @@ type ServerOptions struct {
 	// IdleTimeout closes a connection that sends no request for this long.
 	// 0 means no limit.
 	IdleTimeout time.Duration
+	// MaxConns caps concurrent connection goroutines. When the cap is
+	// reached, further accepted connections are closed immediately and
+	// counted (AcceptRejects, ddstore_serve_accept_rejected_total) — the
+	// hard backstop under the politer per-tenant limits an Admission layer
+	// enforces. 0 preserves the historical unbounded behaviour.
+	MaxConns int
+	// Admission, when non-nil, gates every connection and request through
+	// a serving front end (internal/frontend): tenant identity, rate
+	// limits, priority queues, and load shedding.
+	Admission Admission
 	// Metrics, when non-nil, records per-request service latency into the
 	// canonical fetch-latency histogram plus per-op request, error, and
 	// payload-byte counters — what ddstore-serve exposes on /metrics.
@@ -111,10 +179,12 @@ type ServerOptions struct {
 // serverMetrics holds the server's pre-resolved instrument handles so the
 // request loop never touches the registry's lookup path.
 type serverMetrics struct {
-	reqs   [5]*obs.Counter // indexed by op; 0 unused
-	errors *obs.Counter
-	bytes  *obs.Counter
-	lat    *obs.Histogram
+	reqs        [6]*obs.Counter // indexed by op; 0 unused
+	errors      *obs.Counter
+	bytes       *obs.Counter
+	lat         *obs.Histogram
+	acceptRejct *obs.Counter
+	connRejects *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -122,11 +192,15 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	reg.Help("ddstore_serve_errors_total", "Requests answered with an error status.")
 	reg.Help("ddstore_serve_bytes_total", "Response payload bytes served.")
 	m := &serverMetrics{
-		errors: reg.Counter("ddstore_serve_errors_total"),
-		bytes:  reg.Counter("ddstore_serve_bytes_total"),
-		lat:    obs.FetchLatencyHistogram(reg),
+		errors:      reg.Counter("ddstore_serve_errors_total"),
+		bytes:       reg.Counter("ddstore_serve_bytes_total"),
+		lat:         obs.FetchLatencyHistogram(reg),
+		acceptRejct: reg.Counter(obs.MetricAcceptRejected),
+		connRejects: reg.Counter(obs.MetricConnRejected),
 	}
-	for op, name := range map[byte]string{opMeta: "meta", opGet: "get", opMulti: "multi", opGetBatch: "getbatch"} {
+	reg.Help(obs.MetricAcceptRejected, "Accepted connections closed because the MaxConns goroutine cap was reached.")
+	reg.Help(obs.MetricConnRejected, "Connections refused by admission control with an overloaded status.")
+	for op, name := range map[byte]string{opMeta: "meta", opGet: "get", opMulti: "multi", opGetBatch: "getbatch", opHello: "hello"} {
 		m.reqs[op] = reg.Counter("ddstore_serve_requests_total", "op", name)
 	}
 	return m
@@ -147,17 +221,28 @@ func (m *serverMetrics) observe(op byte, payload int, err error, dur time.Durati
 	m.lat.ObserveDuration(dur)
 }
 
+// connState tracks one live connection: busy is set while its handler is
+// executing a request (vs. blocked waiting for the next header), so Drain
+// can wake idle handlers without cutting an in-flight request short.
+type connState struct {
+	busy atomic.Bool
+}
+
 // Server serves one chunk over TCP.
 type Server struct {
-	ln        net.Listener
-	src       ChunkSource
-	opts      ServerOptions
-	metrics   *serverMetrics // nil without ServerOptions.Metrics
-	wg        sync.WaitGroup
-	mu        sync.Mutex
-	conns     map[net.Conn]struct{}
-	done      chan struct{}
-	closeOnce sync.Once
+	ln            net.Listener
+	src           ChunkSource
+	opts          ServerOptions
+	metrics       *serverMetrics // nil without ServerOptions.Metrics
+	sem           chan struct{}  // nil without ServerOptions.MaxConns
+	acceptRejects atomic.Int64
+	draining      atomic.Bool
+	wg            sync.WaitGroup
+	mu            sync.Mutex
+	conns         map[net.Conn]*connState
+	done          chan struct{}
+	drainOnce     sync.Once
+	closeOnce     sync.Once
 }
 
 // Serve starts a server on addr (use "127.0.0.1:0" for an ephemeral port)
@@ -179,9 +264,12 @@ func ServeWith(addr string, src ChunkSource, opts ServerOptions) (*Server, error
 // wrapping the accept path — faultnet wraps a real listener to inject
 // resets, stalls, and corruption into every accepted connection.
 func ServeListener(ln net.Listener, src ChunkSource, opts ServerOptions) *Server {
-	s := &Server{ln: ln, src: src, opts: opts, conns: map[net.Conn]struct{}{}, done: make(chan struct{})}
+	s := &Server{ln: ln, src: src, opts: opts, conns: map[net.Conn]*connState{}, done: make(chan struct{})}
 	if opts.Metrics != nil {
 		s.metrics = newServerMetrics(opts.Metrics)
+	}
+	if opts.MaxConns > 0 {
+		s.sem = make(chan struct{}, opts.MaxConns)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -190,6 +278,48 @@ func ServeListener(ln net.Listener, src ChunkSource, opts ServerOptions) *Server
 
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// AcceptRejects reports how many accepted connections were closed because
+// the MaxConns goroutine cap was full.
+func (s *Server) AcceptRejects() int64 { return s.acceptRejects.Load() }
+
+// Drain moves the server into graceful shutdown: the listener closes (no
+// new connections), handlers blocked waiting for their next request are
+// woken and closed, and handlers mid-request are left to finish — Drain
+// blocks until every handler has exited or the timeout expires, and
+// reports whether the drain completed cleanly. Connections that complete
+// their in-flight request while draining are closed instead of looping
+// for another request. Call Close afterwards to hard-close whatever is
+// left; Drain with timeout 0 just performs the stop-accepting/nudge step.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		s.ln.Close()
+		s.mu.Lock()
+		for c, st := range s.conns {
+			if !st.busy.Load() {
+				// Wake the handler out of its blocking header read; it
+				// observes the draining flag and closes the connection.
+				c.SetReadDeadline(time.Now())
+			}
+		}
+		s.mu.Unlock()
+	})
+	if timeout <= 0 {
+		return false
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
 
 // Close stops the server and its connections. It is idempotent, so a
 // server killed mid-run (chaos tests, signal handlers) can be closed again
@@ -216,8 +346,22 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+			default:
+				// At the goroutine cap: close without spawning anything.
+				conn.Close()
+				s.acceptRejects.Add(1)
+				if s.metrics != nil {
+					s.metrics.acceptRejct.Inc()
+				}
+				continue
+			}
+		}
+		st := &connState{}
 		s.mu.Lock()
-		s.conns[conn] = struct{}{}
+		s.conns[conn] = st
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
@@ -227,9 +371,61 @@ func (s *Server) acceptLoop() {
 				s.mu.Lock()
 				delete(s.conns, conn)
 				s.mu.Unlock()
+				if s.sem != nil {
+					<-s.sem
+				}
 			}()
-			s.handle(conn)
+			if s.opts.Admission != nil {
+				gate, err := s.opts.Admission.AdmitConn(conn.RemoteAddr().String())
+				if err != nil {
+					s.rejectConn(conn, err)
+					return
+				}
+				defer gate.Close()
+				s.handle(conn, st, gate)
+				return
+			}
+			s.handle(conn, st, nil)
 		}()
+	}
+}
+
+// rejectReadTimeout bounds how long a rejected connection may dawdle over
+// its first request before the server gives up on delivering a status.
+const rejectReadTimeout = 2 * time.Second
+
+// rejectConn answers a connection refused by admission control: it reads
+// requests (consuming a body when the op carries one, so each response
+// frame is unambiguous) and replies to every one with the overloaded/
+// draining status, so a client that backs off and retries on the same
+// connection keeps seeing the status instead of a broken pipe. It
+// returns — and the caller closes the connection — once the client goes
+// quiet for rejectReadTimeout or hangs up.
+func (s *Server) rejectConn(conn net.Conn, cause error) {
+	if s.metrics != nil {
+		s.metrics.connRejects.Inc()
+	}
+	var header [reqHeaderSize]byte
+	for {
+		conn.SetReadDeadline(time.Now().Add(rejectReadTimeout))
+		if _, err := io.ReadFull(conn, header[:]); err != nil {
+			return
+		}
+		op := header[0]
+		a := int64(binary.LittleEndian.Uint64(header[1:]))
+		switch {
+		case op == opGetBatch && a >= 1 && a <= maxBatchIDs:
+			if _, err := io.ReadFull(conn, make([]byte, 8*a)); err != nil {
+				return
+			}
+		case op == opHello && a >= 1 && a <= maxTenantName:
+			if _, err := io.ReadFull(conn, make([]byte, a)); err != nil {
+				return
+			}
+		}
+		if s.writeResponse(conn, nil, cause) != nil {
+			return
+		}
 	}
 }
 
@@ -267,34 +463,74 @@ func (s *Server) checkHeader(op byte, a, b int64) error {
 			return fmt.Errorf("batch count %d outside [1,%d]", a, maxBatchIDs)
 		}
 		return nil
+	case opHello:
+		// a is the tenant-name byte count; the name follows the header.
+		if a < 1 || a > maxTenantName {
+			return fmt.Errorf("tenant name length %d outside [1,%d]", a, maxTenantName)
+		}
+		return nil
 	default:
 		return fmt.Errorf("unknown op %d", op)
 	}
 }
 
-func (s *Server) handle(conn net.Conn) {
+func (s *Server) handle(conn net.Conn, st *connState, gate ConnGate) {
 	var header [reqHeaderSize]byte
 	for {
+		if s.draining.Load() {
+			return
+		}
 		if s.opts.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
 		}
 		if _, err := io.ReadFull(conn, header[:]); err != nil {
 			return
 		}
+		st.busy.Store(true)
 		op := header[0]
 		a := int64(binary.LittleEndian.Uint64(header[1:]))
 		b := int64(binary.LittleEndian.Uint64(header[9:]))
 		start := time.Now()
-		var payload []byte
 		err := s.checkHeader(op, a, b)
-		if err != nil && op == opGetBatch {
-			// An invalid batch count means the length of the request body
-			// (8 bytes per id) is unknown, so the stream cannot be
-			// resynchronized: report the error, then drop the connection.
+		if err != nil && (op == opGetBatch || op == opHello) {
+			// An invalid body count means the length of the request body is
+			// unknown, so the stream cannot be resynchronized: report the
+			// error, then drop the connection.
 			s.writeResponse(conn, nil, err)
 			s.metrics.observe(op, 0, err, time.Since(start))
 			return
 		}
+		// Ops with a body consume it before admission, so a shed response
+		// leaves the stream aligned on the next request header.
+		var body []byte
+		if err == nil && (op == opGetBatch || op == opHello) {
+			n := a
+			if op == opGetBatch {
+				n = 8 * a
+			}
+			body = make([]byte, n)
+			if _, rerr := io.ReadFull(conn, body); rerr != nil {
+				return
+			}
+		}
+		// The request is fully read: an idle-timeout deadline (or a Drain
+		// nudge that raced the header) must not cut the in-flight request
+		// short, e.g. while it waits in an admission queue.
+		if s.opts.IdleTimeout > 0 || s.draining.Load() {
+			conn.SetReadDeadline(time.Time{})
+		}
+		// Admission: hello switches tenant identity; data ops pass through
+		// the front end's rate limits and priority queues, blocking here
+		// while queued and failing with an overloaded status when shed.
+		var release func(int64)
+		if err == nil && gate != nil {
+			if op == opHello {
+				err = gate.Hello(string(body))
+			} else {
+				release, err = gate.Admit(classOf(op))
+			}
+		}
+		var payload []byte
 		if err == nil {
 			switch op {
 			case opMeta:
@@ -315,15 +551,17 @@ func (s *Server) handle(conn net.Conn) {
 			case opGetBatch:
 				// The count is validated, so the body length is trusted and
 				// the connection stays usable even if an id is out of range.
-				body := make([]byte, 8*a)
-				if _, rerr := io.ReadFull(conn, body); rerr != nil {
-					return
-				}
 				payload, err = s.batchPayload(decodeBatchIDs(body, int(a)))
+			case opHello:
+				// Acknowledged with an empty payload.
 			}
 		}
 		werr := s.writeResponse(conn, payload, err)
+		if release != nil {
+			release(int64(len(payload)))
+		}
 		s.metrics.observe(op, len(payload), err, time.Since(start))
+		st.busy.Store(false)
 		if werr != nil {
 			return
 		}
@@ -354,7 +592,11 @@ func (s *Server) writeResponse(conn net.Conn, payload []byte, err error) error {
 	var head [respHeaderSize]byte
 	if err != nil {
 		payload = []byte(err.Error())
-		head[0] = statusError
+		if errors.Is(err, ErrOverloaded) {
+			head[0] = statusOverloaded
+		} else {
+			head[0] = statusError
+		}
 	} else {
 		head[0] = statusOK
 	}
