@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt fuzz cover examples experiments quick-experiments clean
+.PHONY: all build test race bench bench-allocs vet fmt fuzz cover examples experiments quick-experiments clean
 
 all: build test
 
@@ -17,6 +17,21 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Allocation budget gate for the zero-allocation wire/decode path: the
+# header-validation decode (graph.DecodeSizes) must stay at or below
+# DECODE_ALLOC_MAX allocs/op for every graph size. A regression here means
+# a copy or per-tensor allocation crept back into the hot read path.
+DECODE_ALLOC_MAX ?= 1
+
+bench-allocs:
+	@$(GO) test -run='^$$' -bench=BenchmarkDecodeSizes -benchtime=100x -benchmem ./internal/graph | tee decode-allocs.txt
+	@awk -v max="$(DECODE_ALLOC_MAX)" ' \
+		/^BenchmarkDecodeSizes/ { \
+			for (i = 1; i <= NF; i++) if ($$(i) == "allocs/op") a = $$(i-1); \
+			if (a + 0 > max + 0) { printf "FAIL: %s allocates %s allocs/op (budget %s)\n", $$1, a, max; bad = 1 } \
+		} \
+		END { if (bad) exit 1; print "decode alloc budget ok (<= " max " allocs/op)" }' decode-allocs.txt
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,174 @@
+// Package bufarena provides ref-counted pooled byte buffers for the data
+// plane's hot read path. A response payload is read once off the socket
+// into a pooled buffer and then aliased — by cache entries, by batch parts,
+// by lazy graph decodes — without copying; each alias holds a reference,
+// and the buffer returns to its pool only when the last reference is
+// released.
+//
+// Ownership discipline:
+//
+//   - Get returns a buffer with exactly one reference, owned by the caller.
+//   - Passing a buffer across an API that "takes ownership" transfers that
+//     one reference; the caller must Retain first if it keeps an alias.
+//   - Release with outstanding references is cheap bookkeeping; the final
+//     Release poisons the buffer and returns it to the pool.
+//   - Releasing more times than retained panics — a double release is a
+//     use-after-free in waiting, never a recoverable condition.
+//
+// A buffer that is never released is not a leak: its memory stays ordinary
+// garbage-collected heap, it just never gets recycled. That makes it safe
+// to hand a buffer's bytes to callers outside the refcount discipline
+// (public APIs returning plain []byte) — the pool merely loses one
+// recycling opportunity.
+//
+// Poisoning is the aliasing canary: the final Release overwrites the
+// buffer with a fixed pattern before pooling it, so any alias that
+// outlives its reference reads garbage deterministically (and races with
+// the poison write under -race) instead of silently reading recycled
+// data. The cache and transport aliasing tests are built on it.
+package bufarena
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Poison is the byte pattern the final Release writes over a pooled
+// buffer. Tests assert on it to prove a release happened (or didn't).
+const Poison = 0xDB
+
+// Size classes are powers of two from minClass to maxClass; larger
+// requests are allocated directly and never pooled.
+const (
+	minClassBits = 8  // 256 B
+	maxClassBits = 20 // 1 MiB
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+// Buf is one pooled, ref-counted buffer. The zero value is invalid; use
+// Get. Buf satisfies the structural Retain/Release interfaces declared by
+// the graph and cache packages.
+type Buf struct {
+	data  []byte // full class-sized capacity
+	n     int    // requested length
+	refs  atomic.Int32
+	class int // pool class index; -1 = unpooled (too large)
+}
+
+var pools [numClasses]sync.Pool
+
+// Stats counters, for tests and the /metrics collectors.
+var (
+	statGets     atomic.Int64 // buffers handed out
+	statNews     atomic.Int64 // handed out by allocating (pool miss or oversize)
+	statRecycles atomic.Int64 // buffers returned to a pool by a final Release
+)
+
+// Stats reports cumulative arena traffic: buffers handed out, buffers that
+// required a fresh allocation, and buffers recycled by a final Release.
+func Stats() (gets, news, recycles int64) {
+	return statGets.Load(), statNews.Load(), statRecycles.Load()
+}
+
+// classFor maps a length to its size-class index, or -1 for oversize.
+func classFor(n int) int {
+	if n <= 1<<minClassBits {
+		return 0
+	}
+	if n > 1<<maxClassBits {
+		return -1
+	}
+	return bits.Len(uint(n-1)) - minClassBits
+}
+
+// Get returns a buffer of length n holding one reference, owned by the
+// caller. The contents are unspecified (previous poison included): the
+// caller fills it.
+func Get(n int) *Buf {
+	if n < 0 {
+		panic(fmt.Sprintf("bufarena: negative length %d", n))
+	}
+	statGets.Add(1)
+	class := classFor(n)
+	var b *Buf
+	if class >= 0 {
+		if v := pools[class].Get(); v != nil {
+			b = v.(*Buf)
+		}
+	}
+	if b == nil {
+		statNews.Add(1)
+		size := n
+		if class >= 0 {
+			size = 1 << (minClassBits + class)
+		}
+		b = &Buf{data: make([]byte, size), class: class}
+	}
+	b.n = n
+	b.refs.Store(1)
+	return b
+}
+
+// Bytes returns the buffer's length-n contents (nil for a nil buffer).
+// The slice is valid only while the caller holds a reference.
+func (b *Buf) Bytes() []byte {
+	if b == nil {
+		return nil
+	}
+	return b.data[:b.n]
+}
+
+// Len returns the requested length (0 for a nil buffer).
+func (b *Buf) Len() int {
+	if b == nil {
+		return 0
+	}
+	return b.n
+}
+
+// Refs returns the current reference count (for tests).
+func (b *Buf) Refs() int32 {
+	if b == nil {
+		return 0
+	}
+	return b.refs.Load()
+}
+
+// Retain adds a reference. Retaining a buffer whose references already hit
+// zero panics: the memory may already be recycled.
+func (b *Buf) Retain() {
+	if b == nil {
+		return
+	}
+	if b.refs.Add(1) <= 1 {
+		panic("bufarena: Retain after final Release")
+	}
+}
+
+// Release drops one reference. The final release poisons the buffer and
+// returns it to its pool; releasing below zero panics.
+func (b *Buf) Release() {
+	if b == nil {
+		return
+	}
+	refs := b.refs.Add(-1)
+	switch {
+	case refs > 0:
+		return
+	case refs < 0:
+		panic("bufarena: Release of a buffer with no outstanding reference")
+	}
+	// Poison the whole payload so any alias that outlives its reference
+	// reads the canary (and, under -race, races with this write).
+	p := b.data[:b.n]
+	for i := range p {
+		p[i] = Poison
+	}
+	if b.class < 0 {
+		return // oversize: garbage-collected, never pooled
+	}
+	statRecycles.Add(1)
+	pools[b.class].Put(b)
+}

@@ -68,6 +68,24 @@ func ParsePolicy(s string) (Policy, error) {
 	}
 }
 
+// Ref is a reference held on the buffer backing a cached value. It is
+// declared structurally (rather than importing the arena) so the cache
+// stays dependency-free; *bufarena.Buf satisfies it. A nil Ref means the
+// value is ordinary garbage-collected bytes with no lifecycle to manage.
+//
+// Ownership rules: PutRef and DeliverRef take ownership of one reference
+// and the cache releases it when the entry is evicted, replaced, or Reset.
+// ClaimRef hits and WaitRef hand the caller its own reference (retained
+// under the shard lock), which the caller must Release when done with the
+// bytes. The legacy Put/Get/Claim/Deliver/Wait API is the ref-free
+// degenerate case and must not be used to read entries inserted with a
+// non-nil Ref — it returns bytes without taking a reference, so the buffer
+// may be recycled under the reader.
+type Ref interface {
+	Retain()
+	Release()
+}
+
 // Counters receives cache event counts. *trace.Profiler implements it, so
 // one profiler carries region timings, network resilience counters, and
 // cache behaviour for the same run.
@@ -173,12 +191,15 @@ func (c *Cache) shardFor(id int64) *shard {
 }
 
 // Get returns the cached bytes for id, if present, updating the policy's
-// recency state. It records a hit or a miss.
+// recency state. It records a hit or a miss. Get takes no buffer
+// reference; it is only valid for entries inserted ref-free (Put/Deliver).
 func (c *Cache) Get(id int64) ([]byte, bool) {
 	s := c.shardFor(id)
 	s.mu.Lock()
-	val, ok := s.get(id)
+	e, ok := s.get(id)
+	var val []byte
 	if ok {
+		val = e.val
 		s.hits++
 	} else {
 		s.misses++
@@ -195,9 +216,17 @@ func (c *Cache) Get(id int64) ([]byte, bool) {
 // Put inserts (or refreshes) id, evicting entries as needed to hold the
 // byte budget. A value larger than the shard budget is not cached at all.
 func (c *Cache) Put(id int64, val []byte) {
+	c.PutRef(id, val, nil)
+}
+
+// PutRef is Put for pooled values: the cache takes ownership of one
+// reference on the buffer backing val and releases it when the entry is
+// evicted, replaced, or Reset — including immediately, if the value is
+// over budget and never cached at all.
+func (c *Cache) PutRef(id int64, val []byte, ref Ref) {
 	s := c.shardFor(id)
 	s.mu.Lock()
-	s.put(id, val)
+	s.put(id, val, ref)
 	s.mu.Unlock()
 }
 
@@ -213,11 +242,18 @@ type Flight struct {
 	fl     *flight
 }
 
-// flight is the shared state of one in-flight fetch.
+// flight is the shared state of one in-flight fetch. followers counts the
+// claimants coalesced onto the flight; it is read and written only under
+// the shard lock, which is also what makes DeliverRef's snapshot exact —
+// a claimant either incremented followers before the flight left the
+// shard's table (and gets a retained reference) or finds the freshly
+// cached entry and retains through ClaimRef.
 type flight struct {
-	done chan struct{}
-	val  []byte
-	err  error
+	done      chan struct{}
+	followers int
+	val       []byte
+	ref       Ref
+	err       error
 }
 
 // Claim looks up id. On a hit it returns (bytes, nil). On a miss it
@@ -226,27 +262,47 @@ type flight struct {
 // else's (Wait). This is the batch-friendly form of GetOrFetch — a loader
 // can claim a whole batch, fetch all its leader misses in one round trip,
 // deliver them, and only then wait on the followers.
+//
+// Claim drops the hit-path buffer reference ClaimRef would hand out (the
+// backing buffer stays pinned rather than recycled), so it is safe — just
+// wasteful — on ref-backed entries; pooled callers use ClaimRef.
 func (c *Cache) Claim(id int64) ([]byte, *Flight) {
+	val, _, f := c.ClaimRef(id)
+	return val, f
+}
+
+// ClaimRef is Claim with buffer-reference handoff. On a hit the caller
+// receives its own reference on the entry's backing buffer (retained
+// under the shard lock, nil for ref-free entries) and must Release it when
+// done with the bytes. On a miss the flight's result carries references
+// the same way: the leader transfers ownership with DeliverRef, and each
+// follower receives its own reference from WaitRef.
+func (c *Cache) ClaimRef(id int64) ([]byte, Ref, *Flight) {
 	s := c.shardFor(id)
 	s.mu.Lock()
-	if val, ok := s.get(id); ok {
+	if e, ok := s.get(id); ok {
 		s.hits++
+		val, ref := e.val, e.ref
+		if ref != nil {
+			ref.Retain()
+		}
 		s.mu.Unlock()
 		c.counters.Inc(CounterHits, 1)
-		return val, nil
+		return val, ref, nil
 	}
 	if fl, ok := s.flights[id]; ok {
+		fl.followers++
 		s.coalesced++
 		s.mu.Unlock()
 		c.counters.Inc(CounterCoalesced, 1)
-		return nil, &Flight{s: s, cnt: c.counters, id: id, fl: fl}
+		return nil, nil, &Flight{s: s, cnt: c.counters, id: id, fl: fl}
 	}
 	fl := &flight{done: make(chan struct{})}
 	s.flights[id] = fl
 	s.misses++
 	s.mu.Unlock()
 	c.counters.Inc(CounterMisses, 1)
-	return nil, &Flight{s: s, cnt: c.counters, id: id, leader: true, fl: fl}
+	return nil, nil, &Flight{s: s, cnt: c.counters, id: id, leader: true, fl: fl}
 }
 
 // Leader reports whether this claimant must perform the fetch.
@@ -254,10 +310,23 @@ func (f *Flight) Leader() bool { return f.leader }
 
 // Deliver completes a leader's flight: the value is cached and every
 // follower waiting on the same id is woken with it.
-func (f *Flight) Deliver(val []byte) {
+func (f *Flight) Deliver(val []byte) { f.DeliverRef(val, nil) }
+
+// DeliverRef completes a leader's flight with a pooled value. The cache
+// takes ownership of the caller's reference for the cached entry, and —
+// under the same shard lock that removes the flight from the coalescing
+// table — retains one additional reference per follower, so every WaitRef
+// returns bytes with an independent lifetime.
+func (f *Flight) DeliverRef(val []byte, ref Ref) {
 	f.fl.val = val
 	f.s.mu.Lock()
-	f.s.put(f.id, val)
+	if ref != nil {
+		for i := 0; i < f.fl.followers; i++ {
+			ref.Retain()
+		}
+	}
+	f.fl.ref = ref
+	f.s.put(f.id, val, ref)
 	if f.s.flights[f.id] == f.fl {
 		delete(f.s.flights, f.id)
 	}
@@ -279,10 +348,21 @@ func (f *Flight) Fail(err error) {
 }
 
 // Wait blocks until the flight's leader calls Deliver or Fail and returns
-// the result.
+// the result. A follower of a DeliverRef flight that uses Wait leaks its
+// reference (the buffer stays pinned, never recycled); pooled callers use
+// WaitRef.
 func (f *Flight) Wait() ([]byte, error) {
 	<-f.fl.done
 	return f.fl.val, f.fl.err
+}
+
+// WaitRef is Wait with buffer-reference handoff: each follower receives
+// one reference of its own (retained by the leader's DeliverRef) and must
+// Release it when done with the bytes. The reference is nil for ref-free
+// deliveries and on error.
+func (f *Flight) WaitRef() ([]byte, Ref, error) {
+	<-f.fl.done
+	return f.fl.val, f.fl.ref, f.fl.err
 }
 
 // GetOrFetch returns the cached bytes for id, fetching (and caching) them
@@ -330,6 +410,11 @@ func (c *Cache) Stats() Stats {
 func (c *Cache) Reset() {
 	for _, s := range c.shards {
 		s.mu.Lock()
+		for _, e := range s.entries {
+			if e.ref != nil {
+				e.ref.Release()
+			}
+		}
 		s.entries = map[int64]*entry{}
 		s.head, s.tail = nil, nil
 		s.bytes = 0
@@ -362,8 +447,9 @@ type shard struct {
 type entry struct {
 	id         int64
 	val        []byte
+	ref        Ref    // cache-owned reference on val's backing buffer, or nil
 	prev, next *entry // prev is toward the head
-	ref        bool   // Clock's second-chance bit
+	used       bool   // Clock's second-chance bit
 }
 
 func (s *shard) pushFront(e *entry) {
@@ -401,7 +487,7 @@ func (s *shard) moveToFront(e *entry) {
 }
 
 // get looks up id and applies the policy's use bookkeeping. Caller holds mu.
-func (s *shard) get(id int64) ([]byte, bool) {
+func (s *shard) get(id int64) (*entry, bool) {
 	e, ok := s.entries[id]
 	if !ok {
 		return nil, false
@@ -410,28 +496,38 @@ func (s *shard) get(id int64) ([]byte, bool) {
 	case LRU:
 		s.moveToFront(e)
 	case Clock:
-		e.ref = true
+		e.used = true
 	}
-	return e.val, true
+	return e, true
 }
 
-// put inserts or refreshes id and evicts down to the budget. Caller holds mu.
-func (s *shard) put(id int64, val []byte) {
+// put inserts or refreshes id and evicts down to the budget, taking
+// ownership of one reference on val's backing buffer (released when the
+// entry leaves the cache, or immediately if the value is never cached).
+// Caller holds mu.
+func (s *shard) put(id int64, val []byte, ref Ref) {
 	if int64(len(val)) > s.max {
 		// The value can never fit; caching it would just flush the shard.
+		if ref != nil {
+			ref.Release()
+		}
 		return
 	}
 	if e, ok := s.entries[id]; ok {
 		s.bytes += int64(len(val)) - int64(len(e.val))
+		if e.ref != nil {
+			e.ref.Release()
+		}
 		e.val = val
+		e.ref = ref
 		switch s.policy {
 		case LRU:
 			s.moveToFront(e)
 		case Clock:
-			e.ref = true
+			e.used = true
 		}
 	} else {
-		e := &entry{id: id, val: val}
+		e := &entry{id: id, val: val, ref: ref}
 		s.entries[id] = e
 		s.pushFront(e)
 		s.bytes += int64(len(val))
@@ -439,15 +535,16 @@ func (s *shard) put(id int64, val []byte) {
 	s.evict()
 }
 
-// evict removes entries until the shard is within budget. Caller holds mu.
+// evict removes entries until the shard is within budget, releasing each
+// victim's buffer reference. Caller holds mu.
 func (s *shard) evict() {
 	for s.bytes > s.max && s.tail != nil {
 		victim := s.tail
 		if s.policy == Clock {
-			// Second chance: a referenced victim is unreferenced and sent
-			// around again. Each pass clears one bit, so this terminates.
-			for victim.ref {
-				victim.ref = false
+			// Second chance: a used victim is marked unused and sent around
+			// again. Each pass clears one bit, so this terminates.
+			for victim.used {
+				victim.used = false
 				s.moveToFront(victim)
 				victim = s.tail
 			}
@@ -455,6 +552,9 @@ func (s *shard) evict() {
 		s.unlink(victim)
 		delete(s.entries, victim.id)
 		s.bytes -= int64(len(victim.val))
+		if victim.ref != nil {
+			victim.ref.Release()
+		}
 		s.evictions++
 		s.counters.Inc(CounterEvictions, 1)
 	}

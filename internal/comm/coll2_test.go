@@ -282,6 +282,7 @@ func BenchmarkRMAGet4KB(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	err = w.Run(func(c *Comm) error {
 		win, err := c.CreateWindow(make([]byte, 1<<20))
 		if err != nil {
@@ -318,6 +319,7 @@ func BenchmarkAllreduce1MB8Ranks(b *testing.B) {
 	}
 	payload := make([]float32, 1<<18) // 1 MB
 	b.SetBytes(1 << 20)
+	b.ReportAllocs()
 	err = w.Run(func(c *Comm) error {
 		local := make([]float32, len(payload))
 		for i := 0; i < b.N; i++ {

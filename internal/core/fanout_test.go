@@ -134,6 +134,7 @@ func BenchmarkStoreLoadOwners(b *testing.B) {
 		for _, par := range []int{1, 0} {
 			name := fmt.Sprintf("owners%d/par%d", owners, par)
 			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
 				w, err := comm.NewWorld(8, 42)
 				if err != nil {
 					b.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ddstore/internal/comm"
+	"ddstore/internal/wire"
 )
 
 // Framework selects the communication design used for remote fetches — the
@@ -44,13 +45,10 @@ const CounterTwoSidedRPCs = "twosided-rpcs"
 const missingMarker = ^uint32(0)
 
 func encodeFetchReq(requester int, ids []int64) []byte {
-	req := make([]byte, 8+8*len(ids))
+	req := make([]byte, 8, 8+wire.IDsSize(len(ids)))
 	binary.LittleEndian.PutUint32(req[0:], uint32(requester))
 	binary.LittleEndian.PutUint32(req[4:], uint32(len(ids)))
-	for i, id := range ids {
-		binary.LittleEndian.PutUint64(req[8+8*i:], uint64(id))
-	}
-	return req
+	return wire.AppendIDs(req, ids)
 }
 
 // decodeFetchReq validates and unpacks a fetch request; ok is false for

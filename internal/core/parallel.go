@@ -64,26 +64,9 @@ type epochRefs struct {
 	refs map[int]int
 }
 
-// fetchBufPool recycles the scratch buffers remote samples are fetched
-// into. graph.Decode copies every field out of the raw bytes, so a buffer
-// is dead as soon as decode returns — unless a cache flight took it (the
-// engine's deliver callback reports that), in which case the cache retains
-// it and it must not be recycled.
-var fetchBufPool = sync.Pool{
-	New: func() any {
-		b := make([]byte, 0, 4096)
-		return &b
-	},
-}
-
-// getFetchBuf returns a length-n buffer backed by the pool.
-func getFetchBuf(n int) *[]byte {
-	bp := fetchBufPool.Get().(*[]byte)
-	if cap(*bp) < n {
-		*bp = make([]byte, n)
-	}
-	*bp = (*bp)[:n]
-	return bp
-}
-
-func putFetchBuf(bp *[]byte) { fetchBufPool.Put(bp) }
+// Remote samples are fetched into ref-counted buffers from
+// internal/bufarena; the old ad-hoc fetchBufPool (which had to guess
+// whether a cache flight retained the buffer) is gone. Each fetcher in
+// plane.go hands the buffer's single reference to the delivered
+// graph.Lazy, and the engine retains additional references for cache
+// entries and coalesced waiters.

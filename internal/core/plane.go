@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"ddstore/internal/bufarena"
 	"ddstore/internal/comm"
 	"ddstore/internal/fetch"
 	"ddstore/internal/graph"
@@ -66,7 +67,9 @@ func (p storePlane) FetchOwner(owner int, ids []int64, deliver fetch.Deliver) er
 }
 
 // fetchLocal serves this rank's own chunk: a memory read per sample, no
-// communication and no cache involvement.
+// communication and no cache involvement. The lazy decode borrows the
+// window memory directly (nil reference — the window outlives every load),
+// so a local sample costs one header validation and zero copies.
 func (s *Store) fetchLocal(ids []int64, deliver fetch.Deliver) error {
 	for _, id := range ids {
 		before := clockNow(s.world)
@@ -75,37 +78,38 @@ func (s *Store) fetchLocal(ids []int64, deliver fetch.Deliver) error {
 		if m := s.world.Machine(); m != nil {
 			s.world.Clock().Advance(m.LocalRead(int64(e.length)))
 		}
-		g, err := graph.Decode(local)
+		lz, err := graph.DecodeLazy(local, nil)
 		if err != nil {
 			return fmt.Errorf("core: decode local sample %d: %w", id, err)
 		}
 		s.stats.localReads.Add(1)
 		s.stats.bytesLocal.Add(int64(e.length))
-		deliver(id, local, g, clockNow(s.world)-before)
+		deliver(id, local, lz, clockNow(s.world)-before)
 	}
 	return nil
 }
 
 // fetchSequential is the paper's default wire: within the engine-managed
-// shared-lock epoch, one blocking Get per sample.
+// shared-lock epoch, one blocking Get per sample into a pooled buffer
+// whose single reference moves into the delivered Lazy.
 func (s *Store) fetchSequential(owner int, ids []int64, deliver fetch.Deliver) error {
 	for _, id := range ids {
 		before := clockNow(s.world)
 		e := s.index[id]
-		bp := getFetchBuf(int(e.length))
-		dst := *bp
+		buf := bufarena.Get(int(e.length))
+		dst := buf.Bytes()
 		if err := s.win.Get(dst, owner, int(e.offset)); err != nil {
+			buf.Release()
 			return fmt.Errorf("core: RMA get sample %d from %d: %w", id, owner, err)
 		}
-		g, err := graph.Decode(dst)
+		lz, err := graph.DecodeLazy(dst, buf)
 		if err != nil {
+			buf.Release()
 			return fmt.Errorf("core: decode remote sample %d: %w", id, err)
 		}
 		s.stats.remoteGets.Add(1)
 		s.stats.bytesRemote.Add(int64(e.length))
-		if !deliver(id, dst, g, clockNow(s.world)-before) {
-			putFetchBuf(bp)
-		}
+		deliver(id, dst, lz, clockNow(s.world)-before)
 	}
 	return nil
 }
@@ -120,39 +124,43 @@ func (s *Store) fetchLockPerSample(owner int, ids []int64, deliver fetch.Deliver
 			return err
 		}
 		s.stats.lockAcquires.Add(1)
-		bp := getFetchBuf(int(e.length))
-		dst := *bp
+		buf := bufarena.Get(int(e.length))
+		dst := buf.Bytes()
 		if err := s.win.Get(dst, owner, int(e.offset)); err != nil {
 			s.unlockSharedRef(owner)
+			buf.Release()
 			return fmt.Errorf("core: RMA get sample %d from %d: %w", id, owner, err)
 		}
 		if err := s.unlockSharedRef(owner); err != nil {
+			buf.Release()
 			return err
 		}
-		g, err := graph.Decode(dst)
+		lz, err := graph.DecodeLazy(dst, buf)
 		if err != nil {
+			buf.Release()
 			return fmt.Errorf("core: decode remote sample %d: %w", id, err)
 		}
 		s.stats.remoteGets.Add(1)
 		s.stats.bytesRemote.Add(int64(e.length))
-		if !deliver(id, dst, g, clockNow(s.world)-before) {
-			putFetchBuf(bp)
-		}
+		deliver(id, dst, lz, clockNow(s.world)-before)
 	}
 	return nil
 }
 
 // fetchNonBlocking is the overlapped-Gets ablation (MPI_Rget-style): issue
 // everything within the epoch, wait once, and share the overlapped wire
-// time evenly across the samples.
+// time evenly across the samples. On an issue error the already-posted
+// buffers are deliberately NOT released: their Gets may still be in
+// flight, and a recycled buffer under a live RMA write is a real
+// use-after-free. Unreleased buffers degrade to GC-owned memory.
 func (s *Store) fetchNonBlocking(owner int, ids []int64, deliver fetch.Deliver) error {
 	before := clockNow(s.world)
-	bufs := make([]*[]byte, len(ids))
+	bufs := make([]*bufarena.Buf, len(ids))
 	reqs := make([]*comm.Request, len(ids))
 	for i, id := range ids {
 		e := s.index[id]
-		bufs[i] = getFetchBuf(int(e.length))
-		req, err := s.win.GetNB(*bufs[i], owner, int(e.offset))
+		bufs[i] = bufarena.Get(int(e.length))
+		req, err := s.win.GetNB(bufs[i].Bytes(), owner, int(e.offset))
 		if err != nil {
 			return fmt.Errorf("core: RMA rget sample %d from %d: %w", id, owner, err)
 		}
@@ -164,20 +172,21 @@ func (s *Store) fetchNonBlocking(owner int, ids []int64, deliver fetch.Deliver) 
 	elapsed := clockNow(s.world) - before
 	per := elapsed / time.Duration(len(ids))
 	for i, id := range ids {
-		g, err := graph.Decode(*bufs[i])
+		lz, err := graph.DecodeLazy(bufs[i].Bytes(), bufs[i])
 		if err != nil {
+			bufs[i].Release()
 			return fmt.Errorf("core: decode remote sample %d: %w", id, err)
 		}
-		if !deliver(id, *bufs[i], g, per) {
-			putFetchBuf(bufs[i])
-		}
+		deliver(id, bufs[i].Bytes(), lz, per)
 	}
 	return nil
 }
 
 // fetchTwoSided retrieves the owner's samples in one multi-get RPC. The
-// exchange cost is shared by the samples it carried, and bytes are decoded
-// before delivery so only validated bytes ever reach the cache.
+// exchange cost is shared by the samples it carried, and bytes are
+// header-validated before delivery so only validated bytes ever reach the
+// cache. The RPC reply slices are ordinary GC-owned memory (nil
+// reference).
 func (s *Store) fetchTwoSided(owner int, ids []int64, deliver fetch.Deliver) error {
 	before := clockNow(s.world)
 	raws, err := s.fetchTwoSidedBatch(owner, ids)
@@ -186,13 +195,13 @@ func (s *Store) fetchTwoSided(owner int, ids []int64, deliver fetch.Deliver) err
 	}
 	per := (clockNow(s.world) - before) / time.Duration(len(ids))
 	for i, id := range ids {
-		g, derr := graph.Decode(raws[i])
+		lz, derr := graph.DecodeLazy(raws[i], nil)
 		if derr != nil {
 			return fmt.Errorf("core: decode sample %d: %w", id, derr)
 		}
 		s.stats.remoteGets.Add(1)
 		s.stats.bytesRemote.Add(int64(len(raws[i])))
-		deliver(id, raws[i], g, per)
+		deliver(id, raws[i], lz, per)
 	}
 	return nil
 }

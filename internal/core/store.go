@@ -450,6 +450,24 @@ func (s *Store) load(ids []int64, timed bool) ([]*graph.Graph, []time.Duration, 
 	return out, lat, nil
 }
 
+// LoadLazy is LoadTimed without tensor materialization: each sample comes
+// back as a header-validated graph.Lazy view over its wire buffer, and the
+// float/int tensors are built only if the caller asks for the Graph. A
+// consumer that just re-encodes (a prefetch stash, a proxy) never pays the
+// decode. The caller owns the returned views and must either materialize
+// (Graph releases the buffer reference) or Release each one.
+func (s *Store) LoadLazy(ids []int64) ([]*graph.Lazy, []time.Duration, error) {
+	start := clockNow(s.world)
+	out, lat, err := s.engine.LoadLazy(ids)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.prof != nil && s.opts.Framework == FrameworkRMA {
+		s.prof.Add(trace.RegionRMA, clockNow(s.world)-start)
+	}
+	return out, lat, nil
+}
+
 // Fence synchronizes all ranks of the replica group between access epochs.
 func (s *Store) Fence() error { return s.win.Fence() }
 

@@ -20,10 +20,13 @@ type Loader interface {
 // DataPlane is the batch-loading surface both DDStore planes expose: the
 // in-process RMA store (core.Store) and the TCP client group
 // (transport.Group) satisfy it identically, because both route Load
-// through the shared fetch engine (internal/fetch).
+// through the shared fetch engine (internal/fetch). LoadLazy is the
+// zero-copy variant: header-validated views over the pooled wire buffers,
+// with tensor decode deferred to first touch.
 type DataPlane interface {
 	Len() int
 	LoadTimed(ids []int64) ([]*graph.Graph, []time.Duration, error)
+	LoadLazy(ids []int64) ([]*graph.Lazy, []time.Duration, error)
 	CacheStats() cache.Stats
 	LatencyStats() fetch.LatencySummary
 }
@@ -41,6 +44,15 @@ func (l *PlaneLoader) Len() int { return l.Plane.Len() }
 // LoadBatch implements Loader via the plane's timed loader.
 func (l *PlaneLoader) LoadBatch(ids []int64) ([]*graph.Graph, []time.Duration, error) {
 	return l.Plane.LoadTimed(ids)
+}
+
+// LoadBatchLazy returns the batch as lazy views instead of materialized
+// graphs, threading buffer ownership straight from the wire to the caller
+// — no copy at the loader seam. The caller must consume each view exactly
+// once: Graph() to materialize (which releases the underlying buffer
+// reference) or Release() to drop it.
+func (l *PlaneLoader) LoadBatchLazy(ids []int64) ([]*graph.Lazy, []time.Duration, error) {
+	return l.Plane.LoadLazy(ids)
 }
 
 // CacheStats reports the plane's sample-cache counters — the zero Stats

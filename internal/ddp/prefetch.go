@@ -1,12 +1,12 @@
 package ddp
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sync/atomic"
 	"time"
 
 	"ddstore/internal/graph"
+	"ddstore/internal/wire"
 )
 
 // PrefetchLoader wraps a Loader with a background worker goroutine that
@@ -157,11 +157,7 @@ func (p *PrefetchLoader) stash(res prefetched) {
 
 // idsKey encodes a batch's ids as a map key.
 func idsKey(ids []int64) string {
-	b := make([]byte, 8*len(ids))
-	for i, id := range ids {
-		binary.LittleEndian.PutUint64(b[8*i:], uint64(id))
-	}
-	return string(b)
+	return string(wire.AppendIDs(make([]byte, 0, wire.IDsSize(len(ids))), ids))
 }
 
 func sameIDs(a, b []int64) bool {

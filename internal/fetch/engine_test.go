@@ -23,6 +23,18 @@ func testGraph(id int64) *graph.Graph {
 	}
 }
 
+// countRef counts Retain/Release calls so tests can observe how the
+// engine manages buffer references on delivered samples. The conceptual
+// initial reference (the one DecodeLazy takes ownership of) is not
+// counted: a balanced lifecycle ends with releases == retains + 1.
+type countRef struct {
+	retains  atomic.Int32
+	releases atomic.Int32
+}
+
+func (r *countRef) Retain()  { r.retains.Add(1) }
+func (r *countRef) Release() { r.releases.Add(1) }
+
 // mockPlane serves ids [0, n) striped over owners (owner = id % owners).
 // It records which ids each FetchOwner call carried and tracks the maximum
 // number of concurrent FetchOwner calls ever in flight.
@@ -39,14 +51,14 @@ type mockPlane struct {
 	calls    int
 	inFlight int32
 	maxFly   int32
-	retained map[int64]bool // id -> deliver() reported the bytes retained
+	refs     map[int64][]*countRef // id -> one ref per delivery
 }
 
 func newMockPlane(n int64, owners int) *mockPlane {
 	return &mockPlane{
 		n: n, owners: owners, local: -1,
-		fetched:  map[int64]int{},
-		retained: map[int64]bool{},
+		fetched: map[int64]int{},
+		refs:    map[int64][]*countRef{},
 	}
 }
 
@@ -81,14 +93,15 @@ func (p *mockPlane) FetchOwner(owner int, ids []int64, deliver Deliver) error {
 			}
 		}
 		raw := testGraph(id).Encode()
-		g, err := graph.Decode(raw)
+		ref := &countRef{}
+		lz, err := graph.DecodeLazy(raw, ref)
 		if err != nil {
 			return err
 		}
-		kept := deliver(id, raw, g, time.Duration(id)*time.Microsecond)
+		deliver(id, raw, lz, time.Duration(id)*time.Microsecond)
 		p.mu.Lock()
 		p.fetched[id]++
-		p.retained[id] = kept
+		p.refs[id] = append(p.refs[id], ref)
 		p.mu.Unlock()
 	}
 	return nil
@@ -228,8 +241,15 @@ func TestNilCacheSkipsClaimMachinery(t *testing.T) {
 		if p.fetched[id] != 2 {
 			t.Errorf("sample %d fetched %d times, want 2 (no cache)", id, p.fetched[id])
 		}
-		if p.retained[id] {
-			t.Errorf("sample %d reported retained without a cache", id)
+		for _, ref := range p.refs[id] {
+			// Without a cache the engine takes no extra references; Load's
+			// materialization releases the Lazy's own one.
+			if n := ref.retains.Load(); n != 0 {
+				t.Errorf("sample %d: %d extra retains without a cache", id, n)
+			}
+			if n := ref.releases.Load(); n != 1 {
+				t.Errorf("sample %d: %d releases, want exactly the Lazy's own", id, n)
+			}
 		}
 	}
 }
@@ -541,7 +561,11 @@ func TestNewPanicsWithoutPlane(t *testing.T) {
 	New(Config{})
 }
 
-func TestRetainedOnlyWhenFlightTookBytes(t *testing.T) {
+// TestCacheEntryRetainsDeliveredBuffer pins the reference flow of a
+// leader delivery: the cache entry gets its own retained reference, the
+// Lazy's own reference is released by Load's materialization, and the
+// cache's reference is only released when the entry leaves (Reset).
+func TestCacheEntryRetainsDeliveredBuffer(t *testing.T) {
 	p := newMockPlane(10, 2)
 	c := newCache(1 << 20)
 	e := New(Config{Plane: p, Cache: c})
@@ -549,9 +573,57 @@ func TestRetainedOnlyWhenFlightTookBytes(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if !p.retained[1] {
-		t.Error("leader delivery must report the bytes retained by the cache")
+	ref := p.refs[1][0]
+	p.mu.Unlock()
+	if n := ref.retains.Load(); n != 1 {
+		t.Errorf("retains = %d, want 1 (the cache entry's)", n)
+	}
+	if n := ref.releases.Load(); n != 1 {
+		t.Errorf("releases = %d, want 1 (the Lazy's own, on materialization)", n)
+	}
+	c.Reset()
+	if n := ref.releases.Load(); n != 2 {
+		t.Errorf("releases after Reset = %d, want 2 (cache entry released)", n)
+	}
+}
+
+// TestFollowerReceivesOwnReference pins the coalesced path: the leader's
+// delivery retains one reference per parked follower, and every
+// follower's Lazy releases it on materialization, leaving only the cache
+// entry's reference outstanding.
+func TestFollowerReceivesOwnReference(t *testing.T) {
+	p := newMockPlane(10, 2)
+	p.delay = 20 * time.Millisecond
+	c := newCache(1 << 20)
+	e := New(Config{Plane: p, Cache: c})
+	const loads = 6
+	var wg sync.WaitGroup
+	for w := 0; w < loads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := e.Load([]int64{5}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	p.mu.Lock()
+	ref := p.refs[5][0]
+	p.mu.Unlock()
+	// Retains: one for the cache entry, one per coalesced follower, one
+	// per late load that hit the fresh entry. Releases: the Lazy's own +
+	// one per follower/hit materialization. The cache entry's reference is
+	// still live, so retains and releases differ by exactly... nothing —
+	// the Lazy's uncounted initial reference balances the live entry.
+	wantRetains := 1 + st.Coalesced + st.Hits
+	if n := int64(ref.retains.Load()); n != wantRetains {
+		t.Errorf("retains = %d, want %d (cache + %d followers + %d hits)",
+			n, wantRetains, st.Coalesced, st.Hits)
+	}
+	if n := int64(ref.releases.Load()); n != 1+st.Coalesced+st.Hits {
+		t.Errorf("releases = %d, want %d", n, 1+st.Coalesced+st.Hits)
 	}
 }
 

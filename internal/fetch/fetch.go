@@ -38,11 +38,14 @@ import (
 	"ddstore/internal/stats"
 )
 
-// Deliver hands one fetched sample back to the engine: its decode-validated
-// raw bytes, the decoded graph, and the per-sample fetch latency. It
-// reports whether a cache flight retained raw — a plane recycling fetch
-// buffers must not reuse a retained one.
-type Deliver func(id int64, raw []byte, g *graph.Graph, lat time.Duration) (retained bool)
+// Deliver hands one fetched sample back to the engine: its
+// header-validated raw bytes, the lazy decode over those bytes, and the
+// per-sample fetch latency. lz owns whatever buffer reference the plane
+// attached when it called graph.DecodeLazy; the engine retains additional
+// references (under the cache's shard locks) for cache entries and
+// coalesced waiters, so the plane never needs to know who else aliases the
+// buffer — it just releases its own handle when its batch loop is done.
+type Deliver func(id int64, raw []byte, lz *graph.Lazy, lat time.Duration)
 
 // Plane is what a data plane contributes to the engine: owner arithmetic
 // and the actual wire transfer. FetchOwner receives the unique ids grouped
@@ -59,7 +62,7 @@ type Plane interface {
 	// memory. Local ids bypass the cache — they are already memory reads.
 	Local(owner int) bool
 	// FetchOwner transfers the given ids from one owner, calling deliver
-	// once per id with decode-validated bytes.
+	// once per id with header-validated bytes.
 	FetchOwner(owner int, ids []int64, deliver Deliver) error
 }
 
@@ -181,20 +184,22 @@ func New(cfg Config) *Engine {
 }
 
 // results collects deliveries across the fan-out workers. One mutex guards
-// the graph/latency maps and the leader-flight table, so planes deliver
+// the lazy/latency maps and the leader-flight table, so planes deliver
 // without locking of their own.
 type results struct {
 	mu      sync.Mutex
-	graphs  map[int64]*graph.Graph
+	lazies  map[int64]*graph.Lazy
 	lats    map[int64]time.Duration
 	flights map[int64]*cache.Flight // leader flights still to complete
 }
 
 // deliver records one sample and completes its flight, if this load leads
-// one. Reports whether the flight retained raw.
-func (r *results) deliver(id int64, raw []byte, g *graph.Graph, lat time.Duration) bool {
+// one. The cache entry gets its own reference on the sample's backing
+// buffer (retained here, released by the cache on evict/replace/Reset),
+// independent of the one lz already owns.
+func (r *results) deliver(id int64, raw []byte, lz *graph.Lazy, lat time.Duration) {
 	r.mu.Lock()
-	r.graphs[id] = g
+	r.lazies[id] = lz
 	r.lats[id] = lat
 	f, flying := r.flights[id]
 	if flying {
@@ -202,15 +207,19 @@ func (r *results) deliver(id int64, raw []byte, g *graph.Graph, lat time.Duratio
 	}
 	r.mu.Unlock()
 	if flying {
-		f.Deliver(raw)
+		ref := cache.Ref(nil)
+		if lr := lz.Ref(); lr != nil {
+			lr.Retain()
+			ref = lr
+		}
+		f.DeliverRef(raw, ref)
 	}
-	return flying
 }
 
 // set records a sample served without a fetch (cache hit, follower wait).
-func (r *results) set(id int64, g *graph.Graph, lat time.Duration) {
+func (r *results) set(id int64, lz *graph.Lazy, lat time.Duration) {
 	r.mu.Lock()
-	r.graphs[id] = g
+	r.lazies[id] = lz
 	r.lats[id] = lat
 	r.mu.Unlock()
 }
@@ -227,11 +236,57 @@ func (r *results) failRemaining(err error) {
 	}
 }
 
+// releaseAll drops every buffer reference the collected lazies still hold
+// — error-path hygiene so an abandoned load returns its pooled buffers
+// instead of pinning them until the GC collects the wreckage.
+func (r *results) releaseAll() {
+	r.mu.Lock()
+	for _, lz := range r.lazies {
+		lz.Release()
+	}
+	r.mu.Unlock()
+}
+
 // Load runs the pipeline for one batch and returns the decoded graphs and
 // per-position latencies, both in request order. Duplicate ids share one
 // fetch (and one graph pointer).
 func (e *Engine) Load(ids []int64) ([]*graph.Graph, []time.Duration, error) {
-	out := make([]*graph.Graph, len(ids))
+	lzs, lats, err := e.LoadLazy(ids)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]*graph.Graph, len(lzs))
+	var seen map[int64]*graph.Graph
+	for i, lz := range lzs {
+		if lz == nil {
+			continue
+		}
+		// Duplicate positions carry independent views over one buffer;
+		// materialize once per id so duplicates share a graph pointer (and
+		// the extra views just drop their references).
+		if g, ok := seen[lz.ID()]; ok {
+			out[i] = g
+			lz.Release()
+			continue
+		}
+		out[i] = lz.Graph()
+		if seen == nil {
+			seen = make(map[int64]*graph.Graph, len(lzs))
+		}
+		seen[lz.ID()] = out[i]
+	}
+	return out, lats, nil
+}
+
+// LoadLazy runs the pipeline for one batch and returns header-validated
+// lazy graphs and per-position latencies, both in request order. Tensors
+// are not materialized: each Lazy decodes on first Graph call, and a
+// caller that never touches a sample's tensors releases its buffer with
+// Release instead. Duplicate ids share one fetch, but every position gets
+// its own independent view (each holding its own buffer reference), so
+// callers consume strictly by position.
+func (e *Engine) LoadLazy(ids []int64) ([]*graph.Lazy, []time.Duration, error) {
+	out := make([]*graph.Lazy, len(ids))
 	lats := make([]time.Duration, len(ids))
 	if len(ids) == 0 {
 		return out, lats, nil
@@ -254,15 +309,20 @@ func (e *Engine) Load(ids []int64) ([]*graph.Graph, []time.Duration, error) {
 	}
 
 	res := &results{
-		graphs: make(map[int64]*graph.Graph, len(uniq)),
+		lazies: make(map[int64]*graph.Lazy, len(uniq)),
 		lats:   make(map[int64]time.Duration, len(uniq)),
 	}
 
 	// Claim phase: only with a cache, and only for non-local ids. Hits are
-	// resolved bytes, leader flights are ours to complete, follower
-	// flights are someone else's fetch we wait on later.
+	// resolved bytes (plus our own reference on their backing buffer),
+	// leader flights are ours to complete, follower flights are someone
+	// else's fetch we wait on later.
+	type hit struct {
+		val []byte
+		ref cache.Ref
+	}
 	toFetch := uniq
-	var resolved map[int64][]byte
+	var resolved map[int64]hit
 	var followers map[int64]*cache.Flight
 	if e.cache != nil {
 		toFetch = make([]int64, 0, len(uniq))
@@ -271,13 +331,13 @@ func (e *Engine) Load(ids []int64) ([]*graph.Graph, []time.Duration, error) {
 				toFetch = append(toFetch, id)
 				continue
 			}
-			val, f := e.cache.Claim(id)
+			val, ref, f := e.cache.ClaimRef(id)
 			switch {
 			case f == nil:
 				if resolved == nil {
-					resolved = make(map[int64][]byte)
+					resolved = make(map[int64]hit)
 				}
-				resolved[id] = val
+				resolved[id] = hit{val, ref}
 			case f.Leader():
 				if res.flights == nil {
 					res.flights = make(map[int64]*cache.Flight)
@@ -294,29 +354,34 @@ func (e *Engine) Load(ids []int64) ([]*graph.Graph, []time.Duration, error) {
 	}
 	fail := func(err error) error {
 		res.failRemaining(err)
+		res.releaseAll()
 		return err
 	}
 
-	// Serve cache hits: a memory read plus a decode. Iterating uniq (not
-	// the map) keeps virtual-clock charging deterministic.
+	// Serve cache hits: a memory read plus a header re-validation; the hit's
+	// buffer reference moves into the Lazy. Iterating uniq (not the map)
+	// keeps virtual-clock charging deterministic.
 	hitStart := e.now()
 	var hitBytes int64
 	for _, id := range uniq {
-		raw, ok := resolved[id]
+		h, ok := resolved[id]
 		if !ok {
 			continue
 		}
 		before := e.now()
 		if e.onLocal != nil {
-			e.onLocal(len(raw))
+			e.onLocal(len(h.val))
 		}
-		hitBytes += int64(len(raw))
-		g, err := graph.Decode(raw)
+		hitBytes += int64(len(h.val))
+		lz, err := graph.DecodeLazy(h.val, h.ref)
 		if err != nil {
-			// Cannot happen: only decode-validated bytes are cached.
+			// Cannot happen: only header-validated bytes are cached.
+			if h.ref != nil {
+				h.ref.Release()
+			}
 			return nil, nil, fail(fmt.Errorf("%s: cached sample %d: %w", e.prefix, id, err))
 		}
-		res.set(id, g, e.now()-before)
+		res.set(id, lz, e.now()-before)
 	}
 	if e.spans != nil && len(resolved) > 0 {
 		e.spans.Record(obs.Span{
@@ -341,7 +406,7 @@ func (e *Engine) Load(ids []int64) ([]*graph.Graph, []time.Duration, error) {
 			return nil, nil, fail(err)
 		}
 		for _, id := range toFetch {
-			if _, ok := res.graphs[id]; !ok {
+			if _, ok := res.lazies[id]; !ok {
 				return nil, nil, fail(fmt.Errorf("%s: sample %d was not delivered by its owner", e.prefix, id))
 			}
 		}
@@ -349,30 +414,50 @@ func (e *Engine) Load(ids []int64) ([]*graph.Graph, []time.Duration, error) {
 
 	// Followers wait only after our own fetches delivered, so one load
 	// carrying both the leader and a follower of an id cannot deadlock
-	// against itself.
+	// against itself. Each follower receives its own buffer reference
+	// (retained by the leader's delivery), which moves into the Lazy.
 	for _, id := range uniq {
 		f, ok := followers[id]
 		if !ok {
 			continue
 		}
 		before := e.now()
-		raw, err := f.Wait()
+		raw, ref, err := f.WaitRef()
 		if err != nil {
 			return nil, nil, fail(fmt.Errorf("%s: coalesced fetch of sample %d: %w", e.prefix, id, err))
 		}
 		if e.onLocal != nil {
 			e.onLocal(len(raw))
 		}
-		g, err := graph.Decode(raw)
+		lz, err := graph.DecodeLazy(raw, ref)
 		if err != nil {
+			if ref != nil {
+				ref.Release()
+			}
 			return nil, nil, fail(fmt.Errorf("%s: coalesced sample %d: %w", e.prefix, id, err))
 		}
-		res.set(id, g, e.now()-before)
+		res.set(id, lz, e.now()-before)
 	}
 
-	for pos, id := range ids {
-		out[pos] = res.graphs[id]
-		lats[pos] = res.lats[id]
+	// Duplicate positions each receive their own view (one buffer
+	// reference per position, via Clone), so releasing or materializing
+	// one slot never invalidates another slot of the same id.
+	if len(uniq) == len(ids) {
+		for pos, id := range ids {
+			out[pos] = res.lazies[id]
+			lats[pos] = res.lats[id]
+		}
+	} else {
+		taken := make(map[int64]bool, len(uniq))
+		for pos, id := range ids {
+			lz := res.lazies[id]
+			if lz != nil && taken[id] {
+				lz = lz.Clone()
+			}
+			taken[id] = true
+			out[pos] = lz
+			lats[pos] = res.lats[id]
+		}
 	}
 	e.record(uniq, res.lats)
 	return out, lats, nil
@@ -397,13 +482,13 @@ func (e *Engine) fetchOwner(owner int, ids []int64, res *results) error {
 		lockCost = cost
 	}
 	first := true
-	deliver := func(id int64, raw []byte, g *graph.Graph, lat time.Duration) bool {
+	deliver := func(id int64, raw []byte, lz *graph.Lazy, lat time.Duration) {
 		if first {
 			lat += lockCost
 			first = false
 		}
 		fetchedBytes += int64(len(raw))
-		return res.deliver(id, raw, g, lat)
+		res.deliver(id, raw, lz, lat)
 	}
 	err := e.plane.FetchOwner(owner, ids, deliver)
 	if e.epochs != nil {

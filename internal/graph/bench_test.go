@@ -40,10 +40,12 @@ func sizedGraph(rng *vtime.RNG, nodes int) *Graph {
 	return g
 }
 
-// BenchmarkDecodeSizes measures the wire-decode hot path Store.Load pays
-// once per remote sample, swept over graph size. Allocations per op matter
-// as much as time: every decode on the fetch path runs under the loader's
-// buffer pool, so decode itself is the remaining allocator pressure.
+// BenchmarkDecodeSizes measures the wire-validation hot path Store.Load
+// pays once per remote sample, swept over graph size. Since the lazy
+// decode split, this is DecodeLazy: full header validation with tensor
+// materialization deferred — the cost every fetched sample pays whether or
+// not its tensors are ever touched. The allocs/op budget (<= 1, the Lazy
+// itself) is enforced by `make bench-allocs` in CI.
 func BenchmarkDecodeSizes(b *testing.B) {
 	rng := vtime.NewRNG(11)
 	for _, nodes := range []int{8, 64, 256} {
@@ -52,8 +54,32 @@ func BenchmarkDecodeSizes(b *testing.B) {
 			b.SetBytes(int64(len(enc)))
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := Decode(enc); err != nil {
+				if _, err := DecodeLazy(enc, nil); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMaterializeSizes is the honest other half: header validation
+// plus full tensor materialization (what Decode used to measure), so the
+// lazy split can't hide the decode cost — it only defers it to first
+// touch. Two slab allocations back all six tensors.
+func BenchmarkMaterializeSizes(b *testing.B) {
+	rng := vtime.NewRNG(11)
+	for _, nodes := range []int{8, 64, 256} {
+		enc := sizedGraph(rng, nodes).Encode()
+		b.Run(fmt.Sprintf("nodes%d", nodes), func(b *testing.B) {
+			b.SetBytes(int64(len(enc)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				lz, err := DecodeLazy(enc, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if lz.Graph() == nil {
+					b.Fatal("nil graph")
 				}
 			}
 		})

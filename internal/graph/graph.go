@@ -149,100 +149,148 @@ func appendInt32s(buf []byte, xs []int32) []byte {
 	return buf
 }
 
+// headerSize is the fixed codec header: u16 magic, u16 version, i64 id,
+// then six u32 counts.
+const headerSize = 4 + 8 + 6*4
+
+// header is the parsed fixed-size codec header plus the derived total
+// encoded size. Parsing it validates everything about an encoded graph
+// except the tensor payload bytes themselves, so a header alone is enough
+// to accept a sample onto the hot path and defer materialization.
+type header struct {
+	id          int64
+	numNodes    int
+	nodeFeatDim int
+	numEdges    int
+	edgeFeatDim int
+	lenY        int
+	hasPos      bool
+	want        int // total encoded bytes including the header
+}
+
+// parseHeader validates and reads the codec header at the front of data,
+// including the payload-length guard against corrupt headers requesting
+// absurd allocations. It allocates nothing.
+func parseHeader(data []byte) (header, error) {
+	var h header
+	if len(data) < headerSize {
+		return h, fmt.Errorf("graph: truncated header: %d bytes", len(data))
+	}
+	if m := binary.LittleEndian.Uint16(data[0:]); m != codecMagic {
+		return h, fmt.Errorf("graph: bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint16(data[2:]); v != codecVersion {
+		return h, fmt.Errorf("graph: unsupported codec version %d", v)
+	}
+	h.id = int64(binary.LittleEndian.Uint64(data[4:]))
+	h.numNodes = int(binary.LittleEndian.Uint32(data[12:]))
+	h.nodeFeatDim = int(binary.LittleEndian.Uint32(data[16:]))
+	h.numEdges = int(binary.LittleEndian.Uint32(data[20:]))
+	h.edgeFeatDim = int(binary.LittleEndian.Uint32(data[24:]))
+	h.hasPos = binary.LittleEndian.Uint32(data[28:]) != 0
+	h.lenY = int(binary.LittleEndian.Uint32(data[32:]))
+
+	h.want = headerSize + 4*(h.numNodes*h.nodeFeatDim+2*h.numEdges+h.numEdges*h.edgeFeatDim+h.lenY)
+	if h.hasPos {
+		h.want += 4 * h.numNodes * 3
+	}
+	if h.numNodes < 0 || h.numEdges < 0 || h.lenY < 0 || h.want < headerSize || len(data) < h.want {
+		return h, fmt.Errorf("graph: payload needs %d bytes, have %d", h.want, len(data))
+	}
+	return h, nil
+}
+
+// materialize builds the Graph for a validated header. All float tensors
+// share one slab and both edge-index tensors share another, so a full
+// decode costs three allocations (Graph + two slabs) instead of one per
+// tensor. Subslices are capacity-clipped so appending to one tensor can
+// never scribble over its slab neighbors, and zero-length tensors stay
+// nil exactly as the per-tensor decoder produced them.
+func (h *header) materialize(data []byte) *Graph {
+	g := &Graph{
+		ID:          h.id,
+		NumNodes:    h.numNodes,
+		NodeFeatDim: h.nodeFeatDim,
+		EdgeFeatDim: h.edgeFeatDim,
+	}
+	nNode := h.numNodes * h.nodeFeatDim
+	nEdgeFeat := h.numEdges * h.edgeFeatDim
+	nPos := 0
+	if h.hasPos {
+		nPos = h.numNodes * 3
+	}
+	floats := make([]float32, nNode+nEdgeFeat+nPos+h.lenY)
+	ints := make([]int32, 2*h.numEdges)
+
+	p := data[headerSize:]
+	fillFloat32s(floats[:nNode], p)
+	p = p[4*nNode:]
+	fillInt32s(ints[:h.numEdges], p)
+	p = p[4*h.numEdges:]
+	fillInt32s(ints[h.numEdges:], p)
+	p = p[4*h.numEdges:]
+	fillFloat32s(floats[nNode:nNode+nEdgeFeat], p)
+	p = p[4*nEdgeFeat:]
+	fillFloat32s(floats[nNode+nEdgeFeat:nNode+nEdgeFeat+nPos], p)
+	p = p[4*nPos:]
+	fillFloat32s(floats[nNode+nEdgeFeat+nPos:], p)
+
+	g.NodeFeat = subFloats(floats, 0, nNode)
+	g.EdgeSrc = subInts(ints, 0, h.numEdges)
+	g.EdgeDst = subInts(ints, h.numEdges, 2*h.numEdges)
+	g.EdgeFeat = subFloats(floats, nNode, nNode+nEdgeFeat)
+	g.Pos = subFloats(floats, nNode+nEdgeFeat, nNode+nEdgeFeat+nPos)
+	g.Y = subFloats(floats, nNode+nEdgeFeat+nPos, len(floats))
+	return g
+}
+
+func subFloats(s []float32, lo, hi int) []float32 {
+	if lo == hi {
+		return nil
+	}
+	return s[lo:hi:hi]
+}
+
+func subInts(s []int32, lo, hi int) []int32 {
+	if lo == hi {
+		return nil
+	}
+	return s[lo:hi:hi]
+}
+
+func fillFloat32s(dst []float32, data []byte) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:]))
+	}
+}
+
+func fillInt32s(dst []int32, data []byte) {
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(data[4*i:]))
+	}
+}
+
 // Decode deserializes one graph from data, which must contain exactly one
 // encoded graph (as produced by Encode).
 func Decode(data []byte) (*Graph, error) {
-	g, rest, err := DecodePrefix(data)
+	h, err := parseHeader(data)
 	if err != nil {
 		return nil, err
 	}
-	if len(rest) != 0 {
-		return nil, fmt.Errorf("graph: %d trailing bytes after decoded graph", len(rest))
+	if rest := len(data) - h.want; rest != 0 {
+		return nil, fmt.Errorf("graph: %d trailing bytes after decoded graph", rest)
 	}
-	return g, nil
+	return h.materialize(data), nil
 }
 
 // DecodePrefix deserializes one graph from the front of data and returns the
 // remaining bytes, enabling streaming decode of concatenated graphs.
 func DecodePrefix(data []byte) (*Graph, []byte, error) {
-	const header = 4 + 8 + 6*4
-	if len(data) < header {
-		return nil, nil, fmt.Errorf("graph: truncated header: %d bytes", len(data))
-	}
-	if m := binary.LittleEndian.Uint16(data[0:]); m != codecMagic {
-		return nil, nil, fmt.Errorf("graph: bad magic %#x", m)
-	}
-	if v := binary.LittleEndian.Uint16(data[2:]); v != codecVersion {
-		return nil, nil, fmt.Errorf("graph: unsupported codec version %d", v)
-	}
-	g := &Graph{}
-	g.ID = int64(binary.LittleEndian.Uint64(data[4:]))
-	g.NumNodes = int(binary.LittleEndian.Uint32(data[12:]))
-	g.NodeFeatDim = int(binary.LittleEndian.Uint32(data[16:]))
-	numEdges := int(binary.LittleEndian.Uint32(data[20:]))
-	g.EdgeFeatDim = int(binary.LittleEndian.Uint32(data[24:]))
-	hasPos := binary.LittleEndian.Uint32(data[28:]) != 0
-	lenY := int(binary.LittleEndian.Uint32(data[32:]))
-
-	// Guard against corrupt headers requesting absurd allocations.
-	want := header + 4*(g.NumNodes*g.NodeFeatDim+2*numEdges+numEdges*g.EdgeFeatDim+lenY)
-	if hasPos {
-		want += 4 * g.NumNodes * 3
-	}
-	if g.NumNodes < 0 || numEdges < 0 || lenY < 0 || want < header || len(data) < want {
-		return nil, nil, fmt.Errorf("graph: payload needs %d bytes, have %d", want, len(data))
-	}
-	p := data[header:]
-	var err error
-	if g.NodeFeat, p, err = takeFloat32s(p, g.NumNodes*g.NodeFeatDim); err != nil {
+	h, err := parseHeader(data)
+	if err != nil {
 		return nil, nil, err
 	}
-	if g.EdgeSrc, p, err = takeInt32s(p, numEdges); err != nil {
-		return nil, nil, err
-	}
-	if g.EdgeDst, p, err = takeInt32s(p, numEdges); err != nil {
-		return nil, nil, err
-	}
-	if g.EdgeFeat, p, err = takeFloat32s(p, numEdges*g.EdgeFeatDim); err != nil {
-		return nil, nil, err
-	}
-	if hasPos {
-		if g.Pos, p, err = takeFloat32s(p, g.NumNodes*3); err != nil {
-			return nil, nil, err
-		}
-	}
-	if g.Y, p, err = takeFloat32s(p, lenY); err != nil {
-		return nil, nil, err
-	}
-	return g, p, nil
-}
-
-func takeFloat32s(data []byte, n int) ([]float32, []byte, error) {
-	if n == 0 {
-		return nil, data, nil
-	}
-	if len(data) < 4*n {
-		return nil, nil, fmt.Errorf("graph: truncated payload: need %d floats, have %d bytes", n, len(data))
-	}
-	out := make([]float32, n)
-	for i := range out {
-		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:]))
-	}
-	return out, data[4*n:], nil
-}
-
-func takeInt32s(data []byte, n int) ([]int32, []byte, error) {
-	if n == 0 {
-		return nil, data, nil
-	}
-	if len(data) < 4*n {
-		return nil, nil, fmt.Errorf("graph: truncated payload: need %d ints, have %d bytes", n, len(data))
-	}
-	out := make([]int32, n)
-	for i := range out {
-		out[i] = int32(binary.LittleEndian.Uint32(data[4*i:]))
-	}
-	return out, data[4*n:], nil
+	return h.materialize(data), data[h.want:], nil
 }
 
 // Batch is the disjoint union of several graphs: node and edge arrays are

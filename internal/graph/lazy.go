@@ -1,0 +1,125 @@
+package graph
+
+import "fmt"
+
+// Ref is the reference a Lazy may hold on the buffer backing its encoded
+// bytes. It is declared structurally (rather than importing the arena) so
+// the codec stays dependency-free; *bufarena.Buf satisfies it, as does the
+// cache package's identical interface.
+type Ref interface {
+	Retain()
+	Release()
+}
+
+// Lazy is a validated-but-not-materialized graph: the codec header has
+// been fully checked (magic, version, counts, exact payload length) but
+// the tensors still live in the encoded wire bytes. This is what the hot
+// read path produces per sample — validation costs one allocation (the
+// Lazy itself) instead of one per tensor — and materialization is deferred
+// to the first Graph call, typically batch assembly in the training loop.
+// Samples that are fetched for cache warming, prefetched speculatively, or
+// re-encoded verbatim never pay decode cost at all.
+//
+// A Lazy may hold one reference on the buffer backing data (ref != nil
+// when the bytes came from the pooled arena). The reference is released as
+// soon as it is no longer needed: by Graph on first materialization, or by
+// Release if the tensors are never touched. A Lazy is not safe for
+// concurrent use; callers serialize access per value.
+type Lazy struct {
+	data []byte
+	ref  Ref
+	h    header
+	g    *Graph
+}
+
+// DecodeLazy validates one encoded graph without materializing tensors.
+// data must contain exactly one encoded graph, as for Decode. If ref is
+// non-nil the Lazy takes ownership of one reference on the buffer backing
+// data and releases it when the bytes are no longer needed (first Graph
+// call, or Release). On error no reference is taken: the caller keeps
+// ownership.
+func DecodeLazy(data []byte, ref Ref) (*Lazy, error) {
+	h, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if rest := len(data) - h.want; rest != 0 {
+		return nil, fmt.Errorf("graph: %d trailing bytes after decoded graph", rest)
+	}
+	return &Lazy{data: data, ref: ref, h: h}, nil
+}
+
+// ID returns the sample id from the header.
+func (l *Lazy) ID() int64 { return l.h.id }
+
+// NumNodes returns the atom count from the header.
+func (l *Lazy) NumNodes() int { return l.h.numNodes }
+
+// NumEdges returns the directed edge count from the header.
+func (l *Lazy) NumEdges() int { return l.h.numEdges }
+
+// EncodedSize returns the encoded byte length.
+func (l *Lazy) EncodedSize() int { return l.h.want }
+
+// Materialized reports whether Graph has already been called.
+func (l *Lazy) Materialized() bool { return l.g != nil }
+
+// Ref returns the buffer reference the Lazy holds, or nil. The Lazy keeps
+// ownership; callers that want their own alias must Retain.
+func (l *Lazy) Ref() Ref { return l.ref }
+
+// AppendTo appends the encoded bytes onto buf — a bit-identical re-encode
+// with no decode round trip. It must not be called after Release unless
+// the graph was materialized first (the backing bytes are gone).
+func (l *Lazy) AppendTo(buf []byte) []byte {
+	if l.data == nil {
+		return l.g.AppendTo(buf)
+	}
+	return append(buf, l.data...)
+}
+
+// Clone returns an independent view over the same encoded bytes, holding
+// its own (newly retained) reference on the backing buffer, so each view
+// is consumed independently — duplicate batch positions each get a clone,
+// and releasing one position cannot invalidate another. Cloning an
+// already-materialized view shares the (immutable) *Graph; cloning a
+// released, unmaterialized view panics.
+func (l *Lazy) Clone() *Lazy {
+	if l.data == nil {
+		if l.g == nil {
+			panic("graph: Clone of a released Lazy")
+		}
+		return &Lazy{h: l.h, g: l.g}
+	}
+	if l.ref != nil {
+		l.ref.Retain()
+	}
+	return &Lazy{data: l.data, ref: l.ref, h: l.h}
+}
+
+// Graph materializes the tensors on first call and memoizes the result;
+// the buffer reference (if any) is released at that point since the
+// encoded bytes are no longer needed.
+func (l *Lazy) Graph() *Graph {
+	if l.g == nil {
+		l.g = l.h.materialize(l.data)
+		l.data = nil
+		l.releaseRef()
+	}
+	return l.g
+}
+
+// Release drops the Lazy's buffer reference without materializing, for
+// samples whose tensors will never be touched. Idempotent; a later Graph
+// call is only valid if the graph was already materialized.
+func (l *Lazy) Release() {
+	l.data = nil
+	l.releaseRef()
+}
+
+func (l *Lazy) releaseRef() {
+	if l.ref != nil {
+		l.ref.Release()
+		l.ref = nil
+	}
+}

@@ -3,6 +3,8 @@ package transport
 import (
 	"encoding/binary"
 	"fmt"
+
+	"ddstore/internal/wire"
 )
 
 // Multi-get framing. A batch request is the fixed 17-byte header
@@ -19,11 +21,7 @@ const maxBatchIDs = 4096
 
 // encodeBatchIDs packs ids into the batch request body.
 func encodeBatchIDs(ids []int64) []byte {
-	body := make([]byte, 8*len(ids))
-	for i, id := range ids {
-		binary.LittleEndian.PutUint64(body[8*i:], uint64(id))
-	}
-	return body
+	return wire.AppendIDs(make([]byte, 0, wire.IDsSize(len(ids))), ids)
 }
 
 // decodeBatchIDs unpacks a batch request body. The body length has

@@ -1,0 +1,87 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+
+	"ddstore/internal/graph"
+	"ddstore/internal/vtime"
+)
+
+// benchGraph builds a dense sample matching the wire-decode sweep's shape
+// (16-dim node features, 3 edges per node, 4-dim edge features).
+func benchGraph(rng *vtime.RNG, id int64, nodes int) *graph.Graph {
+	const nodeDim, edgeDim = 16, 4
+	edges := 3 * nodes
+	g := &graph.Graph{
+		ID:          id,
+		NumNodes:    nodes,
+		NodeFeatDim: nodeDim,
+		NodeFeat:    make([]float32, nodes*nodeDim),
+		EdgeSrc:     make([]int32, edges),
+		EdgeDst:     make([]int32, edges),
+		EdgeFeatDim: edgeDim,
+		EdgeFeat:    make([]float32, edges*edgeDim),
+		Y:           []float32{float32(id)},
+	}
+	for i := range g.NodeFeat {
+		g.NodeFeat[i] = float32(rng.NormFloat64())
+	}
+	for i := range g.EdgeSrc {
+		g.EdgeSrc[i] = int32(rng.Intn(nodes))
+		g.EdgeDst[i] = int32(rng.Intn(nodes))
+	}
+	for i := range g.EdgeFeat {
+		g.EdgeFeat[i] = float32(rng.NormFloat64())
+	}
+	return g
+}
+
+// BenchmarkOpGetBatch measures the full OpGetBatch round trip over loopback
+// TCP: request framing, the server's reply assembly and writes, the
+// client's payload read, CRC verification, and batch-part splitting. This
+// is the per-batch wire cost the serving layer pays per owner per batch;
+// allocations per op are the number the zero-allocation wire path drives
+// down.
+func BenchmarkOpGetBatch(b *testing.B) {
+	rng := vtime.NewRNG(7)
+	const n = 256
+	graphs := make([]*graph.Graph, n)
+	for i := range graphs {
+		graphs[i] = benchGraph(rng, int64(i), 32)
+	}
+	srv, err := Serve("127.0.0.1:0", NewMemChunk(0, graphs))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	for _, batch := range []int{16, 64} {
+		ids := make([]int64, batch)
+		for i := range ids {
+			ids[i] = int64((i * 7) % n)
+		}
+		var bytesPerOp int64
+		parts, err := cl.GetBatchRaw(ids)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range parts {
+			bytesPerOp += int64(len(p))
+		}
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			b.SetBytes(bytesPerOp)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.GetBatchRaw(ids); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -12,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"ddstore/internal/bufarena"
 	"ddstore/internal/graph"
 )
 
@@ -148,7 +148,12 @@ func (c *Client) Close() error {
 // Each call counts as one logical round trip (retries are tallied
 // separately under CounterRetries) — the counter the batching tests use to
 // prove B samples cost ⌈B/maxBatch⌉ round trips instead of B.
-func (c *Client) roundTrip(op byte, a, b int64, extra []byte) ([]byte, error) {
+//
+// The returned payload buffer carries one reference owned by the caller.
+// Callers that consume the bytes immediately (decode, parse) Release it;
+// callers that hand plain []byte to the outside world keep it alive by
+// simply never releasing (the buffer degrades to ordinary GC-owned memory).
+func (c *Client) roundTrip(op byte, a, b int64, extra []byte) (*bufarena.Buf, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.counters.Inc(CounterRoundTrips, 1)
@@ -179,12 +184,14 @@ func (c *Client) roundTrip(op byte, a, b int64, extra []byte) ([]byte, error) {
 		// Declare the tenant once per connection before the first real
 		// request, so admission control charges the right quota.
 		if c.tenant != "" && !c.helloed && op != opHello {
-			if _, err := c.exchange(opHello, int64(len(c.tenant)), 0, []byte(c.tenant)); err != nil {
+			ack, err := c.exchange(opHello, int64(len(c.tenant)), 0, []byte(c.tenant))
+			if err != nil {
 				if herr := c.classify(err, &lastErr); herr != nil {
 					return nil, herr
 				}
 				continue
 			}
+			ack.Release()
 			c.helloed = true
 		}
 		payload, err := c.exchange(op, a, b, extra)
@@ -235,8 +242,11 @@ func (c *Client) classify(err error, lastErr *error) error {
 // exchange performs one framed request/response on the live connection,
 // with per-operation deadlines and CRC verification. Header and body go
 // out in a single write so a retried request never leaves a half frame
-// behind counters or fault injectors that account per write.
-func (c *Client) exchange(op byte, a, b int64, extra []byte) ([]byte, error) {
+// behind counters or fault injectors that account per write. The payload
+// lands in a pooled buffer, read once off the socket; on success the
+// caller owns its single reference, on any error the reference is already
+// released.
+func (c *Client) exchange(op byte, a, b int64, extra []byte) (*bufarena.Buf, error) {
 	req := make([]byte, reqHeaderSize+len(extra))
 	req[0] = op
 	binary.LittleEndian.PutUint64(req[1:], uint64(a))
@@ -255,7 +265,7 @@ func (c *Client) exchange(op byte, a, b int64, extra []byte) ([]byte, error) {
 	if _, err := io.ReadFull(c.conn, head[:]); err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
 	}
-	n := binary.LittleEndian.Uint32(head[1:])
+	n := int(binary.LittleEndian.Uint32(head[1:]))
 	if n > maxPayload {
 		return nil, fmt.Errorf("transport: oversized response (%d bytes)", n)
 	}
@@ -263,37 +273,60 @@ func (c *Client) exchange(op byte, a, b int64, extra []byte) ([]byte, error) {
 	// Grow the buffer as bytes arrive rather than trusting the advertised
 	// length: a corrupt or hostile head must not make us allocate gigabytes
 	// for data that never comes.
-	var buf bytes.Buffer
-	if n < eagerPayload {
-		buf.Grow(int(n))
-	} else {
-		buf.Grow(eagerPayload)
+	size := n
+	if size > eagerPayload {
+		size = eagerPayload
 	}
-	if _, err := io.CopyN(&buf, c.conn, int64(n)); err != nil {
-		return nil, fmt.Errorf("transport: %w", err)
+	buf := bufarena.Get(size)
+	read := 0
+	for {
+		if _, err := io.ReadFull(c.conn, buf.Bytes()[read:]); err != nil {
+			buf.Release()
+			return nil, fmt.Errorf("transport: %w", err)
+		}
+		read = buf.Len()
+		if read == n {
+			break
+		}
+		grown := read * 2
+		if grown > n {
+			grown = n
+		}
+		nb := bufarena.Get(grown)
+		copy(nb.Bytes(), buf.Bytes())
+		buf.Release()
+		buf = nb
 	}
 	payload := buf.Bytes()
 	if crc32.ChecksumIEEE(payload) != wantCRC {
+		buf.Release()
 		return nil, ErrChecksum
 	}
 	switch head[0] {
 	case statusOK:
-		return payload, nil
+		return buf, nil
 	case statusError:
-		return nil, &RemoteError{Msg: string(payload)}
+		msg := string(payload)
+		buf.Release()
+		return nil, &RemoteError{Msg: msg}
 	case statusOverloaded:
-		return nil, &OverloadedError{Msg: string(payload)}
+		msg := string(payload)
+		buf.Release()
+		return nil, &OverloadedError{Msg: msg}
 	default:
+		buf.Release()
 		return nil, fmt.Errorf("transport: unknown response status %d", head[0])
 	}
 }
 
 // Meta fetches the server's chunk range.
 func (c *Client) Meta() (lo, hi int64, err error) {
-	payload, err := c.roundTrip(opMeta, 0, 0, nil)
+	buf, err := c.roundTrip(opMeta, 0, 0, nil)
 	if err != nil {
 		return 0, 0, err
 	}
+	defer buf.Release()
+	payload := buf.Bytes()
 	if len(payload) != 16 {
 		return 0, 0, errors.New("transport: malformed meta response")
 	}
@@ -303,51 +336,75 @@ func (c *Client) Meta() (lo, hi int64, err error) {
 
 // Get fetches and decodes one sample.
 func (c *Client) Get(id int64) (*graph.Graph, error) {
-	payload, err := c.roundTrip(opGet, id, 0, nil)
+	buf, err := c.roundTrip(opGet, id, 0, nil)
 	if err != nil {
 		return nil, err
 	}
-	return graph.Decode(payload)
+	g, err := graph.Decode(buf.Bytes())
+	buf.Release()
+	return g, err
 }
 
 // GetRaw fetches the encoded bytes of one sample without decoding. Load
 // generators and relays use it to measure or move wire bytes without
-// paying (or perturbing the measurement with) graph materialization.
+// paying (or perturbing the measurement with) graph materialization. The
+// returned bytes are plain GC-owned memory (the pooled buffer's reference
+// is intentionally never released, so it is never recycled under the
+// caller).
 func (c *Client) GetRaw(id int64) ([]byte, error) {
-	return c.roundTrip(opGet, id, 0, nil)
+	buf, err := c.roundTrip(opGet, id, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GetBatchBufs fetches the encoded bytes of an arbitrary id list in one
+// round trip, returning the pooled response buffer and the per-id parts
+// aliasing it. Every id must be in this server's chunk; parts is aligned
+// with ids. The caller owns the buffer's single reference and must keep
+// it (or a Retain of it) alive for as long as it reads any part, then
+// Release.
+func (c *Client) GetBatchBufs(ids []int64) (*bufarena.Buf, [][]byte, error) {
+	if len(ids) == 0 {
+		return nil, nil, nil
+	}
+	if len(ids) > maxBatchIDs {
+		return nil, nil, fmt.Errorf("transport: batch of %d ids exceeds the %d-id limit", len(ids), maxBatchIDs)
+	}
+	buf, err := c.roundTrip(opGetBatch, int64(len(ids)), 0, encodeBatchIDs(ids))
+	if err != nil {
+		return nil, nil, err
+	}
+	parts, err := decodeBatchPayload(buf.Bytes())
+	if err != nil {
+		buf.Release()
+		return nil, nil, err
+	}
+	if len(parts) != len(ids) {
+		buf.Release()
+		return nil, nil, fmt.Errorf("transport: got %d payloads for %d requested ids", len(parts), len(ids))
+	}
+	return buf, parts, nil
 }
 
 // GetBatchRaw fetches the encoded bytes of an arbitrary id list in one
 // round trip. Every id must be in this server's chunk; the result is
 // aligned with ids. The raw form exists so callers that cache or relay
-// encoded bytes (Group, core.Store) avoid a decode/re-encode cycle.
+// encoded bytes avoid a decode/re-encode cycle; the parts are plain
+// GC-owned memory (see GetRaw). Pooled callers use GetBatchBufs.
 func (c *Client) GetBatchRaw(ids []int64) ([][]byte, error) {
-	if len(ids) == 0 {
-		return nil, nil
-	}
-	if len(ids) > maxBatchIDs {
-		return nil, fmt.Errorf("transport: batch of %d ids exceeds the %d-id limit", len(ids), maxBatchIDs)
-	}
-	payload, err := c.roundTrip(opGetBatch, int64(len(ids)), 0, encodeBatchIDs(ids))
-	if err != nil {
-		return nil, err
-	}
-	parts, err := decodeBatchPayload(payload)
-	if err != nil {
-		return nil, err
-	}
-	if len(parts) != len(ids) {
-		return nil, fmt.Errorf("transport: got %d payloads for %d requested ids", len(parts), len(ids))
-	}
-	return parts, nil
+	_, parts, err := c.GetBatchBufs(ids)
+	return parts, err
 }
 
 // GetBatch fetches and decodes an arbitrary id list in one round trip.
 func (c *Client) GetBatch(ids []int64) ([]*graph.Graph, error) {
-	parts, err := c.GetBatchRaw(ids)
+	buf, parts, err := c.GetBatchBufs(ids)
 	if err != nil {
 		return nil, err
 	}
+	defer buf.Release()
 	out := make([]*graph.Graph, len(parts))
 	for i, p := range parts {
 		if out[i], err = graph.Decode(p); err != nil {
@@ -359,12 +416,13 @@ func (c *Client) GetBatch(ids []int64) ([]*graph.Graph, error) {
 
 // GetRange fetches and decodes samples [lo, hi).
 func (c *Client) GetRange(lo, hi int64) ([]*graph.Graph, error) {
-	payload, err := c.roundTrip(opMulti, lo, hi, nil)
+	buf, err := c.roundTrip(opMulti, lo, hi, nil)
 	if err != nil {
 		return nil, err
 	}
+	defer buf.Release()
 	out := make([]*graph.Graph, 0, hi-lo)
-	rest := payload
+	rest := buf.Bytes()
 	for len(rest) > 0 {
 		var g *graph.Graph
 		if g, rest, err = graph.DecodePrefix(rest); err != nil {

@@ -276,6 +276,17 @@ func (g *Group) LoadTimed(ids []int64) ([]*graph.Graph, []time.Duration, error) 
 	return g.engine.Load(ids)
 }
 
+// LoadLazy is LoadTimed without tensor materialization: samples come back
+// as header-validated graph.Lazy views over their pooled wire buffers. The
+// caller owns the views — materialize via Graph() or Release() each one —
+// and the same contract holds on the RMA plane (core.Store.LoadLazy).
+func (g *Group) LoadLazy(ids []int64) ([]*graph.Lazy, []time.Duration, error) {
+	if len(g.replicas) == 0 {
+		return nil, nil, errors.New("transport: group has no replicas")
+	}
+	return g.engine.LoadLazy(ids)
+}
+
 // groupPlane adapts the Group to the shared fetch engine. The owner token
 // encodes (preferred replica, owning member) as ri*stride+mi; nothing is
 // ever local to a TCP client, so every id goes through the cache and the
@@ -358,7 +369,7 @@ func (g *Group) fetchChunk(start int, ids []int64, deliver fetch.Deliver) error 
 				want := byOwner[mi]
 				sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
 				before := time.Now()
-				raws, err := g.replicas[ri].members[mi].cl.GetBatchRaw(want)
+				buf, raws, err := g.replicas[ri].members[mi].cl.GetBatchBufs(want)
 				per := time.Since(before) / time.Duration(len(want))
 				if err != nil {
 					lastErr = err
@@ -375,13 +386,20 @@ func (g *Group) fetchChunk(start int, ids []int64, deliver fetch.Deliver) error 
 					}
 					continue
 				}
+				// Every delivered sample's Lazy takes its own reference on
+				// the shared response buffer; ours is dropped after the
+				// loop, so the buffer lives exactly as long as its slowest
+				// consumer (cache entry, coalesced waiter, or first-touch
+				// decode).
 				healthy := true
 				for j, id := range want {
-					gph, derr := graph.Decode(raws[j])
+					buf.Retain()
+					lz, derr := graph.DecodeLazy(raws[j], buf)
 					if derr != nil {
 						// The frame passed CRC, so the peer is serving
 						// corrupt source bytes: leave the id missing for
 						// another replica and avoid this peer for a while.
+						buf.Release()
 						lastErr = fmt.Errorf("transport: sample %d from replica %d: %w", id, ri, derr)
 						healthy = false
 						continue
@@ -390,8 +408,9 @@ func (g *Group) fetchChunk(start int, ids []int64, deliver fetch.Deliver) error 
 					if k > 0 || lastResort {
 						g.counters.Inc(CounterFailovers, 1)
 					}
-					deliver(id, raws[j], gph, per)
+					deliver(id, raws[j], lz, per)
 				}
+				buf.Release()
 				if healthy {
 					g.clearSuspect(ri, mi)
 				} else {

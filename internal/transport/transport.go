@@ -413,17 +413,20 @@ func (s *Server) rejectConn(conn net.Conn, cause error) {
 		}
 		op := header[0]
 		a := int64(binary.LittleEndian.Uint64(header[1:]))
+		// Drain the body without buffering it: the bytes are discarded
+		// anyway, and an error path must not allocate proportional to an
+		// attacker-supplied length.
 		switch {
 		case op == opGetBatch && a >= 1 && a <= maxBatchIDs:
-			if _, err := io.ReadFull(conn, make([]byte, 8*a)); err != nil {
+			if _, err := io.CopyN(io.Discard, conn, 8*a); err != nil {
 				return
 			}
 		case op == opHello && a >= 1 && a <= maxTenantName:
-			if _, err := io.ReadFull(conn, make([]byte, a)); err != nil {
+			if _, err := io.CopyN(io.Discard, conn, a); err != nil {
 				return
 			}
 		}
-		if s.writeResponse(conn, nil, cause) != nil {
+		if s.writeFrame(conn, nil, cause) != nil {
 			return
 		}
 	}
@@ -496,7 +499,7 @@ func (s *Server) handle(conn net.Conn, st *connState, gate ConnGate) {
 			// An invalid body count means the length of the request body is
 			// unknown, so the stream cannot be resynchronized: report the
 			// error, then drop the connection.
-			s.writeResponse(conn, nil, err)
+			s.writeFrame(conn, nil, err)
 			s.metrics.observe(op, 0, err, time.Since(start))
 			return
 		}
@@ -530,37 +533,50 @@ func (s *Server) handle(conn net.Conn, st *connState, gate ConnGate) {
 				release, err = gate.Admit(classOf(op))
 			}
 		}
-		var payload []byte
+		// Each op produces a list of payload parts that are written with one
+		// vectored write — the source's cached sample slices are referenced
+		// in place, never concatenated into a scratch payload.
+		var parts [][]byte
 		if err == nil {
 			switch op {
 			case opMeta:
 				lo, hi := s.src.LocalRange()
-				payload = make([]byte, 16)
-				binary.LittleEndian.PutUint64(payload[0:], uint64(lo))
-				binary.LittleEndian.PutUint64(payload[8:], uint64(hi))
+				meta := make([]byte, 16)
+				binary.LittleEndian.PutUint64(meta[0:], uint64(lo))
+				binary.LittleEndian.PutUint64(meta[8:], uint64(hi))
+				parts = [][]byte{meta}
 			case opGet:
-				payload, err = s.src.LocalSampleBytes(a)
+				var one []byte
+				if one, err = s.src.LocalSampleBytes(a); err == nil {
+					parts = [][]byte{one}
+				}
 			case opMulti:
+				parts = make([][]byte, 0, b-a)
 				for id := a; id < b; id++ {
 					var one []byte
 					if one, err = s.src.LocalSampleBytes(id); err != nil {
+						parts = nil
 						break
 					}
-					payload = append(payload, one...)
+					parts = append(parts, one)
 				}
 			case opGetBatch:
 				// The count is validated, so the body length is trusted and
 				// the connection stays usable even if an id is out of range.
-				payload, err = s.batchPayload(decodeBatchIDs(body, int(a)))
+				parts, err = s.batchParts(decodeBatchIDs(body, int(a)))
 			case opHello:
 				// Acknowledged with an empty payload.
 			}
 		}
-		werr := s.writeResponse(conn, payload, err)
-		if release != nil {
-			release(int64(len(payload)))
+		var total int
+		for _, p := range parts {
+			total += len(p)
 		}
-		s.metrics.observe(op, len(payload), err, time.Since(start))
+		werr := s.writeFrame(conn, parts, err)
+		if release != nil {
+			release(int64(total))
+		}
+		s.metrics.observe(op, total, err, time.Since(start))
 		st.busy.Store(false)
 		if werr != nil {
 			return
@@ -568,13 +584,16 @@ func (s *Server) handle(conn net.Conn, st *connState, gate ConnGate) {
 	}
 }
 
-// batchPayload gathers the requested samples into the length-prefixed
-// batch response framing. Any out-of-range id fails the whole batch — the
-// client grouped the ids by owner, so a stray id is a protocol error, not
-// a partial-result situation.
-func (s *Server) batchPayload(ids []int64) ([]byte, error) {
+// batchParts gathers the requested samples into the length-prefixed batch
+// response framing as a part list: one shared slab holds every 4-byte
+// length prefix, and each sample's cached bytes are referenced directly,
+// so the reply costs zero per-chunk copies. Any out-of-range id fails the
+// whole batch — the client grouped the ids by owner, so a stray id is a
+// protocol error, not a partial-result situation.
+func (s *Server) batchParts(ids []int64) ([][]byte, error) {
 	lo, hi := s.src.LocalRange()
-	parts := make([][]byte, len(ids))
+	parts := make([][]byte, 0, 2*len(ids))
+	prefixes := make([]byte, 4*len(ids))
 	for i, id := range ids {
 		if id < lo || id >= hi {
 			return nil, fmt.Errorf("sample %d outside chunk [%d,%d)", id, lo, hi)
@@ -583,15 +602,24 @@ func (s *Server) batchPayload(ids []int64) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		parts[i] = one
+		pre := prefixes[4*i : 4*i+4 : 4*i+4]
+		binary.LittleEndian.PutUint32(pre, uint32(len(one)))
+		parts = append(parts, pre, one)
 	}
-	return encodeBatchPayload(parts), nil
+	return parts, nil
 }
 
-func (s *Server) writeResponse(conn net.Conn, payload []byte, err error) error {
+// writeFrame sends one response frame — status byte, total length, CRC —
+// followed by the payload parts in a single vectored write (writev on TCP
+// connections; net.Buffers falls back to sequential writes elsewhere).
+// The CRC is computed incrementally over the parts, so the wire format is
+// byte-identical to the old single-payload framing and existing clients
+// need no changes. On err the parts are ignored and the error text is the
+// payload.
+func (s *Server) writeFrame(conn net.Conn, parts [][]byte, err error) error {
 	var head [respHeaderSize]byte
 	if err != nil {
-		payload = []byte(err.Error())
+		parts = [][]byte{[]byte(err.Error())}
 		if errors.Is(err, ErrOverloaded) {
 			head[0] = statusOverloaded
 		} else {
@@ -600,14 +628,24 @@ func (s *Server) writeResponse(conn net.Conn, payload []byte, err error) error {
 	} else {
 		head[0] = statusOK
 	}
-	binary.LittleEndian.PutUint32(head[1:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(head[5:], crc32.ChecksumIEEE(payload))
+	total := 0
+	crc := uint32(0)
+	for _, p := range parts {
+		total += len(p)
+		crc = crc32.Update(crc, crc32.IEEETable, p)
+	}
+	binary.LittleEndian.PutUint32(head[1:], uint32(total))
+	binary.LittleEndian.PutUint32(head[5:], crc)
 	if s.opts.WriteTimeout > 0 {
 		conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 	}
-	if _, werr := conn.Write(head[:]); werr != nil {
-		return werr
+	bufs := make(net.Buffers, 0, 1+len(parts))
+	bufs = append(bufs, head[:])
+	for _, p := range parts {
+		if len(p) > 0 {
+			bufs = append(bufs, p)
+		}
 	}
-	_, werr := conn.Write(payload)
+	_, werr := bufs.WriteTo(conn)
 	return werr
 }

@@ -1,0 +1,21 @@
+// Package wire holds the tiny encoding helpers shared by every layer that
+// frames sample ids — the TCP batch request body (internal/transport), the
+// two-sided RMA fetch request (internal/core), and the prefetch stash key
+// (internal/ddp) each used to carry their own copy of the same loop.
+package wire
+
+import "encoding/binary"
+
+// AppendIDs appends the little-endian uint64 encoding of each id to dst
+// and returns the extended slice. Append-style so a caller can reuse its
+// own buffer (pass dst with spare capacity) or prefix the ids with its own
+// header bytes.
+func AppendIDs(dst []byte, ids []int64) []byte {
+	for _, id := range ids {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(id))
+	}
+	return dst
+}
+
+// IDsSize returns the encoded size of n ids.
+func IDsSize(n int) int { return 8 * n }

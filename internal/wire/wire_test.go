@@ -1,0 +1,50 @@
+package wire
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestAppendIDsRoundTrip(t *testing.T) {
+	ids := []int64{0, 1, -1, 1 << 40, -(1 << 40), 42}
+	out := AppendIDs(nil, ids)
+	if len(out) != IDsSize(len(ids)) {
+		t.Fatalf("len = %d, want %d", len(out), IDsSize(len(ids)))
+	}
+	for i, id := range ids {
+		if got := int64(binary.LittleEndian.Uint64(out[8*i:])); got != id {
+			t.Fatalf("id %d decoded as %d, want %d", i, got, id)
+		}
+	}
+}
+
+func TestAppendIDsKeepsPrefix(t *testing.T) {
+	pre := []byte{0xAB, 0xCD}
+	out := AppendIDs(append([]byte{}, pre...), []int64{7})
+	if out[0] != 0xAB || out[1] != 0xCD {
+		t.Fatal("prefix clobbered")
+	}
+	if got := int64(binary.LittleEndian.Uint64(out[2:])); got != 7 {
+		t.Fatalf("id decoded as %d, want 7", got)
+	}
+}
+
+func TestAppendIDsEmpty(t *testing.T) {
+	if out := AppendIDs(nil, nil); len(out) != 0 {
+		t.Fatalf("AppendIDs(nil, nil) = %v", out)
+	}
+	if IDsSize(0) != 0 {
+		t.Fatal("IDsSize(0) != 0")
+	}
+}
+
+func TestAppendIDsAllocs(t *testing.T) {
+	ids := []int64{1, 2, 3, 4}
+	buf := make([]byte, 0, IDsSize(len(ids)))
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = AppendIDs(buf, ids)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendIDs into presized buffer allocates %v/op, want 0", allocs)
+	}
+}
