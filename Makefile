@@ -50,11 +50,13 @@ fuzz:
 # metrics/span/telemetry surface every layer now feeds; internal/loadgen is
 # the live-serve latency harness whose e2e suite drives real TCP;
 # internal/frontend is the multi-tenant admission/queueing/shedding layer
-# in front of the serving data plane.
+# in front of the serving data plane; internal/shardmap is the versioned
+# ownership map every elastic route resolves through.
 COVER_MIN ?= 85
 OBS_COVER_MIN ?= 75
 LOADGEN_COVER_MIN ?= 85
 FRONTEND_COVER_MIN ?= 85
+SHARDMAP_COVER_MIN ?= 85
 
 cover:
 	$(GO) test -coverprofile=fetch.cover -coverpkg=./internal/fetch/ ./internal/fetch/
@@ -77,6 +79,11 @@ cover:
 	echo "internal/frontend coverage: $$total% (floor $(FRONTEND_COVER_MIN)%)"; \
 	awk -v t="$$total" -v min="$(FRONTEND_COVER_MIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
 		{ echo "coverage $$total% is below the $(FRONTEND_COVER_MIN)% floor" >&2; exit 1; }
+	$(GO) test -coverprofile=shardmap.cover -coverpkg=./internal/shardmap/ ./internal/shardmap/
+	@total=$$($(GO) tool cover -func=shardmap.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/shardmap coverage: $$total% (floor $(SHARDMAP_COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(SHARDMAP_COVER_MIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% is below the $(SHARDMAP_COVER_MIN)% floor" >&2; exit 1; }
 
 fmt:
 	gofmt -w .

@@ -29,8 +29,10 @@ import (
 	"time"
 
 	"ddstore/internal/bench"
+	"ddstore/internal/datasets"
 	"ddstore/internal/loadgen"
 	"ddstore/internal/obs"
+	"ddstore/internal/serveboot"
 )
 
 // usageError prints a usage-level complaint and exits 2, matching flag
@@ -73,6 +75,13 @@ func main() {
 		metricsURL  = flag.String("scrape", "", "server /metrics URL to scrape after each phase (e.g. http://127.0.0.1:7901/metrics)")
 		artifactOut = flag.String("out", "BENCH_loadgen.json", "loadgen JSON artifact path ('' = don't write)")
 		tenant      = flag.String("tenant", "", "tenant identity declared to the server's admission control (loadgen mode)")
+		elastic     = flag.Bool("elastic", false, "route -loadgen traffic through the cluster's live shard map (elastic ddstore-serve; -addr are the seeds)")
+
+		// Reshard mode: the self-contained live-migration bench — boot an
+		// in-process 2-owner elastic cluster, grow it mid-load, and compare
+		// steady-state throughput before vs after.
+		reshard        = flag.Int("reshard", 0, "grow an in-process 2-owner elastic cluster to this many owners mid-load and write the pre/during/post artifact")
+		reshardSamples = flag.Int("reshard-samples", 2000, "dataset size for the -reshard cluster")
 
 		// Isolation mode: the two-tenant sweep proving a hostile tenant
 		// cannot push a polite tenant's tail latency past its baseline.
@@ -91,19 +100,28 @@ func main() {
 	if *loadgenMode && *isolation {
 		usageError("-loadgen and -isolation are mutually exclusive; pick one mode")
 	}
+	if *reshard != 0 && (*loadgenMode || *isolation) {
+		usageError("-reshard boots its own in-process cluster; it cannot combine with -loadgen or -isolation")
+	}
+	if *reshard != 0 && *reshard < 3 {
+		usageError("-reshard wants a target of 3+ owners (the cluster starts at 2)")
+	}
+	if *elastic && !*loadgenMode {
+		usageError("-elastic only applies to -loadgen mode")
+	}
 	if *loadgenMode && *addrs == "" {
 		usageError("-loadgen needs -addr: the address(es) of a live ddstore-serve (start one with: ddstore-serve -dataset homolumo -n 10000 -lo 0 -hi 10000)")
 	}
 	if *isolation && *addrs == "" {
 		usageError("-isolation needs -addr: a live ddstore-serve with the front end enabled (e.g. ddstore-serve -dataset homolumo -tenants 'alpha:rate=2000;beta:rate=100')")
 	}
-	if !*loadgenMode && !*isolation {
+	if !*loadgenMode && !*isolation && *reshard == 0 {
 		for name, set := range map[string]bool{
 			"-addr": *addrs != "", "-ramp": *ramp != "", "-scrape": *metricsURL != "",
 			"-tenant": *tenant != "",
 		} {
 			if set {
-				usageError("%s only applies to -loadgen or -isolation mode", name)
+				usageError("%s only applies to -loadgen, -isolation, or -reshard mode", name)
 			}
 		}
 	}
@@ -111,22 +129,26 @@ func main() {
 	if *list {
 		fmt.Printf("%-8s %s\n", "loadgen", "Live-serve load generator: open/closed-loop QPS and concurrency sweeps (-loadgen -addr ...)")
 		fmt.Printf("%-8s %s\n", "isolation", "Two-tenant isolation sweep: polite tenant alone vs alongside a hostile flood (-isolation -addr ...)")
+		fmt.Printf("%-8s %s\n", "reshard", "Live-resharding bench: in-process elastic cluster grown mid-load, pre/during/post steady state (-reshard 3)")
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return
 	}
 
-	if *loadgenMode || *isolation {
+	if *loadgenMode || *isolation || *reshard != 0 {
 		lf := loadgenFlags{
 			addrs: *addrs, quick: *quick, seed: *seed, csv: *csv, json: *jsonOut,
 			clients: *clients, qps: *qps, duration: *duration, ramp: *ramp,
 			mix: *mix, batch: *batch, metricsURL: *metricsURL, out: *artifactOut,
-			tenant: *tenant,
+			tenant: *tenant, elastic: *elastic,
 		}
-		if *isolation {
+		switch {
+		case *isolation:
 			runIsolation(lf, *tenantA, *tenantB, *hostileQPS)
-		} else {
+		case *reshard != 0:
+			runReshard(lf, *reshard, *reshardSamples)
+		default:
 			runLoadgen(lf)
 		}
 		return
@@ -245,6 +267,7 @@ type loadgenFlags struct {
 	metricsURL string
 	out        string
 	tenant     string
+	elastic    bool
 }
 
 func runLoadgen(f loadgenFlags) {
@@ -268,6 +291,7 @@ func runLoadgen(f loadgenFlags) {
 		}),
 		MetricsURL: f.metricsURL,
 		Tenant:     f.tenant,
+		Elastic:    f.elastic,
 	}
 	for i := range cfg.Addrs {
 		cfg.Addrs[i] = strings.TrimSpace(cfg.Addrs[i])
@@ -294,6 +318,80 @@ func runLoadgen(f loadgenFlags) {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote loadgen artifact to %s\n", f.out)
+	}
+}
+
+// runReshard is the self-contained live-migration bench: boot a 2-owner
+// elastic cluster in-process, run a pre/during/post closed-loop plan
+// through the shard-map-routing client, grow the cluster to the target
+// owner count as the middle phase starts, and report the steady-state
+// throughput delta. The acceptance bound is a <= 5% regression.
+func runReshard(f loadgenFlags, owners, samples int) {
+	c, err := serveboot.BootCluster(serveboot.ElasticConfig{
+		Source:    datasets.HomoLumo(datasets.Config{NumGraphs: samples}),
+		Owners:    2,
+		DebugAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ddstore-bench: reshard: boot cluster: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	dur := f.duration
+	if f.quick {
+		dur = 700 * time.Millisecond
+	}
+	phase := func(name string) loadgen.Phase {
+		return loadgen.Phase{
+			Name: name, Mode: loadgen.Closed, Workers: f.clients,
+			Duration: dur, Mix: f.mix, BatchSize: f.batch,
+		}
+	}
+	cfg := loadgen.Config{
+		Addrs:      c.Addrs(),
+		Seed:       f.seed,
+		Elastic:    true,
+		Phases:     []loadgen.Phase{phase("pre-reshard"), phase("during-reshard"), phase("post-reshard")},
+		MetricsURL: c.MetricsURL(),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := loadgen.RunReshard(ctx, cfg, c, owners)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ddstore-bench: reshard: %v\n", err)
+		os.Exit(1)
+	}
+
+	printReport(res.Report(), f.csv, f.json)
+	if !f.json {
+		verdict := "HELD"
+		if res.RegressionPct > 5 {
+			verdict = "BROKEN"
+		}
+		fmt.Printf("reshard: generation %d -> %d (2 -> %d owners) in %.3fs; steady state %.0f -> %.0f samples/s (regression %.1f%%, bound 5%%: %s)\n",
+			res.PreGen, res.PostGen, owners, res.MigrationS,
+			res.Phases[0].SamplesPerS, res.Phases[2].SamplesPerS, res.RegressionPct, verdict)
+	}
+	if f.out != "" {
+		title := fmt.Sprintf("live reshard 2 -> %d owners under closed-loop load (%d samples, %d workers)",
+			owners, samples, f.clients)
+		if err := res.Artifact(title).WriteFile(f.out); err != nil {
+			fmt.Fprintf(os.Stderr, "ddstore-bench: write artifact: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote reshard artifact to %s\n", f.out)
+	}
+	// The hard gate is correctness: a migrated chunk must never surface as
+	// a client error. The throughput verdict above is advisory — on a
+	// shared box the in-process cluster competes with its own clients for
+	// cores, so the steady-state bound is judged on quiet hardware.
+	for _, ph := range res.Phases {
+		if ph.Errors > 0 {
+			fmt.Fprintf(os.Stderr, "ddstore-bench: reshard: phase %s saw %d hard errors\n", ph.Name, ph.Errors)
+			os.Exit(1)
+		}
 	}
 }
 

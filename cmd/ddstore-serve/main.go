@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -39,6 +40,13 @@ func main() {
 		bins   = flag.Int("bins", 0, "smooth-spectrum grid size")
 		lo     = flag.Int64("lo", 0, "first sample id served (inclusive)")
 		hi     = flag.Int64("hi", -1, "last sample id served (exclusive; -1 = dataset end)")
+
+		// Elastic mode: boot a whole owner cluster behind a live shard map
+		// instead of one static-range server. Owners can be added/removed
+		// at runtime via the debug endpoint's /admin/reshard.
+		elasticN     = flag.Int("elastic", 0, "boot an elastic cluster with this many owners routing through a live shard map (0 = single static server)")
+		elasticAddrs = flag.String("elastic-addrs", "", "comma-separated listen addresses for the initial elastic owners (empty = ephemeral loopback ports)")
+		width        = flag.Int("width", 0, "per-shard replica width the elastic planner maintains (0 = 1)")
 
 		writeTimeout = flag.Duration("write-timeout", 5*time.Second, "per-response write deadline (0 = none)")
 		idleTimeout  = flag.Duration("idle-timeout", 0, "close connections idle this long (0 = never)")
@@ -68,6 +76,28 @@ func main() {
 	)
 	flag.Parse()
 
+	chaotic := *chaosReset > 0 || *chaosStallProb > 0 || *chaosCorrupt > 0 || *chaosSlowStart > 0
+	var chaos *faultnet.Scenario
+	if chaotic {
+		chaos = &faultnet.Scenario{
+			Seed:      *chaosSeed,
+			ResetProb: *chaosReset,
+			StallProb: *chaosStallProb, StallFor: *chaosStall,
+			CorruptProb: *chaosCorrupt,
+			SlowStart:   *chaosSlowStart,
+		}
+	}
+
+	if *elasticN > 0 {
+		runElastic(elasticFlags{
+			owners: *elasticN, addrs: *elasticAddrs, width: *width,
+			cffDir: *cffDir, pffDir: *pffDir, dataset: *dsName, n: *n, bins: *bins,
+			writeTimeout: *writeTimeout, idleTimeout: *idleTimeout,
+			debugAddr: *debugAddr, chaos: chaos,
+		})
+		return
+	}
+
 	cfg := serveboot.Config{
 		Addr:         *addr,
 		CFFDir:       *cffDir,
@@ -89,16 +119,7 @@ func main() {
 		FrontendWorkers: *feWorkers,
 		DrainTimeout:    *drainTimeout,
 	}
-	chaotic := *chaosReset > 0 || *chaosStallProb > 0 || *chaosCorrupt > 0 || *chaosSlowStart > 0
-	if chaotic {
-		cfg.Chaos = &faultnet.Scenario{
-			Seed:      *chaosSeed,
-			ResetProb: *chaosReset,
-			StallProb: *chaosStallProb, StallFor: *chaosStall,
-			CorruptProb: *chaosCorrupt,
-			SlowStart:   *chaosSlowStart,
-		}
-	}
+	cfg.Chaos = chaos
 
 	inst, err := serveboot.Boot(cfg)
 	if err != nil {
@@ -138,4 +159,67 @@ func main() {
 			100*st.HitRate(), st.Hits, st.Misses, st.Evictions, st.Coalesced, st.Entries, st.Bytes)
 	}
 	fmt.Println("shut down")
+}
+
+type elasticFlags struct {
+	owners       int
+	addrs        string
+	width        int
+	cffDir       string
+	pffDir       string
+	dataset      string
+	n, bins      int
+	writeTimeout time.Duration
+	idleTimeout  time.Duration
+	debugAddr    string
+	chaos        *faultnet.Scenario
+}
+
+// runElastic boots an in-process owner cluster behind a live shard map
+// and serves until interrupted. Membership changes at runtime through the
+// debug endpoint: GET /admin/reshard?owners=N migrates chunks and
+// publishes the next generation while clients keep loading.
+func runElastic(f elasticFlags) {
+	var addrs []string
+	if f.addrs != "" {
+		for _, a := range strings.Split(f.addrs, ",") {
+			addrs = append(addrs, strings.TrimSpace(a))
+		}
+	}
+	c, err := serveboot.BootCluster(serveboot.ElasticConfig{
+		CFFDir:       f.cffDir,
+		PFFDir:       f.pffDir,
+		Dataset:      f.dataset,
+		N:            f.n,
+		Bins:         f.bins,
+		Owners:       f.owners,
+		Addrs:        addrs,
+		Width:        f.width,
+		WriteTimeout: f.writeTimeout,
+		IdleTimeout:  f.idleTimeout,
+		DebugAddr:    f.debugAddr,
+		Chaos:        f.chaos,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ddstore-serve: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("elastic cluster: %d owners serving %d samples at generation %d (ctrl-c to stop)\n",
+		c.OwnerCount(), c.Len(), c.Generation())
+	for _, id := range c.OwnerIDs() {
+		fmt.Printf("  %s on %s\n", id, c.Owner(id).Addr())
+	}
+	if dbg := c.DebugAddr(); dbg != "" {
+		fmt.Printf("debug server on http://%s (/metrics, /healthz, /admin/reshard?owners=N)\n", dbg)
+	}
+	if f.chaos != nil {
+		fmt.Printf("chaos mode: %+v\n", *f.chaos)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	gen, owners := c.Generation(), c.OwnerCount()
+	c.Close()
+	fmt.Printf("shut down at generation %d with %d owners\n", gen, owners)
 }

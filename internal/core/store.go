@@ -24,7 +24,6 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 	"time"
 
 	"ddstore/internal/cache"
@@ -32,6 +31,7 @@ import (
 	"ddstore/internal/fetch"
 	"ddstore/internal/graph"
 	"ddstore/internal/obs"
+	"ddstore/internal/shardmap"
 	"ddstore/internal/trace"
 	"ddstore/internal/transport"
 )
@@ -122,11 +122,17 @@ type Store struct {
 	buf    []byte  // this rank's chunk: concatenated encoded samples
 	index  []entry // per sample id, within this rank's group
 	starts []int64 // chunk boundary: group rank g owns [starts[g], starts[g+1])
-	myLo   int64
-	myHi   int64
-	prof   *trace.Profiler
-	opts   Options
-	cache  *cache.Cache // remote-sample cache; nil when CacheBytes <= 0
+	// maps is the versioned ownership store seeded from the chunk
+	// boundaries: generation 1 has one shard per group member whose owner
+	// index IS the member's group rank, so OwnerOf resolves through the
+	// live generation while storePlane's rank-equality Local check keeps
+	// working unchanged.
+	maps  *shardmap.Store
+	myLo  int64
+	myHi  int64
+	prof  *trace.Profiler
+	opts  Options
+	cache *cache.Cache // remote-sample cache; nil when CacheBytes <= 0
 	// engine is the shared batch-load pipeline (internal/fetch); this store
 	// plugs in as its RMA/two-sided plane via storePlane.
 	engine *fetch.Engine
@@ -173,6 +179,24 @@ func chunkStarts(total, w int) []int64 {
 	}
 	starts[w] = int64(total)
 	return starts
+}
+
+// ownershipMap converts the chunk-boundary arithmetic into generation 1 of
+// the versioned shard map: one shard per non-empty chunk, owned by the
+// group rank holding it, so member index == group rank by construction.
+func ownershipMap(starts []int64) (*shardmap.Map, error) {
+	w := len(starts) - 1
+	m := &shardmap.Map{Gen: 1, Members: make([]shardmap.Member, w)}
+	for g := 0; g < w; g++ {
+		m.Members[g] = shardmap.Member{ID: fmt.Sprintf("rank-%d", g)}
+		if starts[g+1] > starts[g] {
+			m.Shards = append(m.Shards, shardmap.Shard{Lo: starts[g], Hi: starts[g+1], Owners: []int{g}})
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("core: build ownership map: %w", err)
+	}
+	return m, nil
 }
 
 // Open collectively creates the store: every rank of c must call Open with
@@ -235,6 +259,19 @@ func Open(c *comm.Comm, src SampleSource, opts Options) (*Store, error) {
 	s.starts = chunkStarts(total, width)
 	s.myLo = s.starts[group.Rank()]
 	s.myHi = s.starts[group.Rank()+1]
+
+	// The same boundaries, published as generation 1 of the versioned
+	// ownership map. All owner resolution below goes through this store,
+	// so the MPI plane and the elastic TCP plane share one source of
+	// truth for "who owns sample id".
+	gen1, err := ownershipMap(s.starts)
+	if err != nil {
+		return nil, err
+	}
+	s.maps, err = shardmap.NewStore(gen1, 0)
+	if err != nil {
+		return nil, err
+	}
 
 	// Preload: read this rank's chunk from the source and pack it.
 	preloadStart := clockNow(c)
@@ -407,15 +444,21 @@ func (s *Store) CacheStats() cache.Stats {
 	return s.cache.Stats()
 }
 
-// OwnerOf returns the group rank owning sample id.
+// OwnerOf returns the group rank owning sample id, resolved against the
+// live generation of the ownership map (generation 1 reproduces the chunk
+// boundaries exactly; member index == group rank by construction, so the
+// result stays a group rank even after the map advances).
 func (s *Store) OwnerOf(id int64) (int, error) {
 	if id < 0 || id >= int64(s.total) {
 		return 0, fmt.Errorf("core: sample %d out of range [0,%d)", id, s.total)
 	}
-	// starts is sorted; find g with starts[g] <= id < starts[g+1].
-	g := sort.Search(s.width, func(g int) bool { return s.starts[g+1] > id })
-	return g, nil
+	return s.maps.Current().OwnerOf(id)
 }
+
+// ShardMap returns the store's versioned ownership map: generation 1 is
+// the chunk-boundary striping Open computed, and the elastic control
+// plane can advance it from there.
+func (s *Store) ShardMap() *shardmap.Store { return s.maps }
 
 // Load fetches the given sample ids (a shuffled batch) and returns the
 // decoded graphs in the same order. Local ids are served from this rank's

@@ -1,0 +1,132 @@
+package health
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// stepClock is a manually advanced clock.
+type stepClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *stepClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *stepClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestMarkExpireClear(t *testing.T) {
+	clk := &stepClock{t: time.Unix(1000, 0)}
+	tr := NewTrackerClock[string](time.Second, clk.now)
+
+	if tr.InCooldown("a") {
+		t.Fatal("fresh tracker has suspects")
+	}
+	tr.MarkSuspect("a")
+	if !tr.InCooldown("a") {
+		t.Fatal("marked peer not in cooldown")
+	}
+	if tr.InCooldown("b") {
+		t.Fatal("unmarked peer in cooldown")
+	}
+	if got := tr.Suspects(); got != 1 {
+		t.Fatalf("Suspects = %d, want 1", got)
+	}
+
+	// Cooldown expires lazily.
+	clk.advance(1500 * time.Millisecond)
+	if tr.InCooldown("a") {
+		t.Fatal("cooldown did not expire")
+	}
+	if got := tr.Suspects(); got != 0 {
+		t.Fatalf("Suspects after expiry = %d, want 0", got)
+	}
+
+	// One healthy response forgives immediately.
+	tr.MarkSuspect("a")
+	tr.Clear("a")
+	if tr.InCooldown("a") {
+		t.Fatal("Clear did not forgive the peer")
+	}
+}
+
+func TestRemarkRestartsWindow(t *testing.T) {
+	clk := &stepClock{t: time.Unix(0, 0)}
+	tr := NewTrackerClock[int](time.Second, clk.now)
+	tr.MarkSuspect(7)
+	clk.advance(900 * time.Millisecond)
+	tr.MarkSuspect(7) // window restarts
+	clk.advance(900 * time.Millisecond)
+	if !tr.InCooldown(7) {
+		t.Fatal("re-mark did not restart the cooldown window")
+	}
+	clk.advance(200 * time.Millisecond)
+	if tr.InCooldown(7) {
+		t.Fatal("restarted window never expired")
+	}
+}
+
+func TestNegativeCooldownDisables(t *testing.T) {
+	tr := NewTracker[string](-1)
+	tr.MarkSuspect("a")
+	if tr.InCooldown("a") {
+		t.Fatal("quarantine should be disabled with negative cooldown")
+	}
+	if got := tr.Suspects(); got != 0 {
+		t.Fatalf("Suspects = %d, want 0 (disabled tracker stores nothing)", got)
+	}
+}
+
+func TestZeroCooldownUsesDefault(t *testing.T) {
+	clk := &stepClock{t: time.Unix(0, 0)}
+	tr := NewTrackerClock[string](0, clk.now)
+	tr.MarkSuspect("a")
+	clk.advance(DefaultCooldown / 2)
+	if !tr.InCooldown("a") {
+		t.Fatal("default cooldown expired too early")
+	}
+	clk.advance(DefaultCooldown)
+	if tr.InCooldown("a") {
+		t.Fatal("default cooldown never expired")
+	}
+}
+
+func TestStructKeys(t *testing.T) {
+	// The transport group keys on {replica, member} pairs.
+	tr := NewTracker[[2]int](time.Minute)
+	tr.MarkSuspect([2]int{1, 3})
+	if !tr.InCooldown([2]int{1, 3}) {
+		t.Fatal("pair key not tracked")
+	}
+	if tr.InCooldown([2]int{3, 1}) {
+		t.Fatal("distinct pair key matched")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	tr := NewTracker[int](time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (w + i) % 16
+				tr.MarkSuspect(k)
+				tr.InCooldown(k)
+				tr.Suspects()
+				tr.Clear(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

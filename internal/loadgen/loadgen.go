@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ddstore/internal/graph"
 	"ddstore/internal/obs"
 	"ddstore/internal/stats"
 	"ddstore/internal/transport"
@@ -101,6 +102,14 @@ type Config struct {
 	// (the hello frame), so a front-end-enabled server charges this
 	// run's traffic to that tenant's budget.
 	Tenant string
+	// Elastic routes every request through one shared elastic
+	// transport.Group bootstrapped from Addrs instead of per-address
+	// pooled clients: ownership follows the cluster's live shard map, so
+	// a mid-run reshard costs the workers a stale-generation refresh
+	// round trip instead of hard errors. The id range comes from the
+	// bootstrapped map (Lo/Hi still override it), and Meta probes are
+	// skipped.
+	Elastic bool
 }
 
 // PhaseResult is the measured outcome of one phase. Field names and types
@@ -120,19 +129,24 @@ type PhaseResult struct {
 	// Tenant is the identity this run declared; Shed counts requests the
 	// server refused with the overloaded status (admission control working
 	// as intended — kept distinct from Errors, which mean breakage).
-	Tenant      string  `json:"tenant,omitempty"`
-	Shed        int64   `json:"shed,omitempty"`
-	Retries     int64   `json:"retries"`
-	Reconnects  int64   `json:"reconnects"`
-	GiveUps     int64   `json:"giveups"`
-	Dropped     int64   `json:"dropped_tokens,omitempty"`
-	Bytes       int64   `json:"bytes"`
-	AchievedQPS float64 `json:"achieved_qps"`
-	SamplesPerS float64 `json:"samples_per_s"`
-	P50ms       float64 `json:"p50_ms"`
-	P95ms       float64 `json:"p95_ms"`
-	P99ms       float64 `json:"p99_ms"`
-	MaxMs       float64 `json:"max_ms"`
+	Tenant     string `json:"tenant,omitempty"`
+	Shed       int64  `json:"shed,omitempty"`
+	Retries    int64  `json:"retries"`
+	Reconnects int64  `json:"reconnects"`
+	GiveUps    int64  `json:"giveups"`
+	// StaleRetries counts requests that were re-routed after a
+	// stale-generation answer installed a newer shard map — the elastic
+	// mode's "the chunk moved under you" events, which cost one extra
+	// round trip each but are not errors.
+	StaleRetries int64   `json:"stale_retries,omitempty"`
+	Dropped      int64   `json:"dropped_tokens,omitempty"`
+	Bytes        int64   `json:"bytes"`
+	AchievedQPS  float64 `json:"achieved_qps"`
+	SamplesPerS  float64 `json:"samples_per_s"`
+	P50ms        float64 `json:"p50_ms"`
+	P95ms        float64 `json:"p95_ms"`
+	P99ms        float64 `json:"p99_ms"`
+	MaxMs        float64 `json:"max_ms"`
 	// Server holds the post-phase /metrics scrape (ddstore_* families),
 	// keyed by series name including labels.
 	Server map[string]float64 `json:"server_metrics,omitempty"`
@@ -155,7 +169,7 @@ type target struct {
 // counterSink aggregates the transport's resilience events across every
 // pooled client; phases report deltas between snapshots.
 type counterSink struct {
-	retries, reconnects, giveups atomic.Int64
+	retries, reconnects, giveups, stale atomic.Int64
 }
 
 func (s *counterSink) Inc(name string, delta int64) {
@@ -166,13 +180,15 @@ func (s *counterSink) Inc(name string, delta int64) {
 		s.reconnects.Add(delta)
 	case transport.CounterGiveUps:
 		s.giveups.Add(delta)
+	case transport.CounterStaleRefreshes:
+		s.stale.Add(delta)
 	}
 }
 
-type counterSnap struct{ retries, reconnects, giveups int64 }
+type counterSnap struct{ retries, reconnects, giveups, stale int64 }
 
 func (s *counterSink) snapshot() counterSnap {
-	return counterSnap{s.retries.Load(), s.reconnects.Load(), s.giveups.Load()}
+	return counterSnap{s.retries.Load(), s.reconnects.Load(), s.giveups.Load(), s.stale.Load()}
 }
 
 func validate(cfg Config) error {
@@ -229,27 +245,52 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	})
 	defer pool.Close()
 
-	// Discover each server's advertised range once, so workers draw ids
-	// that the target actually owns. An explicit Lo/Hi skips the probes.
-	targets := make([]target, len(cfg.Addrs))
-	for i, addr := range cfg.Addrs {
+	// Elastic mode: one shared group routes every worker's requests via
+	// the live shard map; the map's keyspace replaces the Meta probes.
+	var group *transport.Group
+	var targets []target
+	if cfg.Elastic {
+		var err error
+		group, err = transport.NewElasticGroup(cfg.Addrs, transport.GroupOptions{
+			Client: transport.ClientOptions{
+				Policy: cfg.Policy, Counters: sink, Dialer: cfg.Dialer, Tenant: cfg.Tenant,
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: elastic bootstrap: %w", err)
+		}
+		defer group.Close()
+		lo, hi := group.Range()
 		if cfg.Hi > cfg.Lo {
-			targets[i] = target{addr: addr, lo: cfg.Lo, hi: cfg.Hi}
-			continue
-		}
-		cl, err := pool.Get(addr)
-		if err != nil {
-			return nil, fmt.Errorf("loadgen: dial %s: %w", addr, err)
-		}
-		lo, hi, err := cl.Meta()
-		pool.Put(cl)
-		if err != nil {
-			return nil, fmt.Errorf("loadgen: meta %s: %w", addr, err)
+			lo, hi = cfg.Lo, cfg.Hi
 		}
 		if hi <= lo {
-			return nil, fmt.Errorf("loadgen: %s advertises empty range [%d,%d)", addr, lo, hi)
+			return nil, fmt.Errorf("loadgen: elastic map spans empty range [%d,%d)", lo, hi)
 		}
-		targets[i] = target{addr: addr, lo: lo, hi: hi}
+		targets = []target{{addr: "elastic", lo: lo, hi: hi}}
+	} else {
+		// Discover each server's advertised range once, so workers draw ids
+		// that the target actually owns. An explicit Lo/Hi skips the probes.
+		targets = make([]target, len(cfg.Addrs))
+		for i, addr := range cfg.Addrs {
+			if cfg.Hi > cfg.Lo {
+				targets[i] = target{addr: addr, lo: cfg.Lo, hi: cfg.Hi}
+				continue
+			}
+			cl, err := pool.Get(addr)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: dial %s: %w", addr, err)
+			}
+			lo, hi, err := cl.Meta()
+			pool.Put(cl)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: meta %s: %w", addr, err)
+			}
+			if hi <= lo {
+				return nil, fmt.Errorf("loadgen: %s advertises empty range [%d,%d)", addr, lo, hi)
+			}
+			targets[i] = target{addr: addr, lo: lo, hi: hi}
+		}
 	}
 
 	var gauge *obs.Gauge
@@ -270,7 +311,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		if ph.Seed != 0 {
 			phaseSeed = ph.Seed
 		}
-		pr := runPhase(ctx, ph, targets, pool, sink, gauge, phaseSeed)
+		pr := runPhase(ctx, ph, targets, pool, group, sink, gauge, phaseSeed)
 		pr.Tenant = cfg.Tenant
 		if cfg.MetricsURL != "" {
 			if m, err := ScrapeMetrics(cfg.MetricsURL); err == nil {
@@ -294,7 +335,7 @@ type workerStats struct {
 }
 
 func runPhase(ctx context.Context, ph Phase, targets []target, pool *transport.ClientPool,
-	sink *counterSink, gauge *obs.Gauge, seed uint64) PhaseResult {
+	group *transport.Group, sink *counterSink, gauge *obs.Gauge, seed uint64) PhaseResult {
 
 	batch := ph.BatchSize
 	if batch <= 0 {
@@ -382,35 +423,57 @@ func runPhase(ctx context.Context, ph Phase, targets []target, pool *transport.C
 
 			one := func(issuedAt time.Time) {
 				t := targets[rng.Intn(len(targets))]
-				cl, ok := clients[t.addr]
-				if !ok {
-					var err error
-					if cl, err = pool.Get(t.addr); err != nil {
-						ws.errors++
-						return
-					}
-					clients[t.addr] = cl
-				}
 				span := t.hi - t.lo
 				var nbytes, nsamples int64
 				var err error
-				if rng.Float64() < ph.Mix {
-					ids := make([]int64, batch)
+				switch {
+				case group != nil:
+					// Elastic: the group resolves each id's owner under the
+					// live map, coalesces, fails over, and refreshes on stale
+					// generations; the worker only draws ids.
+					n := int64(1)
+					if rng.Float64() < ph.Mix {
+						n = int64(batch)
+					}
+					ids := make([]int64, n)
 					for i := range ids {
 						ids[i] = t.lo + rng.Int63n(span)
 					}
-					var parts [][]byte
-					if parts, err = cl.GetBatchRaw(ids); err == nil {
-						for _, p := range parts {
-							nbytes += int64(len(p))
+					var lzs []*graph.Lazy
+					if lzs, _, err = group.LoadLazy(ids); err == nil {
+						for _, lz := range lzs {
+							nbytes += int64(lz.EncodedSize())
+							lz.Release()
 						}
-						nsamples = int64(len(parts))
+						nsamples = int64(len(lzs))
 					}
-				} else {
-					var raw []byte
-					if raw, err = cl.GetRaw(t.lo + rng.Int63n(span)); err == nil {
-						nbytes = int64(len(raw))
-						nsamples = 1
+				default:
+					cl, ok := clients[t.addr]
+					if !ok {
+						if cl, err = pool.Get(t.addr); err != nil {
+							ws.errors++
+							return
+						}
+						clients[t.addr] = cl
+					}
+					if rng.Float64() < ph.Mix {
+						ids := make([]int64, batch)
+						for i := range ids {
+							ids[i] = t.lo + rng.Int63n(span)
+						}
+						var parts [][]byte
+						if parts, err = cl.GetBatchRaw(ids); err == nil {
+							for _, p := range parts {
+								nbytes += int64(len(p))
+							}
+							nsamples = int64(len(parts))
+						}
+					} else {
+						var raw []byte
+						if raw, err = cl.GetRaw(t.lo + rng.Int63n(span)); err == nil {
+							nbytes = int64(len(raw))
+							nsamples = 1
+						}
 					}
 				}
 				if err != nil {
@@ -489,6 +552,7 @@ func runPhase(ctx context.Context, ph Phase, targets []target, pool *transport.C
 	pr.Retries = delta.retries - before.retries
 	pr.Reconnects = delta.reconnects - before.reconnects
 	pr.GiveUps = delta.giveups - before.giveups
+	pr.StaleRetries = delta.stale - before.stale
 	if secs := elapsed.Seconds(); secs > 0 {
 		pr.AchievedQPS = float64(len(all)) / secs
 		pr.SamplesPerS = float64(pr.Samples) / secs

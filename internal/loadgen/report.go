@@ -49,6 +49,34 @@ type Artifact struct {
 	Seed      uint64              `json:"seed"`
 	Pool      transport.PoolStats `json:"pool"`
 	Phases    []PhaseResult       `json:"phases"`
+	// Reshard is the migration block a RunReshard artifact attaches; nil
+	// for plain sweeps (an addition, so the schema version holds).
+	Reshard *ReshardInfo `json:"reshard,omitempty"`
+}
+
+// ReshardInfo summarizes the membership change a reshard bench performed
+// while its middle phase ran.
+type ReshardInfo struct {
+	TargetOwners  int     `json:"target_owners"`
+	PreGen        uint64  `json:"pre_generation"`
+	PostGen       uint64  `json:"post_generation"`
+	MigrationS    float64 `json:"migration_s"`
+	RegressionPct float64 `json:"steady_state_regression_pct"`
+}
+
+// Artifact packages a reshard run for writing: the three phases plus the
+// migration block, under kind "reshard".
+func (r *ReshardResult) Artifact(title string) *Artifact {
+	a := r.Result.Artifact(title)
+	a.Kind = "reshard"
+	a.Reshard = &ReshardInfo{
+		TargetOwners:  r.TargetOwners,
+		PreGen:        r.PreGen,
+		PostGen:       r.PostGen,
+		MigrationS:    r.MigrationS,
+		RegressionPct: r.RegressionPct,
+	}
+	return a
 }
 
 // Artifact packages the result for writing, stamping schema, host, and

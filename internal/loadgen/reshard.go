@@ -1,0 +1,100 @@
+package loadgen
+
+// Live-resharding harness: drive an elastic cluster through a membership
+// change under load and measure steady-state throughput before, during,
+// and after the migration — the number behind the "resharding costs a
+// refresh round trip, not a regression" claim.
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Resharder is the control-plane hook RunReshard drives — satisfied by
+// serveboot.Cluster and by any admin shim that forwards to a remote
+// cluster's /admin/reshard endpoint.
+type Resharder interface {
+	// Generation returns the cluster's current shard-map generation.
+	Generation() uint64
+	// Reshard grows or shrinks the cluster to the given owner count,
+	// returning once migration finished and the new generation is live.
+	Reshard(owners int) error
+}
+
+// ReshardResult is a Result plus the migration's control-plane
+// measurements and the steady-state verdict.
+type ReshardResult struct {
+	Result
+	TargetOwners int    `json:"target_owners"`
+	PreGen       uint64 `json:"pre_generation"`
+	PostGen      uint64 `json:"post_generation"`
+	// MigrationS is the wall time of the Reshard call itself: planning,
+	// chunk pulls over the data plane, and the generation publish.
+	MigrationS float64 `json:"migration_s"`
+	// RegressionPct compares the pre and post phases' samples/s:
+	// positive means the post-reshard steady state is slower. The
+	// acceptance bound for a grow is <= 5%.
+	RegressionPct float64 `json:"steady_state_regression_pct"`
+}
+
+// RunReshard runs a three-phase pre/during/post load plan over an elastic
+// cluster, firing r.Reshard(owners) in the background as the middle phase
+// starts. The post phase is gated on the migration finishing, so its
+// numbers are pure new-topology steady state, while the middle phase
+// overlaps the migration by construction. cfg must route elastically and
+// carry exactly three phases.
+func RunReshard(ctx context.Context, cfg Config, r Resharder, owners int) (*ReshardResult, error) {
+	if !cfg.Elastic {
+		return nil, fmt.Errorf("loadgen: reshard run needs Config.Elastic routing")
+	}
+	if len(cfg.Phases) != 3 {
+		return nil, fmt.Errorf("loadgen: reshard run wants exactly 3 phases (pre, during, post), got %d", len(cfg.Phases))
+	}
+	out := &ReshardResult{TargetOwners: owners, PreGen: r.Generation()}
+	var migErr error
+	done := make(chan struct{})
+	triggered := false
+
+	phases := append([]Phase(nil), cfg.Phases...)
+	duringBefore := phases[1].Before
+	phases[1].Before = func() {
+		if duringBefore != nil {
+			duringBefore()
+		}
+		triggered = true
+		go func() {
+			defer close(done)
+			start := time.Now()
+			migErr = r.Reshard(owners)
+			out.MigrationS = time.Since(start).Seconds()
+		}()
+	}
+	postBefore := phases[2].Before
+	phases[2].Before = func() {
+		<-done // post measures the settled topology, not the tail of the move
+		if postBefore != nil {
+			postBefore()
+		}
+	}
+	cfg.Phases = phases
+
+	res, err := Run(ctx, cfg)
+	if res != nil {
+		out.Result = *res
+	}
+	if triggered {
+		<-done
+		out.PostGen = r.Generation()
+		if migErr != nil {
+			return out, fmt.Errorf("loadgen: reshard to %d owners: %w", owners, migErr)
+		}
+	}
+	if err != nil {
+		return out, err
+	}
+	if pre, post := out.Phases[0].SamplesPerS, out.Phases[2].SamplesPerS; pre > 0 {
+		out.RegressionPct = (pre - post) / pre * 100
+	}
+	return out, nil
+}

@@ -58,6 +58,19 @@ const (
 	MetricConnsOpen = "ddstore_frontend_conns_open"
 	// MetricDraining is 1 while the server is draining, else 0.
 	MetricDraining = "ddstore_serve_draining"
+	// MetricShardMapGeneration gauges the live shard map generation of the
+	// elastic ownership store. Monotonically non-decreasing; a reshard
+	// bumps it by one once migration completes.
+	MetricShardMapGeneration = "ddstore_shardmap_generation"
+	// MetricShardMapChunksMoved counts shard moves executed by resharding
+	// migrations (one per shard that changed owners and was pulled).
+	MetricShardMapChunksMoved = "ddstore_shardmap_chunks_moved_total"
+	// MetricMigrationBytes is the per-generation migration volume
+	// histogram: encoded sample bytes pulled to their new owners.
+	MetricMigrationBytes = "ddstore_shardmap_migration_bytes"
+	// MetricMigrationSeconds is the per-generation migration duration
+	// histogram, from planning to publishing the new generation.
+	MetricMigrationSeconds = "ddstore_shardmap_migration_seconds"
 )
 
 // DrainingGauge returns the canonical draining gauge of a registry,
@@ -65,6 +78,36 @@ const (
 func DrainingGauge(reg *Registry) *Gauge {
 	reg.Help(MetricDraining, "1 while the server is draining (refusing new work), else 0.")
 	return reg.Gauge(MetricDraining)
+}
+
+// ShardMapGenerationGauge returns the canonical shard-map generation
+// gauge of a registry, registering its help text on first use.
+func ShardMapGenerationGauge(reg *Registry) *Gauge {
+	reg.Help(MetricShardMapGeneration, "Live shard map generation (monotonically non-decreasing).")
+	return reg.Gauge(MetricShardMapGeneration)
+}
+
+// ShardMapChunksMovedCounter returns the canonical chunks-moved counter of
+// a registry, registering its help text on first use.
+func ShardMapChunksMovedCounter(reg *Registry) *Counter {
+	reg.Help(MetricShardMapChunksMoved, "Shard moves executed by resharding migrations.")
+	return reg.Counter(MetricShardMapChunksMoved)
+}
+
+// MigrationBytesHistogram returns the canonical per-migration byte-volume
+// histogram of a registry (buckets 4KiB..~4GiB).
+func MigrationBytesHistogram(reg *Registry) *Histogram {
+	h := reg.Histogram(MetricMigrationBytes, ExpBuckets(4096, 4, 11))
+	reg.Help(MetricMigrationBytes, "Encoded bytes pulled per resharding migration.")
+	return h
+}
+
+// MigrationSecondsHistogram returns the canonical per-migration duration
+// histogram of a registry.
+func MigrationSecondsHistogram(reg *Registry) *Histogram {
+	h := reg.Histogram(MetricMigrationSeconds, DefLatencyBuckets)
+	reg.Help(MetricMigrationSeconds, "Wall time per resharding migration, planning to publish.")
+	return h
 }
 
 // LoadgenWorkersGauge returns the canonical in-flight load-generator

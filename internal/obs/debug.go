@@ -54,12 +54,19 @@ func NewDebugMux(reg *Registry, traces *TraceSink) *http.ServeMux {
 // ephemeral port) and serves the debug endpoints in a background
 // goroutine. traces may be nil.
 func StartDebug(addr string, reg *Registry, traces *TraceSink) (*DebugServer, error) {
+	return StartDebugHandler(addr, NewDebugMux(reg, traces))
+}
+
+// StartDebugHandler is StartDebug over a caller-built handler — the hook
+// for callers that extend the standard mux with extra admin endpoints
+// (e.g. the elastic cluster's /admin/reshard).
+func StartDebugHandler(addr string, h http.Handler) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
 	}
 	srv := &http.Server{
-		Handler:           NewDebugMux(reg, traces),
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {

@@ -1,0 +1,731 @@
+// Elastic membership: a Cluster is a set of in-process ddstore-serve
+// owners routing every request through a versioned shard map
+// (internal/shardmap). Owners can join, leave, or crash while clients keep
+// loading: a membership transition plans the minimal chunk moves, the
+// gaining owners pull the moved chunks over the existing batched fetch
+// path while the old owners keep serving, and the next generation is
+// published gainers-first so every sample stays addressable throughout —
+// a client that lands on the wrong owner gets a stale-generation answer
+// carrying the new map and retries, never a hard error.
+package serveboot
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ddstore/internal/faultnet"
+	"ddstore/internal/obs"
+	"ddstore/internal/shardmap"
+	"ddstore/internal/transport"
+)
+
+// migrateBatch is how many samples one migration pull requests at a time
+// — the same batched GetBatchRaw framing clients use.
+const migrateBatch = 256
+
+// ElasticConfig describes an elastic owner cluster. Exactly one of
+// CFFDir, PFFDir, Dataset, or Source selects the durable backing data
+// (the source of last resort when no surviving owner holds a moved
+// chunk).
+type ElasticConfig struct {
+	CFFDir  string
+	PFFDir  string
+	Dataset string
+	N       int
+	Bins    int
+	Source  SampleSource
+
+	// Owners is the initial owner count (default 2).
+	Owners int
+	// Addrs, when set, are explicit listen addresses for the initial
+	// owners (len must be >= Owners); owners beyond the list — and every
+	// owner added later — bind an ephemeral loopback port.
+	Addrs []string
+	// Width is the per-shard replica width the planner maintains
+	// (default 1).
+	Width int
+	// ShardsPerMember is the shard granularity of the initial map
+	// (default 8); finer shards mean finer-grained rebalances.
+	ShardsPerMember int
+
+	// WriteTimeout / IdleTimeout are each owner's defensive limits.
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
+	// Net is the retry/deadline policy of the migration pull clients.
+	Net transport.RetryPolicy
+
+	// DebugAddr enables the cluster debug endpoint — /metrics, /healthz,
+	// pprof, plus /admin/reshard?owners=N — on this address.
+	DebugAddr string
+
+	// Chaos, when non-nil, wraps every owner's listener in a faultnet
+	// injector, so both client traffic and migration pulls cross a faulty
+	// fabric (resilience drills).
+	Chaos *faultnet.Scenario
+}
+
+// elasticChunk is a ChunkSource over a dynamic sample set: LocalRange
+// advertises the full keyspace (ownership is the shard map's job, checked
+// by the server before the chunk is touched), and the resident set grows
+// and shrinks as migrations pull chunks in and cutovers drop them.
+type elasticChunk struct {
+	lo, hi  int64
+	mu      sync.RWMutex
+	samples map[int64][]byte
+}
+
+func newElasticChunk(lo, hi int64) *elasticChunk {
+	return &elasticChunk{lo: lo, hi: hi, samples: make(map[int64][]byte)}
+}
+
+func (c *elasticChunk) LocalRange() (int64, int64) { return c.lo, c.hi }
+
+func (c *elasticChunk) LocalSampleBytes(id int64) ([]byte, error) {
+	c.mu.RLock()
+	b, ok := c.samples[id]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("serveboot: sample %d not resident on this owner", id)
+	}
+	return b, nil
+}
+
+func (c *elasticChunk) put(id int64, raw []byte) {
+	c.mu.Lock()
+	c.samples[id] = raw
+	c.mu.Unlock()
+}
+
+// retainOwned drops every resident sample the member no longer owns under
+// m — the post-cutover memory release on the losing side of a migration.
+func (c *elasticChunk) retainOwned(m *shardmap.Map, mi int) {
+	c.mu.Lock()
+	for id := range c.samples {
+		if !m.OwnedBy(id, mi) {
+			delete(c.samples, id)
+		}
+	}
+	c.mu.Unlock()
+}
+
+func (c *elasticChunk) resident() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.samples)
+}
+
+// mapView adapts one owner's shardmap.Store to the transport server's
+// ShardMapSource: ownership questions resolve against the owner's live
+// generation, keyed by its stable member ID.
+type mapView struct {
+	st *shardmap.Store
+	id string
+}
+
+func (v mapView) Generation() uint64 { return v.st.Generation() }
+
+func (v mapView) Owns(id int64) bool {
+	m := v.st.Current()
+	mi := m.MemberIndex(v.id)
+	return mi >= 0 && m.OwnedBy(id, mi)
+}
+
+func (v mapView) Encoded() ([]byte, error) { return v.st.Encoded() }
+
+// Owner is one serving member of an elastic cluster.
+type Owner struct {
+	ID      string
+	addr    string
+	chunk   *elasticChunk
+	maps    *shardmap.Store
+	srv     *transport.Server
+	crashed atomic.Bool
+}
+
+// Addr returns the owner's data-plane listen address.
+func (o *Owner) Addr() string { return o.addr }
+
+// Resident returns how many samples the owner currently holds.
+func (o *Owner) Resident() int { return o.chunk.resident() }
+
+// Generation returns the owner's applied shard map generation.
+func (o *Owner) Generation() uint64 { return o.maps.Generation() }
+
+// Cluster is a live elastic owner set plus its control plane: membership
+// transitions, chunk migration, and the shared metrics/admin endpoint.
+// All membership operations serialize on the cluster lock; serving and
+// migration overlap freely.
+type Cluster struct {
+	src     SampleSource
+	total   int64
+	width   int
+	net     transport.RetryPolicy
+	wt, it  time.Duration
+	chaos   *faultnet.Scenario
+	reg     *obs.Registry
+	dbg     *obs.DebugServer
+	gen     *obs.Gauge
+	moved   *obs.Counter
+	migB    *obs.Histogram
+	migS    *obs.Histogram
+	closers []func() error
+
+	mu     sync.Mutex
+	cur    *shardmap.Map
+	owners map[string]*Owner
+	order  []string // owner IDs in join order (reshard removes newest first)
+	pulls  map[string]*transport.Client
+	nextID int
+	closed bool
+}
+
+// BootCluster starts an elastic cluster: the initial owners listen, the
+// generation-1 map stripes the keyspace uniformly over them, and each
+// owner preloads the shards it owns from the durable source.
+func BootCluster(cfg ElasticConfig) (*Cluster, error) {
+	src, closers, err := openSource(Config{
+		CFFDir: cfg.CFFDir, PFFDir: cfg.PFFDir,
+		Dataset: cfg.Dataset, N: cfg.N, Bins: cfg.Bins, Source: cfg.Source,
+	})
+	if err != nil {
+		return nil, err
+	}
+	closeAll := func() {
+		for _, cl := range closers {
+			cl()
+		}
+	}
+	total := int64(src.Len())
+	if total == 0 {
+		closeAll()
+		return nil, fmt.Errorf("serveboot: elastic source is empty")
+	}
+	n := cfg.Owners
+	if n <= 0 {
+		n = 2
+	}
+	reg := obs.NewRegistry()
+	c := &Cluster{
+		src: src, total: total, width: cfg.Width, net: cfg.Net,
+		wt: cfg.WriteTimeout, it: cfg.IdleTimeout, chaos: cfg.Chaos,
+		reg:     reg,
+		gen:     obs.ShardMapGenerationGauge(reg),
+		moved:   obs.ShardMapChunksMovedCounter(reg),
+		migB:    obs.MigrationBytesHistogram(reg),
+		migS:    obs.MigrationSecondsHistogram(reg),
+		closers: closers,
+		owners:  make(map[string]*Owner),
+		pulls:   make(map[string]*transport.Client),
+	}
+
+	// Listeners first: member addresses go into the map, so they must be
+	// resolved before generation 1 exists.
+	lns := make([]net.Listener, n)
+	members := make([]shardmap.Member, n)
+	for i := 0; i < n; i++ {
+		addr := "127.0.0.1:0"
+		if i < len(cfg.Addrs) && cfg.Addrs[i] != "" {
+			addr = cfg.Addrs[i]
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			for _, l := range lns[:i] {
+				l.Close()
+			}
+			closeAll()
+			return nil, fmt.Errorf("serveboot: elastic listen %s: %w", addr, err)
+		}
+		lns[i] = ln
+		id := fmt.Sprintf("owner-%d", c.nextID)
+		c.nextID++
+		members[i] = shardmap.Member{ID: id, Addr: ln.Addr().String()}
+	}
+	m, err := shardmap.Uniform(0, total, members, shardmap.UniformOptions{
+		ShardsPerMember: cfg.ShardsPerMember, Width: cfg.Width,
+	})
+	if err != nil {
+		for _, l := range lns {
+			l.Close()
+		}
+		closeAll()
+		return nil, err
+	}
+	c.cur = m
+	for i := range members {
+		o, err := c.startOwner(lns[i], members[i].ID, m)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.owners[members[i].ID] = o
+		c.order = append(c.order, members[i].ID)
+	}
+	c.gen.Set(float64(m.Gen))
+
+	if cfg.DebugAddr != "" {
+		mux := obs.NewDebugMux(reg, nil)
+		mux.HandleFunc("/admin/reshard", c.handleReshard)
+		dbg, err := obs.StartDebugHandler(cfg.DebugAddr, mux)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.dbg = dbg
+	}
+	return c, nil
+}
+
+// startOwner boots one owner: its own shard map store (seeded with the
+// given generation), its dynamic chunk preloaded with the shards it owns,
+// and a TCP server whose every request is ownership-checked against the
+// owner's live generation.
+func (c *Cluster) startOwner(ln net.Listener, id string, initial *shardmap.Map) (*Owner, error) {
+	st, err := shardmap.NewStore(initial, 0)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	// Metrics bridge: shardmap stays stdlib-only; every applied
+	// generation lands on the shared gauge here.
+	st.OnApply = func(m *shardmap.Map, _ int) { c.gen.Set(float64(m.Gen)) }
+	chunk := newElasticChunk(0, c.total)
+	if mi := initial.MemberIndex(id); mi >= 0 {
+		for _, sh := range initial.Shards {
+			owned := false
+			for _, o := range sh.Owners {
+				if o == mi {
+					owned = true
+					break
+				}
+			}
+			if !owned {
+				continue
+			}
+			for sid := sh.Lo; sid < sh.Hi; sid++ {
+				g, err := c.src.ReadSample(sid)
+				if err != nil {
+					ln.Close()
+					return nil, fmt.Errorf("serveboot: preload sample %d for %s: %w", sid, id, err)
+				}
+				chunk.put(sid, g.Encode())
+			}
+		}
+	}
+	if c.chaos != nil {
+		ln = faultnet.New(*c.chaos).Listener(ln)
+	}
+	o := &Owner{ID: id, addr: ln.Addr().String(), chunk: chunk, maps: st}
+	o.srv = transport.ServeListener(ln, chunk, transport.ServerOptions{
+		WriteTimeout: c.wt,
+		IdleTimeout:  c.it,
+		Metrics:      c.reg,
+		ShardMap:     mapView{st: st, id: id},
+	})
+	return o, nil
+}
+
+// AddOwner joins a new owner: it boots empty under the current
+// generation, the planner moves the minimum shards onto it, migration
+// pulls those chunks while the old owners keep serving, and the next
+// generation cuts over. Returns the new owner's ID.
+func (c *Cluster) AddOwner() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return "", fmt.Errorf("serveboot: cluster is closed")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("serveboot: elastic listen: %w", err)
+	}
+	id := fmt.Sprintf("owner-%d", c.nextID)
+	c.nextID++
+	members := append(append([]shardmap.Member(nil), c.cur.Members...),
+		shardmap.Member{ID: id, Addr: ln.Addr().String()})
+	next, moves, err := shardmap.Planner{Width: c.width}.Next(c.cur, members)
+	if err != nil {
+		ln.Close()
+		return "", err
+	}
+	o, err := c.startOwner(ln, id, c.cur) // owns nothing yet; migration fills it
+	if err != nil {
+		return "", err
+	}
+	c.owners[id] = o
+	c.order = append(c.order, id)
+	if err := c.migrateAndPublish(next, moves); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// RemoveOwner drains an owner out of the cluster gracefully: its shards
+// migrate to the survivors (pulled from it while it still serves), the
+// next generation excludes it, and only then does it shut down.
+func (c *Cluster) RemoveOwner(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.removeLocked(id)
+}
+
+func (c *Cluster) removeLocked(id string) error {
+	if c.closed {
+		return fmt.Errorf("serveboot: cluster is closed")
+	}
+	o := c.owners[id]
+	if o == nil {
+		return fmt.Errorf("serveboot: unknown owner %q", id)
+	}
+	if len(c.owners) == 1 {
+		return fmt.Errorf("serveboot: cannot remove the last owner")
+	}
+	members := make([]shardmap.Member, 0, len(c.cur.Members)-1)
+	for _, m := range c.cur.Members {
+		if m.ID != id {
+			members = append(members, m)
+		}
+	}
+	next, moves, err := shardmap.Planner{Width: c.width}.Next(c.cur, members)
+	if err != nil {
+		return err
+	}
+	if err := c.migrateAndPublish(next, moves); err != nil {
+		return err
+	}
+	c.dropOwner(id)
+	o.srv.Close()
+	return nil
+}
+
+// CrashOwner kills an owner abruptly (no drain, no handoff) and then
+// heals the cluster: the planner promotes surviving replicas where it
+// can, and orphaned shards are re-read from the durable source. Clients
+// that were talking to the dead owner fail over / refresh and retry.
+func (c *Cluster) CrashOwner(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o := c.owners[id]
+	if o == nil {
+		return fmt.Errorf("serveboot: unknown owner %q", id)
+	}
+	if len(c.owners) == 1 {
+		return fmt.Errorf("serveboot: cannot crash the last owner")
+	}
+	o.crashed.Store(true)
+	o.srv.Close() // abrupt: in-flight connections die mid-request
+	members := make([]shardmap.Member, 0, len(c.cur.Members)-1)
+	for _, m := range c.cur.Members {
+		if m.ID != id {
+			members = append(members, m)
+		}
+	}
+	next, moves, err := shardmap.Planner{Width: c.width}.Next(c.cur, members)
+	if err != nil {
+		return err
+	}
+	if err := c.migrateAndPublish(next, moves); err != nil {
+		return err
+	}
+	c.dropOwner(id)
+	return nil
+}
+
+func (c *Cluster) dropOwner(id string) {
+	delete(c.owners, id)
+	for i, oid := range c.order {
+		if oid == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	if cl := c.pulls[id]; cl != nil {
+		cl.Close()
+		delete(c.pulls, id)
+	}
+}
+
+// Reshard grows or shrinks the cluster to n owners, one membership
+// transition at a time (shrinking removes the newest owners first).
+func (c *Cluster) Reshard(n int) error {
+	if n < 1 {
+		return fmt.Errorf("serveboot: cannot reshard to %d owners", n)
+	}
+	for c.OwnerCount() < n {
+		if _, err := c.AddOwner(); err != nil {
+			return err
+		}
+	}
+	for c.OwnerCount() > n {
+		c.mu.Lock()
+		id := c.order[len(c.order)-1]
+		err := c.removeLocked(id)
+		c.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// migrateAndPublish executes one planned transition under the cluster
+// lock: pull every moved chunk to its gaining owner (old owners still
+// serving), publish the next generation to the gainers first and the
+// rest after, then release the bytes the losers no longer own.
+func (c *Cluster) migrateAndPublish(next *shardmap.Map, moves []shardmap.Move) error {
+	start := time.Now()
+	var bytes int64
+	gainers := make(map[string]bool)
+	for _, mv := range moves {
+		gainer := c.owners[mv.ToID]
+		if gainer == nil {
+			return fmt.Errorf("serveboot: move targets unknown owner %q", mv.ToID)
+		}
+		n, err := c.pullMove(mv, gainer)
+		bytes += n
+		if err != nil {
+			return err
+		}
+		gainers[mv.ToID] = true
+	}
+	// Gainers first: once an owner answers for a moved chunk it must hold
+	// the bytes. Losers keep serving under the old generation until their
+	// own apply, so the chunk never goes dark.
+	for id := range gainers {
+		if _, err := c.owners[id].maps.ApplyIfNewer(next); err != nil {
+			return err
+		}
+	}
+	for id, o := range c.owners {
+		if gainers[id] {
+			continue
+		}
+		if _, err := o.maps.ApplyIfNewer(next); err != nil {
+			return err
+		}
+	}
+	c.cur = next
+	for id, o := range c.owners {
+		if mi := next.MemberIndex(id); mi >= 0 {
+			o.chunk.retainOwned(next, mi)
+		}
+	}
+	c.moved.Add(int64(len(moves)))
+	c.migB.Observe(float64(bytes))
+	c.migS.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// pullMove copies one moved shard onto its gaining owner, preferring the
+// planned source owner, then any other live owner of the shard under the
+// current generation, and finally the durable backing source (the only
+// choice when every holder crashed, From = -1).
+func (c *Cluster) pullMove(mv shardmap.Move, gainer *Owner) (int64, error) {
+	var addrs []string
+	tried := map[string]bool{gainer.ID: true}
+	consider := func(id string) {
+		if id == "" || tried[id] {
+			return
+		}
+		tried[id] = true
+		if o := c.owners[id]; o != nil && !o.crashed.Load() {
+			addrs = append(addrs, o.addr)
+		}
+	}
+	consider(mv.FromID)
+	if sh, err := c.cur.ShardOf(mv.Lo); err == nil {
+		for _, oi := range sh.Owners {
+			consider(c.cur.Members[oi].ID)
+		}
+	}
+	var total int64
+	for lo := mv.Lo; lo < mv.Hi; lo += migrateBatch {
+		hi := lo + migrateBatch
+		if hi > mv.Hi {
+			hi = mv.Hi
+		}
+		ids := make([]int64, 0, hi-lo)
+		for id := lo; id < hi; id++ {
+			ids = append(ids, id)
+		}
+		raws, err := c.pullBatch(addrs, ids)
+		if err != nil {
+			// Degrade to the durable source: a crash mid-migration means
+			// re-reading, never losing, the chunk.
+			if raws, err = c.readBatchFromSource(ids); err != nil {
+				return total, fmt.Errorf("serveboot: migrate shard %d [%d,%d) to %s: %w",
+					mv.Shard, mv.Lo, mv.Hi, gainer.ID, err)
+			}
+		}
+		for i, id := range ids {
+			gainer.chunk.put(id, raws[i])
+			total += int64(len(raws[i]))
+		}
+	}
+	return total, nil
+}
+
+// pullBatch fetches one id batch over the wire, trying each candidate
+// address in order.
+func (c *Cluster) pullBatch(addrs []string, ids []int64) ([][]byte, error) {
+	var err error
+	for _, addr := range addrs {
+		cl := c.pulls[addr]
+		if cl == nil {
+			if cl, err = transport.DialOptions(addr, transport.ClientOptions{Policy: c.net}); err != nil {
+				continue
+			}
+			c.pulls[addr] = cl
+		}
+		var raws [][]byte
+		if raws, err = cl.GetBatchRaw(ids); err == nil {
+			return raws, nil
+		}
+	}
+	if err == nil {
+		err = fmt.Errorf("no live owner holds the chunk")
+	}
+	return nil, err
+}
+
+func (c *Cluster) readBatchFromSource(ids []int64) ([][]byte, error) {
+	raws := make([][]byte, len(ids))
+	for i, id := range ids {
+		g, err := c.src.ReadSample(id)
+		if err != nil {
+			return nil, fmt.Errorf("durable source read %d: %w", id, err)
+		}
+		raws[i] = g.Encode()
+	}
+	return raws, nil
+}
+
+// handleReshard is the /admin/reshard?owners=N endpoint: grow or shrink
+// the cluster, then report the resulting membership.
+func (c *Cluster) handleReshard(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.URL.Query().Get("owners"))
+	if err != nil || n < 1 {
+		http.Error(w, "reshard needs ?owners=N (N >= 1)", http.StatusBadRequest)
+		return
+	}
+	if err := c.Reshard(n); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	c.mu.Lock()
+	resp := struct {
+		Generation uint64   `json:"generation"`
+		Owners     []string `json:"owners"`
+		Addrs      []string `json:"addrs"`
+	}{Generation: c.cur.Gen}
+	for _, id := range c.order {
+		resp.Owners = append(resp.Owners, id)
+		resp.Addrs = append(resp.Addrs, c.owners[id].addr)
+	}
+	c.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// Addrs returns the live owners' data-plane addresses in join order —
+// the seed list for elastic clients.
+func (c *Cluster) Addrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addrs := make([]string, 0, len(c.order))
+	for _, id := range c.order {
+		addrs = append(addrs, c.owners[id].addr)
+	}
+	return addrs
+}
+
+// Owner returns a live owner by ID, or nil.
+func (c *Cluster) Owner(id string) *Owner {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.owners[id]
+}
+
+// OwnerIDs returns the live owner IDs in join order.
+func (c *Cluster) OwnerIDs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.order...)
+}
+
+// OwnerCount returns the live owner count.
+func (c *Cluster) OwnerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.owners)
+}
+
+// Generation returns the cluster's published shard map generation.
+func (c *Cluster) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur.Gen
+}
+
+// Len returns the keyspace size in samples.
+func (c *Cluster) Len() int64 { return c.total }
+
+// Registry returns the cluster's shared metrics registry.
+func (c *Cluster) Registry() *obs.Registry { return c.reg }
+
+// DebugAddr returns the debug/admin endpoint address, or "".
+func (c *Cluster) DebugAddr() string {
+	if c.dbg == nil {
+		return ""
+	}
+	return c.dbg.Addr()
+}
+
+// MetricsURL returns the full /metrics scrape URL, or "".
+func (c *Cluster) MetricsURL() string {
+	if c.dbg == nil {
+		return ""
+	}
+	return "http://" + c.dbg.Addr() + "/metrics"
+}
+
+// Close shuts the whole cluster down: admin endpoint, every owner, the
+// migration pull clients, and the backing source.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	owners := c.owners
+	pulls := c.pulls
+	c.owners = map[string]*Owner{}
+	c.pulls = map[string]*transport.Client{}
+	c.order = nil
+	c.mu.Unlock()
+
+	if c.dbg != nil {
+		c.dbg.Close()
+	}
+	var err error
+	for _, cl := range pulls {
+		cl.Close()
+	}
+	for _, o := range owners {
+		if cerr := o.srv.Close(); err == nil {
+			err = cerr
+		}
+	}
+	for _, cl := range c.closers {
+		if cerr := cl(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

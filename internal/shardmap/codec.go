@@ -1,0 +1,196 @@
+package shardmap
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire encoding of a Map, carried in stale-generation responses and map
+// bootstrap replies. Little-endian, bounded at every length so a hostile
+// or corrupt frame cannot force a huge allocation:
+//
+//	u8  version (codecVersion)
+//	u64 generation
+//	u32 member count
+//	  per member: u16 len + ID bytes, u16 len + Addr bytes
+//	u32 shard count
+//	  per shard: i64 lo, i64 hi, u16 owner count, u32 owner indexes
+//
+// Decode re-runs Validate, so a decoded map carries the same invariants
+// as a built one.
+const (
+	codecVersion = 1
+
+	maxCodecMembers = 1 << 16
+	maxCodecShards  = 1 << 20
+	maxCodecString  = 4096
+)
+
+// Encode serializes the map.
+func (m *Map) Encode() ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	size := 1 + 8 + 4 + 4
+	for _, mem := range m.Members {
+		size += 2 + len(mem.ID) + 2 + len(mem.Addr)
+	}
+	for _, sh := range m.Shards {
+		size += 8 + 8 + 2 + 4*len(sh.Owners)
+	}
+	b := make([]byte, 0, size)
+	b = append(b, codecVersion)
+	b = binary.LittleEndian.AppendUint64(b, m.Gen)
+	if len(m.Members) > maxCodecMembers {
+		return nil, fmt.Errorf("shardmap: %d members exceeds wire limit %d", len(m.Members), maxCodecMembers)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Members)))
+	for _, mem := range m.Members {
+		var err error
+		if b, err = appendString(b, mem.ID); err != nil {
+			return nil, err
+		}
+		if b, err = appendString(b, mem.Addr); err != nil {
+			return nil, err
+		}
+	}
+	if len(m.Shards) > maxCodecShards {
+		return nil, fmt.Errorf("shardmap: %d shards exceeds wire limit %d", len(m.Shards), maxCodecShards)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Shards)))
+	for _, sh := range m.Shards {
+		b = binary.LittleEndian.AppendUint64(b, uint64(sh.Lo))
+		b = binary.LittleEndian.AppendUint64(b, uint64(sh.Hi))
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(sh.Owners)))
+		for _, o := range sh.Owners {
+			b = binary.LittleEndian.AppendUint32(b, uint32(o))
+		}
+	}
+	return b, nil
+}
+
+func appendString(b []byte, s string) ([]byte, error) {
+	if len(s) > maxCodecString {
+		return nil, fmt.Errorf("shardmap: string of %d bytes exceeds wire limit %d", len(s), maxCodecString)
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...), nil
+}
+
+// Decode parses and validates a wire-encoded map.
+func Decode(b []byte) (*Map, error) {
+	d := decoder{b: b}
+	if v := d.u8(); v != codecVersion {
+		if d.err != nil {
+			return nil, d.err
+		}
+		return nil, fmt.Errorf("shardmap: unknown wire version %d", v)
+	}
+	m := &Map{Gen: d.u64()}
+	nMembers := int(d.u32())
+	if d.err == nil && nMembers > maxCodecMembers {
+		return nil, fmt.Errorf("shardmap: %d members exceeds wire limit %d", nMembers, maxCodecMembers)
+	}
+	if d.err == nil {
+		m.Members = make([]Member, 0, nMembers)
+		for i := 0; i < nMembers && d.err == nil; i++ {
+			id := d.str()
+			addr := d.str()
+			m.Members = append(m.Members, Member{ID: id, Addr: addr})
+		}
+	}
+	nShards := int(d.u32())
+	if d.err == nil && nShards > maxCodecShards {
+		return nil, fmt.Errorf("shardmap: %d shards exceeds wire limit %d", nShards, maxCodecShards)
+	}
+	if d.err == nil {
+		m.Shards = make([]Shard, 0, nShards)
+		for i := 0; i < nShards && d.err == nil; i++ {
+			lo := int64(d.u64())
+			hi := int64(d.u64())
+			nOwners := int(d.u16())
+			if d.err == nil && nOwners > maxCodecMembers {
+				d.err = fmt.Errorf("shardmap: shard %d owner count %d exceeds wire limit", i, nOwners)
+				break
+			}
+			owners := make([]int, 0, nOwners)
+			for j := 0; j < nOwners && d.err == nil; j++ {
+				owners = append(owners, int(d.u32()))
+			}
+			m.Shards = append(m.Shards, Shard{Lo: lo, Hi: hi, Owners: owners})
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("shardmap: %d trailing bytes after map", len(d.b))
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b) < n {
+		d.err = fmt.Errorf("shardmap: truncated map (need %d bytes, have %d)", n, len(d.b))
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	if d.err == nil && n > maxCodecString {
+		d.err = fmt.Errorf("shardmap: string of %d bytes exceeds wire limit %d", n, maxCodecString)
+		return ""
+	}
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}

@@ -1,0 +1,131 @@
+package shardmap
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	m, err := Uniform(0, 5000, members("alpha", "beta", "gamma"), UniformOptions{ShardsPerMember: 6, Width: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Gen = 17
+	b, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", m, got)
+	}
+}
+
+func TestEncodeRejectsInvalidMap(t *testing.T) {
+	if _, err := (&Map{Gen: 1}).Encode(); err == nil {
+		t.Fatal("invalid map encoded")
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	m, err := Uniform(0, 100, members("a", "b"), UniformOptions{ShardsPerMember: 2, Width: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("empty", func(t *testing.T) {
+		if _, err := Decode(nil); err == nil {
+			t.Fatal("empty input decoded")
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[0] = 99
+		if _, err := Decode(b); err == nil || !strings.Contains(err.Error(), "version") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{1, 5, 10, len(good) / 2, len(good) - 1} {
+			if _, err := Decode(good[:cut]); err == nil {
+				t.Fatalf("truncation at %d decoded", cut)
+			}
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		b := append(append([]byte(nil), good...), 0)
+		if _, err := Decode(b); err == nil || !strings.Contains(err.Error(), "trailing") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("corrupt owner index", func(t *testing.T) {
+		// Flipping high bytes in the shard section produces owner indexes
+		// outside the member list; Validate must catch it.
+		b := append([]byte(nil), good...)
+		b[len(b)-1] = 0xFF
+		b[len(b)-2] = 0xFF
+		if _, err := Decode(b); err == nil {
+			t.Fatal("corrupt owners decoded")
+		}
+	})
+	t.Run("huge member count", func(t *testing.T) {
+		b := append([]byte(nil), good[:9]...) // version + gen
+		b = append(b, 0xFF, 0xFF, 0xFF, 0xFF) // member count ~4B
+		if _, err := Decode(b); err == nil || !strings.Contains(err.Error(), "members exceeds") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("huge string", func(t *testing.T) {
+		b := append([]byte(nil), good[:9]...)
+		b = append(b, 1, 0, 0, 0) // 1 member
+		b = append(b, 0xFF, 0xFF) // ID length 65535 > maxCodecString
+		if _, err := Decode(b); err == nil || !strings.Contains(err.Error(), "string") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestEncodeRejectsOversizeStrings(t *testing.T) {
+	m, err := Uniform(0, 10, []Member{{ID: strings.Repeat("x", maxCodecString+1), Addr: "a"}}, UniformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Encode(); err == nil || !strings.Contains(err.Error(), "string") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func FuzzDecodeShardMap(f *testing.F) {
+	m, err := Uniform(0, 300, members("a", "b", "c"), UniformOptions{ShardsPerMember: 2, Width: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed, err := m.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{codecVersion})
+	f.Add([]byte(nil))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		got, err := Decode(b)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must satisfy the invariants and re-encode.
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("Decode returned invalid map: %v", verr)
+		}
+		if _, eerr := got.Encode(); eerr != nil {
+			t.Fatalf("decoded map failed to re-encode: %v", eerr)
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package shardmap
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultHistory is how many past generations a Store keeps resolvable
+// by default, so fetches pinned to a recent generation can still decode
+// their owner tokens while the map advances under them.
+const DefaultHistory = 8
+
+// Store holds the live shard map generation plus a bounded history of
+// recent ones, and fans out every applied generation to subscribers.
+// All methods are safe for concurrent use; the *Map values handed out
+// are immutable.
+type Store struct {
+	mu      sync.Mutex
+	history []*Map // ascending by Gen; last is current
+	encoded []byte // cached Encode of current, built lazily
+	keep    int
+	subs    map[int]chan *Map
+	nextSub int
+
+	// OnApply, when set before the first Apply, is called synchronously
+	// (outside the store lock) with every newly applied generation and
+	// the number of chunk moves it took relative to its predecessor.
+	// This is the metrics hook: shardmap stays a stdlib-only leaf, and
+	// the caller bridges to its metrics registry here.
+	OnApply func(m *Map, moved int)
+}
+
+// NewStore builds a Store seeded with the given map as the live
+// generation. history bounds how many generations stay resolvable via
+// At (values < 1 mean DefaultHistory).
+func NewStore(initial *Map, history int) (*Store, error) {
+	if err := initial.Validate(); err != nil {
+		return nil, err
+	}
+	if history < 1 {
+		history = DefaultHistory
+	}
+	return &Store{
+		history: []*Map{initial},
+		keep:    history,
+		subs:    make(map[int]chan *Map),
+	}, nil
+}
+
+// Current returns the live generation.
+func (s *Store) Current() *Map {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.history[len(s.history)-1]
+}
+
+// Generation returns the live generation number.
+func (s *Store) Generation() uint64 {
+	return s.Current().Gen
+}
+
+// At returns the map for a specific generation, or nil if it has aged
+// out of the history (callers fall back to Current and let the
+// stale-generation protocol sort it out).
+func (s *Store) At(gen uint64) *Map {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.history) - 1; i >= 0; i-- {
+		if s.history[i].Gen == gen {
+			return s.history[i]
+		}
+		if s.history[i].Gen < gen {
+			break
+		}
+	}
+	return nil
+}
+
+// Apply publishes next as the live generation. Its Gen must be exactly
+// one past the current generation — transitions are planned against the
+// live map, and a gap means the planner raced another publisher.
+func (s *Store) Apply(next *Map) error {
+	if err := next.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	cur := s.history[len(s.history)-1]
+	if next.Gen != cur.Gen+1 {
+		s.mu.Unlock()
+		return fmt.Errorf("shardmap: cannot apply generation %d over %d (must advance by exactly 1)", next.Gen, cur.Gen)
+	}
+	moved := s.applyLocked(next)
+	hook := s.OnApply
+	s.mu.Unlock()
+	if hook != nil {
+		hook(next, moved)
+	}
+	return nil
+}
+
+// ApplyIfNewer installs next iff its generation is strictly ahead of the
+// live one, reporting whether it was installed. This is the client
+// refresh path: a stale-generation response carries the server's current
+// map, which may be several generations ahead, and an out-of-order
+// refresh must never roll the map back.
+func (s *Store) ApplyIfNewer(next *Map) (bool, error) {
+	if err := next.Validate(); err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	cur := s.history[len(s.history)-1]
+	if next.Gen <= cur.Gen {
+		s.mu.Unlock()
+		return false, nil
+	}
+	moved := s.applyLocked(next)
+	hook := s.OnApply
+	s.mu.Unlock()
+	if hook != nil {
+		hook(next, moved)
+	}
+	return true, nil
+}
+
+// applyLocked installs next as current, trims history, notifies
+// subscribers, and returns the move count vs the prior generation
+// (0 when the geometry changed and Diff cannot meter it).
+func (s *Store) applyLocked(next *Map) int {
+	prev := s.history[len(s.history)-1]
+	s.history = append(s.history, next)
+	if len(s.history) > s.keep {
+		s.history = s.history[len(s.history)-s.keep:]
+	}
+	s.encoded = nil
+	for _, ch := range s.subs {
+		select {
+		case ch <- next:
+		default: // slow subscriber: drop; it reads Current when it wakes
+		}
+	}
+	moved := 0
+	if moves, err := Diff(prev, next); err == nil {
+		moved = len(moves)
+	}
+	return moved
+}
+
+// Subscribe returns a channel that receives every generation applied
+// after the call, plus a cancel func. The channel is buffered; a
+// subscriber that falls behind misses intermediate generations (it
+// should read Current when it wakes) but never blocks Apply.
+func (s *Store) Subscribe() (<-chan *Map, func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextSub
+	s.nextSub++
+	ch := make(chan *Map, 4)
+	s.subs[id] = ch
+	return ch, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		delete(s.subs, id)
+	}
+}
+
+// Encoded returns the wire encoding of the live generation, cached until
+// the next Apply. This is what the server embeds in stale-generation
+// responses and serves for map bootstrap, so encoding happens once per
+// generation, not once per stale request.
+func (s *Store) Encoded() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.encoded == nil {
+		b, err := s.history[len(s.history)-1].Encode()
+		if err != nil {
+			return nil, err
+		}
+		s.encoded = b
+	}
+	return s.encoded, nil
+}

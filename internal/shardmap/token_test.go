@@ -1,0 +1,71 @@
+package shardmap
+
+import "testing"
+
+func TestPackOwnerRoundTrip(t *testing.T) {
+	cases := []struct {
+		gen    uint64
+		member int
+	}{
+		{1, 0},
+		{1, 1},
+		{2, 3},
+		{42, 1023},
+		{1, MaxMember},             // boundary: max member index
+		{MaxGeneration, 0},         // boundary: max generation
+		{MaxGeneration, MaxMember}, // boundary: both maxed
+		{MaxGeneration - 1, MaxMember - 1},
+	}
+	for _, c := range cases {
+		tok, err := PackOwner(c.gen, c.member)
+		if err != nil {
+			t.Fatalf("PackOwner(%d, %d): %v", c.gen, c.member, err)
+		}
+		if tok < 0 {
+			t.Fatalf("PackOwner(%d, %d) = %d, negative tokens break owner sorting", c.gen, c.member, tok)
+		}
+		gen, member, err := UnpackOwner(tok)
+		if err != nil {
+			t.Fatalf("UnpackOwner(%d): %v", tok, err)
+		}
+		if gen != c.gen || member != c.member {
+			t.Fatalf("round trip (%d, %d) -> %d -> (%d, %d)", c.gen, c.member, tok, gen, member)
+		}
+	}
+}
+
+func TestPackOwnerTokensSortByGenerationThenMember(t *testing.T) {
+	// The fetch engine sorts owner groups by token; same-generation tokens
+	// must order by member so grouping is stable.
+	t1, _ := PackOwner(1, 5)
+	t2, _ := PackOwner(1, 6)
+	t3, _ := PackOwner(2, 0)
+	if !(t1 < t2 && t2 < t3) {
+		t.Fatalf("token order broken: %d, %d, %d", t1, t2, t3)
+	}
+}
+
+func TestPackOwnerRejections(t *testing.T) {
+	if _, err := PackOwner(1, -1); err == nil {
+		t.Fatal("negative member accepted")
+	}
+	if _, err := PackOwner(1, MaxMember+1); err == nil {
+		t.Fatal("member above MaxMember accepted")
+	}
+	if _, err := PackOwner(0, 0); err == nil {
+		t.Fatal("generation 0 accepted")
+	}
+	if _, err := PackOwner(MaxGeneration+1, 0); err == nil {
+		t.Fatal("generation above MaxGeneration accepted")
+	}
+}
+
+func TestUnpackOwnerRejections(t *testing.T) {
+	if _, _, err := UnpackOwner(-1); err == nil {
+		t.Fatal("negative token accepted")
+	}
+	// A bare member index without a generation is not a valid token.
+	if _, _, err := UnpackOwner(3); err == nil {
+		t.Fatal("generation-0 token accepted")
+	}
+}

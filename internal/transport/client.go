@@ -46,6 +46,25 @@ func (e *OverloadedError) Error() string { return "transport: overloaded: " + e.
 // Is reports the ErrOverloaded identity for errors.Is.
 func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
 
+// ErrStaleGeneration marks a request the server refused because the
+// client's shard map generation no longer owns the sample there: the
+// chunk moved. The connection is healthy and the peer is alive, so this
+// is refresh-don't-failover: install the map carried in the response and
+// retry the new owner. Match with errors.Is(err, ErrStaleGeneration).
+var ErrStaleGeneration = errors.New("transport: stale shard map generation")
+
+// StaleGenerationError carries the server's current encoded shard map
+// (decode with shardmap.Decode) alongside the ErrStaleGeneration
+// identity, so the refresh costs zero extra round trips.
+type StaleGenerationError struct{ MapBytes []byte }
+
+func (e *StaleGenerationError) Error() string {
+	return "transport: stale shard map generation"
+}
+
+// Is reports the ErrStaleGeneration identity for errors.Is.
+func (e *StaleGenerationError) Is(target error) bool { return target == ErrStaleGeneration }
+
 // DialFunc opens a connection to addr. Custom dialers let tests route
 // through in-memory pipes or faultnet-wrapped connections.
 type DialFunc func(addr string) (net.Conn, error)
@@ -220,6 +239,12 @@ func (c *Client) classify(err error, lastErr *error) error {
 		*lastErr = err
 		return nil
 	}
+	if errors.Is(err, ErrStaleGeneration) {
+		// Terminal at this level: retrying the same peer would answer
+		// stale again. The Group refreshes its map from the carried bytes
+		// and re-routes to the new owner.
+		return err
+	}
 	var rerr *RemoteError
 	if errors.As(err, &rerr) {
 		return err
@@ -313,10 +338,30 @@ func (c *Client) exchange(op byte, a, b int64, extra []byte) (*bufarena.Buf, err
 		msg := string(payload)
 		buf.Release()
 		return nil, &OverloadedError{Msg: msg}
+	case statusStaleGen:
+		// The payload is the server's current encoded shard map; copy it
+		// out of the pooled buffer before releasing.
+		mb := append([]byte(nil), payload...)
+		buf.Release()
+		return nil, &StaleGenerationError{MapBytes: mb}
 	default:
 		buf.Release()
 		return nil, fmt.Errorf("transport: unknown response status %d", head[0])
 	}
+}
+
+// ShardMap fetches the server's current encoded shard map (decode with
+// shardmap.Decode). Elastic groups bootstrap their ownership view from a
+// seed peer this way; servers without a shard map answer with a remote
+// error.
+func (c *Client) ShardMap() ([]byte, error) {
+	buf, err := c.roundTrip(opShardMap, 0, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	mb := append([]byte(nil), buf.Bytes()...)
+	buf.Release()
+	return mb, nil
 }
 
 // Meta fetches the server's chunk range.

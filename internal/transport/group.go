@@ -10,7 +10,9 @@ import (
 	"ddstore/internal/cache"
 	"ddstore/internal/fetch"
 	"ddstore/internal/graph"
+	"ddstore/internal/health"
 	"ddstore/internal/obs"
+	"ddstore/internal/shardmap"
 )
 
 // GroupOptions configure a Group's clients and failover behaviour.
@@ -51,49 +53,34 @@ type GroupOptions struct {
 	Spans *obs.SpanRing
 }
 
-// member is one peer of one replica group.
-type member struct {
-	cl     *Client
-	lo, hi int64
-}
-
-// replicaSet is one complete copy of the dataset, striped over members.
-type replicaSet struct {
-	members []*member
-	lo, hi  int64
-}
-
-// ownerOf returns the member index holding sample id, or -1.
-func (r *replicaSet) ownerOf(id int64) int {
-	for i, m := range r.members {
-		if id >= m.lo && id < m.hi {
-			return i
-		}
-	}
-	return -1
-}
-
 // Group is a set of chunk servers holding the dataset — the cross-process
-// analogue of DDStore's replica groups. With one replica it routes Gets by
-// owner arithmetic exactly like the in-process store; with several
-// replicas (width w < N gives r = N/w full copies, paper §3.1) it spreads
-// load over the replicas and fails a sample over to the corresponding
-// owner in another replica when its preferred owner is unreachable.
+// analogue of DDStore's replica groups. Ownership routes through a
+// versioned shard map (internal/shardmap): the static constructors freeze
+// the dialed topology into generation 1, while NewElasticGroup bootstraps
+// the map from a seed peer and follows it through live resharding —
+// stale-generation responses install the newer map carried in the reply
+// and re-route, so a migrated chunk costs one extra round trip, never a
+// failover or a hard error.
 type Group struct {
-	replicas []*replicaSet
 	counters Counters
-	cooldown time.Duration
 	maxBatch int
 	cache    *cache.Cache // nil when CacheBytes <= 0
 	// engine is the shared batch-load pipeline (internal/fetch); the group
-	// plugs in as its TCP plane via groupPlane. stride packs the engine's
-	// owner token as replica*stride+member, so tokens sort exactly like
-	// (replica, member) pairs.
+	// plugs in as its TCP plane via groupPlane. Owner tokens pack
+	// (generation, member index) — shardmap.PackOwner — so tokens sort
+	// like (generation, member) pairs and an in-flight fetch stays pinned
+	// to the generation it was planned under.
 	engine *fetch.Engine
-	stride int
+	// maps is the versioned ownership view; health quarantines peers by
+	// stable member ID across generations.
+	maps       *shardmap.Store
+	health     *health.Tracker[string]
+	clientOpts ClientOptions
+	elastic    bool
+	replicas   int // static replica count; 0 for elastic groups
 
 	mu      sync.Mutex
-	suspect map[[2]int]time.Time // {replica, member} -> quarantine expiry
+	clients map[string]*Client // by peer address; dialed lazily in elastic mode
 }
 
 // NewGroup dials every peer address of a single replica and verifies the
@@ -102,25 +89,18 @@ func NewGroup(addrs []string) (*Group, error) {
 	return NewGroupReplicas([][]string{addrs}, GroupOptions{})
 }
 
-// NewGroupReplicas dials one address list per replica group. Every replica
-// must tile the same contiguous sample range (chunk boundaries may differ
-// between replicas).
-func NewGroupReplicas(replicas [][]string, opts GroupOptions) (*Group, error) {
-	if len(replicas) == 0 {
-		return nil, errors.New("transport: no replicas given")
-	}
+// newGroup builds the pieces every constructor shares.
+func newGroup(opts GroupOptions) *Group {
 	g := &Group{
-		counters: opts.Client.Counters,
-		cooldown: opts.FailoverCooldown,
-		suspect:  map[[2]int]time.Time{},
+		counters:   opts.Client.Counters,
+		maxBatch:   opts.MaxBatch,
+		clientOpts: opts.Client,
+		health:     health.NewTracker[string](opts.FailoverCooldown),
+		clients:    map[string]*Client{},
 	}
 	if g.counters == nil {
 		g.counters = nopCounters{}
 	}
-	if g.cooldown == 0 {
-		g.cooldown = time.Second
-	}
-	g.maxBatch = opts.MaxBatch
 	if g.maxBatch <= 0 {
 		g.maxBatch = 64
 	}
@@ -135,50 +115,10 @@ func NewGroupReplicas(replicas [][]string, opts GroupOptions) (*Group, error) {
 			Counters: g.counters,
 		})
 	}
-	for ri, addrs := range replicas {
-		rs := &replicaSet{}
-		for _, addr := range addrs {
-			cl, err := DialOptions(addr, opts.Client)
-			if err != nil {
-				g.Close()
-				return nil, err
-			}
-			lo, hi, err := cl.Meta()
-			if err != nil {
-				g.Close()
-				cl.Close()
-				return nil, err
-			}
-			rs.members = append(rs.members, &member{cl: cl, lo: lo, hi: hi})
-		}
-		for i := 1; i < len(rs.members); i++ {
-			if rs.members[i].lo != rs.members[i-1].hi {
-				g.Close()
-				return nil, fmt.Errorf("transport: chunk gap in replica %d: peer %d starts at %d, previous ends at %d",
-					ri, i, rs.members[i].lo, rs.members[i-1].hi)
-			}
-		}
-		if len(rs.members) > 0 {
-			rs.lo = rs.members[0].lo
-			rs.hi = rs.members[len(rs.members)-1].hi
-		}
-		g.replicas = append(g.replicas, rs)
-	}
-	for ri, rs := range g.replicas[1:] {
-		if rs.lo != g.replicas[0].lo || rs.hi != g.replicas[0].hi {
-			g.Close()
-			return nil, fmt.Errorf("transport: replica %d spans [%d,%d), replica 0 spans [%d,%d)",
-				ri+1, rs.lo, rs.hi, g.replicas[0].lo, g.replicas[0].hi)
-		}
-	}
-	for _, rs := range g.replicas {
-		if len(rs.members) > g.stride {
-			g.stride = len(rs.members)
-		}
-	}
-	if g.stride == 0 {
-		g.stride = 1
-	}
+	return g
+}
+
+func (g *Group) initEngine(opts GroupOptions) {
 	g.engine = fetch.New(fetch.Config{
 		Plane:       groupPlane{g: g},
 		Cache:       g.cache,
@@ -187,60 +127,286 @@ func NewGroupReplicas(replicas [][]string, opts GroupOptions) (*Group, error) {
 		Metrics:     opts.Metrics,
 		Spans:       opts.Spans,
 	})
+}
+
+// staticPeer is one dialed peer while a static topology is being frozen
+// into its generation-1 map.
+type staticPeer struct {
+	addr   string
+	lo, hi int64
+}
+
+// NewGroupReplicas dials one address list per replica group. Every replica
+// must tile the same contiguous sample range (chunk boundaries may differ
+// between replicas). The topology is frozen into a generation-1 shard map:
+// chunk boundaries across all replicas refine the keyspace into shards,
+// each owned by one member per replica, ordered by replica — so replica
+// preference (sample id modulo replica count) and failover order are
+// exactly what the static arithmetic produced.
+func NewGroupReplicas(replicas [][]string, opts GroupOptions) (*Group, error) {
+	if len(replicas) == 0 {
+		return nil, errors.New("transport: no replicas given")
+	}
+	g := newGroup(opts)
+	var sets [][]staticPeer
+	for ri, addrs := range replicas {
+		var set []staticPeer
+		for _, addr := range addrs {
+			cl, err := g.clientFor(addr)
+			if err != nil {
+				g.Close()
+				return nil, err
+			}
+			lo, hi, err := cl.Meta()
+			if err != nil {
+				g.Close()
+				return nil, err
+			}
+			set = append(set, staticPeer{addr: addr, lo: lo, hi: hi})
+		}
+		for i := 1; i < len(set); i++ {
+			if set[i].lo != set[i-1].hi {
+				g.Close()
+				return nil, fmt.Errorf("transport: chunk gap in replica %d: peer %d starts at %d, previous ends at %d",
+					ri, i, set[i].lo, set[i-1].hi)
+			}
+		}
+		sets = append(sets, set)
+	}
+	for ri, set := range sets[1:] {
+		if len(set) == 0 || len(sets[0]) == 0 {
+			continue
+		}
+		lo, hi := set[0].lo, set[len(set)-1].hi
+		lo0, hi0 := sets[0][0].lo, sets[0][len(sets[0])-1].hi
+		if lo != lo0 || hi != hi0 {
+			g.Close()
+			return nil, fmt.Errorf("transport: replica %d spans [%d,%d), replica 0 spans [%d,%d)",
+				ri+1, lo, hi, lo0, hi0)
+		}
+	}
+	m, err := staticMap(sets)
+	if err != nil {
+		g.Close()
+		return nil, err
+	}
+	g.maps, err = shardmap.NewStore(m, 0)
+	if err != nil {
+		g.Close()
+		return nil, err
+	}
+	g.replicas = len(replicas)
+	g.initEngine(opts)
 	return g, nil
+}
+
+// staticMap freezes a dialed static topology into generation 1: the union
+// of every replica's chunk boundaries refines the keyspace into shards on
+// which each replica's owner is constant, and each shard's owner list is
+// ordered by replica index.
+func staticMap(sets [][]staticPeer) (*shardmap.Map, error) {
+	m := &shardmap.Map{Gen: 1}
+	offset := make([]int, len(sets))
+	for ri, set := range sets {
+		offset[ri] = len(m.Members)
+		for mi, p := range set {
+			m.Members = append(m.Members, shardmap.Member{
+				ID:   fmt.Sprintf("r%d/%d@%s", ri, mi, p.addr),
+				Addr: p.addr,
+			})
+		}
+	}
+	boundSet := map[int64]bool{}
+	for _, set := range sets {
+		for _, p := range set {
+			boundSet[p.lo] = true
+			boundSet[p.hi] = true
+		}
+	}
+	bounds := make([]int64, 0, len(boundSet))
+	for b := range boundSet {
+		bounds = append(bounds, b)
+	}
+	sort.Slice(bounds, func(a, b int) bool { return bounds[a] < bounds[b] })
+	for i := 0; i+1 < len(bounds); i++ {
+		lo, hi := bounds[i], bounds[i+1]
+		owners := make([]int, 0, len(sets))
+		for ri, set := range sets {
+			mi := -1
+			for j, p := range set {
+				if lo >= p.lo && lo < p.hi {
+					mi = j
+					break
+				}
+			}
+			if mi < 0 {
+				return nil, fmt.Errorf("transport: no peer holds sample %d", lo)
+			}
+			owners = append(owners, offset[ri]+mi)
+		}
+		m.Shards = append(m.Shards, shardmap.Shard{Lo: lo, Hi: hi, Owners: owners})
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// NewElasticGroup joins an elastic cluster: the shard map is bootstrapped
+// from the first seed address that serves one, and every load routes
+// through the live generation from then on. New owners published by later
+// generations are dialed on demand; stale-generation responses refresh
+// the map in place.
+func NewElasticGroup(seeds []string, opts GroupOptions) (*Group, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("transport: no seed addresses given")
+	}
+	g := newGroup(opts)
+	var lastErr error
+	for _, addr := range seeds {
+		cl, err := g.clientFor(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		mb, err := cl.ShardMap()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		m, err := shardmap.Decode(mb)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		st, err := shardmap.NewStore(m, 0)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		g.maps = st
+		g.elastic = true
+		g.initEngine(opts)
+		return g, nil
+	}
+	g.Close()
+	return nil, fmt.Errorf("transport: shard map bootstrap failed on all %d seeds: %w", len(seeds), lastErr)
+}
+
+// clientFor returns the connection to addr, dialing it on first use.
+func (g *Group) clientFor(addr string) (*Client, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if cl, ok := g.clients[addr]; ok {
+		return cl, nil
+	}
+	cl, err := DialOptions(addr, g.clientOpts)
+	if err != nil {
+		return nil, err
+	}
+	g.clients[addr] = cl
+	return cl, nil
 }
 
 // Close releases all connections of all replicas.
 func (g *Group) Close() {
-	for _, rs := range g.replicas {
-		for _, m := range rs.members {
-			m.cl.Close()
-		}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, cl := range g.clients {
+		cl.Close()
 	}
+	g.clients = map[string]*Client{}
 }
 
-// Replicas returns the number of full dataset copies the group can reach.
-func (g *Group) Replicas() int { return len(g.replicas) }
+// Replicas returns the number of full dataset copies the group can reach:
+// the static replica count, or for elastic groups the minimum replica
+// width across the current generation's shards.
+func (g *Group) Replicas() int {
+	if !g.elastic {
+		return g.replicas
+	}
+	m := g.maps.Current()
+	width := 0
+	for i := range m.Shards {
+		if w := m.Shards[i].Width(); width == 0 || w < width {
+			width = w
+		}
+	}
+	return width
+}
 
 // Len returns the total number of samples in the dataset.
 func (g *Group) Len() int {
-	if len(g.replicas) == 0 {
+	if g.maps == nil {
 		return 0
 	}
-	return int(g.replicas[0].hi - g.replicas[0].lo)
+	lo, hi := g.maps.Current().Range()
+	return int(hi - lo)
 }
 
-// inCooldown reports whether the peer is quarantined.
-func (g *Group) inCooldown(ri, mi int) bool {
-	if g.cooldown < 0 {
-		return false
+// Range returns the [lo, hi) sample keyspace of the current generation.
+func (g *Group) Range() (int64, int64) {
+	if g.maps == nil {
+		return 0, 0
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	until, ok := g.suspect[[2]int{ri, mi}]
-	if !ok {
-		return false
-	}
-	if time.Now().After(until) {
-		delete(g.suspect, [2]int{ri, mi})
-		return false
-	}
-	return true
+	return g.maps.Current().Range()
 }
 
-func (g *Group) markSuspect(ri, mi int) {
-	if g.cooldown < 0 {
-		return
+// Generation returns the shard map generation the group currently routes
+// against.
+func (g *Group) Generation() uint64 { return g.maps.Generation() }
+
+// Refresh re-fetches the shard map from the given peer and installs it if
+// newer. The fetch path refreshes itself from stale-generation responses;
+// Refresh exists for control planes that want to converge eagerly.
+func (g *Group) Refresh(addr string) error {
+	cl, err := g.clientFor(addr)
+	if err != nil {
+		return err
 	}
-	g.mu.Lock()
-	g.suspect[[2]int{ri, mi}] = time.Now().Add(g.cooldown)
-	g.mu.Unlock()
+	mb, err := cl.ShardMap()
+	if err != nil {
+		return err
+	}
+	m, err := shardmap.Decode(mb)
+	if err != nil {
+		return err
+	}
+	_, err = g.maps.ApplyIfNewer(m)
+	return err
 }
 
-func (g *Group) clearSuspect(ri, mi int) {
-	g.mu.Lock()
-	delete(g.suspect, [2]int{ri, mi})
-	g.mu.Unlock()
+// refreshFromSurvivors polls the current generation's members — skipping
+// the ones that just failed at the transport level — for a newer shard
+// map and installs the first one found. A crashed owner cannot answer
+// with a stale-generation status (it cannot answer at all), so when every
+// replica of a chunk is unreachable the survivors are the only source of
+// the generation that routed around the crash. Returns whether a newer
+// map was installed.
+func (g *Group) refreshFromSurvivors(down map[int]bool) bool {
+	m := g.maps.Current()
+	for mi := range m.Members {
+		if down[mi] || m.Members[mi].Addr == "" {
+			continue
+		}
+		cl, err := g.clientFor(m.Members[mi].Addr)
+		if err != nil {
+			continue
+		}
+		mb, err := cl.ShardMap()
+		if err != nil {
+			continue
+		}
+		nm, err := shardmap.Decode(mb)
+		if err != nil {
+			continue
+		}
+		if ok, aerr := g.maps.ApplyIfNewer(nm); aerr == nil && ok {
+			g.counters.Inc(CounterStaleRefreshes, 1)
+			return true
+		}
+	}
+	return false
 }
 
 // Get fetches one sample: a one-element Load, with the same caching,
@@ -261,7 +427,7 @@ func (g *Group) Get(id int64) (*graph.Graph, error) {
 // missing id coalesce into one fetch via the cache's flight table. The
 // whole pipeline runs in the shared engine (internal/fetch); this file
 // contributes only the TCP wire: replica preference, suspect/cooldown
-// failover, and OpGetBatch chunking.
+// failover, stale-generation refresh, and OpGetBatch chunking.
 func (g *Group) Load(ids []int64) ([]*graph.Graph, error) {
 	out, _, err := g.LoadTimed(ids)
 	return out, err
@@ -270,7 +436,7 @@ func (g *Group) Load(ids []int64) ([]*graph.Graph, error) {
 // LoadTimed is Load plus per-sample wall-clock fetch latencies, the same
 // contract core.Store.LoadTimed has on the RMA plane.
 func (g *Group) LoadTimed(ids []int64) ([]*graph.Graph, []time.Duration, error) {
-	if len(g.replicas) == 0 {
+	if g.maps == nil {
 		return nil, nil, errors.New("transport: group has no replicas")
 	}
 	return g.engine.Load(ids)
@@ -281,81 +447,102 @@ func (g *Group) LoadTimed(ids []int64) ([]*graph.Graph, []time.Duration, error) 
 // caller owns the views — materialize via Graph() or Release() each one —
 // and the same contract holds on the RMA plane (core.Store.LoadLazy).
 func (g *Group) LoadLazy(ids []int64) ([]*graph.Lazy, []time.Duration, error) {
-	if len(g.replicas) == 0 {
+	if g.maps == nil {
 		return nil, nil, errors.New("transport: group has no replicas")
 	}
 	return g.engine.LoadLazy(ids)
 }
 
 // groupPlane adapts the Group to the shared fetch engine. The owner token
-// encodes (preferred replica, owning member) as ri*stride+mi; nothing is
-// ever local to a TCP client, so every id goes through the cache and the
-// wire.
+// packs (generation, preferred member index); nothing is ever local to a
+// TCP client, so every id goes through the cache and the wire.
 type groupPlane struct {
 	g *Group
 }
 
 func (p groupPlane) OwnerOf(id int64) (int, error) {
-	g := p.g
-	if id < g.replicas[0].lo || id >= g.replicas[0].hi {
+	m := p.g.maps.Current()
+	mi, err := m.PreferredOwner(id)
+	if err != nil {
 		return 0, fmt.Errorf("transport: no peer holds sample %d", id)
 	}
-	// Spread load over the replicas by preferring replica id%n, exactly
-	// like the single-sample path used to do.
-	ri := int(id) % len(g.replicas)
-	if ri < 0 {
-		ri = 0
-	}
-	mi := g.replicas[ri].ownerOf(id)
-	if mi < 0 {
-		return 0, fmt.Errorf("transport: no peer holds sample %d", id)
-	}
-	return ri*g.stride + mi, nil
+	return shardmap.PackOwner(m.Gen, mi)
 }
 
 func (p groupPlane) Local(int) bool { return false }
 
-// FetchOwner fetches one (replica, member) group's ids in maxBatch-sized
-// chunks; each chunk keeps its own retry/failover sequence.
+// FetchOwner fetches one (generation, member) group's ids in
+// maxBatch-sized chunks; each chunk keeps its own retry/failover/refresh
+// sequence. The token's generation pins the chunk to the map its batch
+// was planned under; a generation that has aged out of the history falls
+// back to the current one (and the stale-generation protocol corrects any
+// resulting misroute).
 func (p groupPlane) FetchOwner(owner int, ids []int64, deliver fetch.Deliver) error {
 	g := p.g
-	ri := owner / g.stride
+	gen, _, err := shardmap.UnpackOwner(owner)
+	if err != nil {
+		return err
+	}
+	m := g.maps.At(gen)
+	if m == nil {
+		m = g.maps.Current()
+	}
 	chunk := append([]int64(nil), ids...)
 	sort.Slice(chunk, func(a, b int) bool { return chunk[a] < chunk[b] })
 	for len(chunk) > 0 {
-		m := len(chunk)
-		if m > g.maxBatch {
-			m = g.maxBatch
+		n := len(chunk)
+		if n > g.maxBatch {
+			n = g.maxBatch
 		}
-		if err := g.fetchChunk(ri, chunk[:m], deliver); err != nil {
+		if err := g.fetchChunk(m, chunk[:n], deliver, 0); err != nil {
 			return err
 		}
-		chunk = chunk[m:]
+		chunk = chunk[n:]
 	}
 	return nil
 }
 
-// fetchChunk fetches one owner-grouped chunk of at most maxBatch ids,
-// starting at the preferred replica and failing the still-missing ids over
-// to the owners in the other replicas. Quarantined peers are deferred to a
-// last-resort pass, exactly like the single-sample path used to do.
-func (g *Group) fetchChunk(start int, ids []int64, deliver fetch.Deliver) error {
-	n := len(g.replicas)
+// maxStaleRetries bounds how many times one chunk re-resolves against a
+// freshly installed generation before giving up — each retry only happens
+// after a server proved the routing stale, so two hops cover any
+// transition that completes while the chunk is in flight.
+const maxStaleRetries = 2
+
+// fetchChunk fetches one owner-grouped chunk of at most maxBatch ids
+// against the given generation, starting at each id's preferred owner and
+// failing the still-missing ids over to the other owners of their shard.
+// Quarantined peers are deferred to a last-resort pass, exactly like the
+// single-sample path used to do. A stale-generation response installs the
+// newer map carried in the reply and re-resolves the leftovers against
+// it.
+func (g *Group) fetchChunk(m *shardmap.Map, ids []int64, deliver fetch.Deliver, depth int) error {
 	missing := make(map[int64]bool, len(ids))
+	width := 0
 	for _, id := range ids {
+		sh, err := m.ShardOf(id)
+		if err != nil {
+			return fmt.Errorf("transport: no peer holds sample %d", id)
+		}
+		if sh.Width() > width {
+			width = sh.Width()
+		}
 		missing[id] = true
 	}
+	staleSeen := false
+	down := map[int]bool{} // members that failed at the transport level
 	var lastErr error
 	for _, lastResort := range []bool{false, true} {
-		for k := 0; k < n && len(missing) > 0; k++ {
-			ri := (start + k) % n
-			// Regroup the leftovers by owner in THIS replica — chunk
-			// boundaries may differ between replicas.
+		for k := 0; k < width && len(missing) > 0; k++ {
+			// Regroup the leftovers by their k-th choice owner — shard
+			// boundaries (and widths) may differ across the chunk.
 			byOwner := map[int][]int64{}
 			for id := range missing {
-				if mi := g.replicas[ri].ownerOf(id); mi >= 0 {
-					byOwner[mi] = append(byOwner[mi], id)
+				sh, _ := m.ShardOf(id)
+				if k >= sh.Width() {
+					continue
 				}
+				mi := sh.Choice(id, k)
+				byOwner[mi] = append(byOwner[mi], id)
 			}
 			members := make([]int, 0, len(byOwner))
 			for mi := range byOwner {
@@ -363,13 +550,21 @@ func (g *Group) fetchChunk(start int, ids []int64, deliver fetch.Deliver) error 
 			}
 			sort.Ints(members)
 			for _, mi := range members {
-				if g.inCooldown(ri, mi) != lastResort {
+				memID := m.Members[mi].ID
+				if g.health.InCooldown(memID) != lastResort {
 					continue
 				}
 				want := byOwner[mi]
 				sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+				cl, err := g.clientFor(m.Members[mi].Addr)
+				if err != nil {
+					lastErr = err
+					down[mi] = true
+					g.health.MarkSuspect(memID)
+					continue
+				}
 				before := time.Now()
-				buf, raws, err := g.replicas[ri].members[mi].cl.GetBatchBufs(want)
+				buf, raws, err := cl.GetBatchBufs(want)
 				per := time.Since(before) / time.Duration(len(want))
 				if err != nil {
 					lastErr = err
@@ -379,10 +574,24 @@ func (g *Group) fetchChunk(start int, ids []int64, deliver fetch.Deliver) error 
 						// let another replica try the leftovers.
 						continue
 					}
+					var serr *StaleGenerationError
+					if errors.As(err, &serr) {
+						// The chunk moved: install the newer map the server
+						// sent along and re-resolve after the failover
+						// passes. The peer is healthy — no quarantine.
+						staleSeen = true
+						if nm, derr := shardmap.Decode(serr.MapBytes); derr == nil {
+							if ok, aerr := g.maps.ApplyIfNewer(nm); aerr == nil && ok {
+								g.counters.Inc(CounterStaleRefreshes, 1)
+							}
+						}
+						continue
+					}
 					var rerr *RemoteError
 					if !errors.As(err, &rerr) {
 						// Transport-level failure: the peer may be down.
-						g.markSuspect(ri, mi)
+						down[mi] = true
+						g.health.MarkSuspect(memID)
 					}
 					continue
 				}
@@ -400,7 +609,7 @@ func (g *Group) fetchChunk(start int, ids []int64, deliver fetch.Deliver) error 
 						// corrupt source bytes: leave the id missing for
 						// another replica and avoid this peer for a while.
 						buf.Release()
-						lastErr = fmt.Errorf("transport: sample %d from replica %d: %w", id, ri, derr)
+						lastErr = fmt.Errorf("transport: sample %d from member %s: %w", id, memID, derr)
 						healthy = false
 						continue
 					}
@@ -412,16 +621,35 @@ func (g *Group) fetchChunk(start int, ids []int64, deliver fetch.Deliver) error 
 				}
 				buf.Release()
 				if healthy {
-					g.clearSuspect(ri, mi)
+					g.health.Clear(memID)
 				} else {
-					g.markSuspect(ri, mi)
+					g.health.MarkSuspect(memID)
 				}
 			}
 		}
 	}
 	if len(missing) > 0 {
+		// A server that proved the routing stale already handed us the newer
+		// map. When every replica died at the transport level instead — a
+		// crashed owner can't answer stale — ask the surviving members for
+		// the generation that routed around it. Either way the leftovers
+		// re-resolve against the freshest installed map, bounded by depth.
+		if depth < maxStaleRetries {
+			refreshed := staleSeen
+			if !refreshed && g.elastic && len(down) > 0 {
+				refreshed = g.refreshFromSurvivors(down)
+			}
+			if refreshed {
+				left := make([]int64, 0, len(missing))
+				for id := range missing {
+					left = append(left, id)
+				}
+				sort.Slice(left, func(a, b int) bool { return left[a] < left[b] })
+				return g.fetchChunk(g.maps.Current(), left, deliver, depth+1)
+			}
+		}
 		return fmt.Errorf("transport: %d of %d samples failed on all %d replicas: %w",
-			len(missing), len(ids), n, lastErr)
+			len(missing), len(ids), width, lastErr)
 	}
 	return nil
 }

@@ -115,6 +115,7 @@ const (
 	CounterFailovers      = "net-failovers"       // samples served by a non-preferred replica
 	CounterGiveUps        = "net-giveups"         // operations that exhausted every attempt
 	CounterOverloads      = "net-overloads"       // responses shed by server admission control
+	CounterStaleRefreshes = "net-stale-refreshes" // shard map refreshes triggered by stale-generation responses
 )
 
 // nopCounters discards counts; used when no sink is configured.

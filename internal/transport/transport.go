@@ -46,10 +46,12 @@ const (
 	opMulti    = 3 // request samples [a, b); response payload: concatenated graphs
 	opGetBatch = 4 // request a ids (listed in the body); response: length-prefixed graphs
 	opHello    = 5 // declare tenant identity: a name bytes in the body; response: empty
+	opShardMap = 6 // request the current shard map; response payload: encoded shardmap.Map
 
 	statusOK         = 0
 	statusError      = 1
 	statusOverloaded = 2 // request shed by admission control: back off, don't fail over
+	statusStaleGen   = 3 // requested id not owned under the current shard map generation; payload IS the server's current encoded map: refresh and retry, don't fail over
 
 	reqHeaderSize  = 17
 	respHeaderSize = 9
@@ -117,6 +119,33 @@ type Admission interface {
 	AdmitConn(remoteAddr string) (ConnGate, error)
 }
 
+// ShardMapSource is the server-side hook into a versioned ownership map
+// (internal/shardmap, adapted by serveboot so this package stays
+// import-light). When configured, the server answers requests for samples
+// it does not own under the current generation with a stale-generation
+// status whose payload is the current encoded map — the client refreshes
+// its map from that payload and retries the right owner in one round
+// trip, instead of treating a moved chunk as a dead peer. The map
+// bootstrap op serves the same encoded bytes on demand.
+type ShardMapSource interface {
+	// Generation returns the current shard map generation.
+	Generation() uint64
+	// Owns reports whether this server holds sample id under the current
+	// generation (as primary or replica, including chunks migrated in but
+	// not yet cut over).
+	Owns(id int64) bool
+	// Encoded returns the current generation's wire encoding
+	// (shardmap.Map.Encode; cached per generation by shardmap.Store).
+	Encoded() ([]byte, error)
+}
+
+// staleGenError is the server-internal signal that a request touched a
+// sample this server no longer owns: writeFrame turns it into a
+// stale-generation response carrying the current map.
+type staleGenError struct{ mapBytes []byte }
+
+func (e *staleGenError) Error() string { return "stale shard map generation" }
+
 // ChunkSource is what a Server exposes: a contiguous range of samples with
 // access to their encoded bytes. core.Store implements it for its local
 // chunk (LocalRange + LocalSampleBytes).
@@ -170,6 +199,11 @@ type ServerOptions struct {
 	// a serving front end (internal/frontend): tenant identity, rate
 	// limits, priority queues, and load shedding.
 	Admission Admission
+	// ShardMap, when non-nil, makes the server elastic: ownership of every
+	// requested sample is checked against the live shard map generation,
+	// un-owned samples answer with the stale-generation status carrying
+	// the current map, and the map bootstrap op is served.
+	ShardMap ShardMapSource
 	// Metrics, when non-nil, records per-request service latency into the
 	// canonical fetch-latency histogram plus per-op request, error, and
 	// payload-byte counters — what ddstore-serve exposes on /metrics.
@@ -179,9 +213,10 @@ type ServerOptions struct {
 // serverMetrics holds the server's pre-resolved instrument handles so the
 // request loop never touches the registry's lookup path.
 type serverMetrics struct {
-	reqs        [6]*obs.Counter // indexed by op; 0 unused
+	reqs        [7]*obs.Counter // indexed by op; 0 unused
 	errors      *obs.Counter
 	bytes       *obs.Counter
+	stales      *obs.Counter
 	lat         *obs.Histogram
 	acceptRejct *obs.Counter
 	connRejects *obs.Counter
@@ -191,16 +226,18 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	reg.Help("ddstore_serve_requests_total", "Requests handled by the chunk server, by op.")
 	reg.Help("ddstore_serve_errors_total", "Requests answered with an error status.")
 	reg.Help("ddstore_serve_bytes_total", "Response payload bytes served.")
+	reg.Help("ddstore_serve_stale_gen_total", "Requests answered with a stale-generation status (sample not owned under the current shard map).")
 	m := &serverMetrics{
 		errors:      reg.Counter("ddstore_serve_errors_total"),
 		bytes:       reg.Counter("ddstore_serve_bytes_total"),
+		stales:      reg.Counter("ddstore_serve_stale_gen_total"),
 		lat:         obs.FetchLatencyHistogram(reg),
 		acceptRejct: reg.Counter(obs.MetricAcceptRejected),
 		connRejects: reg.Counter(obs.MetricConnRejected),
 	}
 	reg.Help(obs.MetricAcceptRejected, "Accepted connections closed because the MaxConns goroutine cap was reached.")
 	reg.Help(obs.MetricConnRejected, "Connections refused by admission control with an overloaded status.")
-	for op, name := range map[byte]string{opMeta: "meta", opGet: "get", opMulti: "multi", opGetBatch: "getbatch", opHello: "hello"} {
+	for op, name := range map[byte]string{opMeta: "meta", opGet: "get", opMulti: "multi", opGetBatch: "getbatch", opHello: "hello", opShardMap: "shardmap"} {
 		m.reqs[op] = reg.Counter("ddstore_serve_requests_total", "op", name)
 	}
 	return m
@@ -214,7 +251,13 @@ func (m *serverMetrics) observe(op byte, payload int, err error, dur time.Durati
 	if int(op) < len(m.reqs) && m.reqs[op] != nil {
 		m.reqs[op].Inc()
 	}
-	if err != nil {
+	var sg *staleGenError
+	switch {
+	case errors.As(err, &sg):
+		// A stale-generation answer is migration working as designed, not
+		// a server fault — metered separately from the error counter.
+		m.stales.Inc()
+	case err != nil:
 		m.errors.Inc()
 	}
 	m.bytes.Add(int64(payload))
@@ -472,6 +515,11 @@ func (s *Server) checkHeader(op byte, a, b int64) error {
 			return fmt.Errorf("tenant name length %d outside [1,%d]", a, maxTenantName)
 		}
 		return nil
+	case opShardMap:
+		if s.opts.ShardMap == nil {
+			return errors.New("server does not serve a shard map")
+		}
+		return nil
 	default:
 		return fmt.Errorf("unknown op %d", op)
 	}
@@ -546,11 +594,16 @@ func (s *Server) handle(conn net.Conn, st *connState, gate ConnGate) {
 				binary.LittleEndian.PutUint64(meta[8:], uint64(hi))
 				parts = [][]byte{meta}
 			case opGet:
-				var one []byte
-				if one, err = s.src.LocalSampleBytes(a); err == nil {
-					parts = [][]byte{one}
+				if err = s.ownsAll(a, a+1); err == nil {
+					var one []byte
+					if one, err = s.src.LocalSampleBytes(a); err == nil {
+						parts = [][]byte{one}
+					}
 				}
 			case opMulti:
+				if err = s.ownsAll(a, b); err != nil {
+					break
+				}
 				parts = make([][]byte, 0, b-a)
 				for id := a; id < b; id++ {
 					var one []byte
@@ -563,9 +616,17 @@ func (s *Server) handle(conn net.Conn, st *connState, gate ConnGate) {
 			case opGetBatch:
 				// The count is validated, so the body length is trusted and
 				// the connection stays usable even if an id is out of range.
-				parts, err = s.batchParts(decodeBatchIDs(body, int(a)))
+				ids := decodeBatchIDs(body, int(a))
+				if err = s.ownsBatch(ids); err == nil {
+					parts, err = s.batchParts(ids)
+				}
 			case opHello:
 				// Acknowledged with an empty payload.
+			case opShardMap:
+				var mb []byte
+				if mb, err = s.opts.ShardMap.Encoded(); err == nil {
+					parts = [][]byte{mb}
+				}
 			}
 		}
 		var total int
@@ -582,6 +643,47 @@ func (s *Server) handle(conn net.Conn, st *connState, gate ConnGate) {
 			return
 		}
 	}
+}
+
+// ownsAll checks every id in [lo, hi) against the shard map (a no-op
+// without one): the first id this server does not own under the current
+// generation turns the whole request into a stale-generation answer
+// carrying the current map. Migration keeps data addressable throughout —
+// the old owner answers stale only after it has applied the generation
+// that moved the chunk, by which point the new owner serves it.
+func (s *Server) ownsAll(lo, hi int64) error {
+	sm := s.opts.ShardMap
+	if sm == nil {
+		return nil
+	}
+	for id := lo; id < hi; id++ {
+		if !sm.Owns(id) {
+			return s.staleErr()
+		}
+	}
+	return nil
+}
+
+// ownsBatch is ownsAll over an id list.
+func (s *Server) ownsBatch(ids []int64) error {
+	sm := s.opts.ShardMap
+	if sm == nil {
+		return nil
+	}
+	for _, id := range ids {
+		if !sm.Owns(id) {
+			return s.staleErr()
+		}
+	}
+	return nil
+}
+
+func (s *Server) staleErr() error {
+	mb, err := s.opts.ShardMap.Encoded()
+	if err != nil {
+		return err
+	}
+	return &staleGenError{mapBytes: mb}
 }
 
 // batchParts gathers the requested samples into the length-prefixed batch
@@ -618,14 +720,20 @@ func (s *Server) batchParts(ids []int64) ([][]byte, error) {
 // payload.
 func (s *Server) writeFrame(conn net.Conn, parts [][]byte, err error) error {
 	var head [respHeaderSize]byte
-	if err != nil {
+	var sg *staleGenError
+	switch {
+	case errors.As(err, &sg):
+		// The refresh is the payload: the client installs this map and
+		// retries the right owner without an extra round trip.
+		head[0] = statusStaleGen
+		parts = [][]byte{sg.mapBytes}
+	case errors.Is(err, ErrOverloaded):
+		head[0] = statusOverloaded
 		parts = [][]byte{[]byte(err.Error())}
-		if errors.Is(err, ErrOverloaded) {
-			head[0] = statusOverloaded
-		} else {
-			head[0] = statusError
-		}
-	} else {
+	case err != nil:
+		head[0] = statusError
+		parts = [][]byte{[]byte(err.Error())}
+	default:
 		head[0] = statusOK
 	}
 	total := 0
