@@ -76,6 +76,7 @@ func main() {
 		artifactOut = flag.String("out", "BENCH_loadgen.json", "loadgen JSON artifact path ('' = don't write)")
 		tenant      = flag.String("tenant", "", "tenant identity declared to the server's admission control (loadgen mode)")
 		elastic     = flag.Bool("elastic", false, "route -loadgen traffic through the cluster's live shard map (elastic ddstore-serve; -addr are the seeds)")
+		traced      = flag.Bool("traced", false, "propagate a sampled trace context on every loadgen request; server timing segments merge into -trace-out and slowest exemplars carry trace ids")
 
 		// Reshard mode: the self-contained live-migration bench — boot an
 		// in-process 2-owner elastic cluster, grow it mid-load, and compare
@@ -109,6 +110,9 @@ func main() {
 	if *elastic && !*loadgenMode {
 		usageError("-elastic only applies to -loadgen mode")
 	}
+	if *traced && !*loadgenMode {
+		usageError("-traced only applies to -loadgen mode")
+	}
 	if *loadgenMode && *addrs == "" {
 		usageError("-loadgen needs -addr: the address(es) of a live ddstore-serve (start one with: ddstore-serve -dataset homolumo -n 10000 -lo 0 -hi 10000)")
 	}
@@ -141,7 +145,7 @@ func main() {
 			addrs: *addrs, quick: *quick, seed: *seed, csv: *csv, json: *jsonOut,
 			clients: *clients, qps: *qps, duration: *duration, ramp: *ramp,
 			mix: *mix, batch: *batch, metricsURL: *metricsURL, out: *artifactOut,
-			tenant: *tenant, elastic: *elastic,
+			tenant: *tenant, elastic: *elastic, traced: *traced, traceOut: *traceOut,
 		}
 		switch {
 		case *isolation:
@@ -268,6 +272,8 @@ type loadgenFlags struct {
 	out        string
 	tenant     string
 	elastic    bool
+	traced     bool
+	traceOut   string
 }
 
 func runLoadgen(f loadgenFlags) {
@@ -292,9 +298,19 @@ func runLoadgen(f loadgenFlags) {
 		MetricsURL: f.metricsURL,
 		Tenant:     f.tenant,
 		Elastic:    f.elastic,
+		Trace:      f.traced,
 	}
 	for i := range cfg.Addrs {
 		cfg.Addrs[i] = strings.TrimSpace(cfg.Addrs[i])
+	}
+	// With both -traced and -trace-out set, the run collects client root
+	// spans plus the server segments synthesized from timing trailers into
+	// one ring, so the emitted file is a single merged Chrome trace.
+	var ring *obs.SpanRing
+	if f.traced && f.traceOut != "" {
+		ring = obs.NewSpanRing(obs.DefaultSpanCap, 0)
+		ring.SetLabel("loadgen")
+		cfg.TraceSpans = ring
 	}
 
 	// Ctrl-C drains in-flight workers and still reports the phases that
@@ -318,6 +334,22 @@ func runLoadgen(f loadgenFlags) {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote loadgen artifact to %s\n", f.out)
+	}
+	if ring != nil {
+		fl, err := os.Create(f.traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddstore-bench: %v\n", err)
+			os.Exit(1)
+		}
+		werr := obs.WriteChromeTrace(fl, ring)
+		if cerr := fl.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "ddstore-bench: write trace: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote merged client+server Chrome trace to %s (load in about://tracing)\n", f.traceOut)
 	}
 }
 

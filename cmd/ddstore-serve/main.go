@@ -60,6 +60,12 @@ func main() {
 		feWorkers    = flag.Int("frontend-workers", 0, "request worker permits draining the queues (0 = GOMAXPROCS)")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-drain bound on shutdown")
 
+		// Flight-recorder flags tune the always-on ring of anomalous
+		// requests (slow/errored/shed/stale) served at /debug/flightrecorder.
+		flightCap  = flag.Int("flightrec", 0, "flight recorder ring capacity (0 = default 256, negative = disabled)")
+		slowThresh = flag.Duration("slow-threshold", 0, "flight-record successful requests slower than this (0 = default 250ms, negative = disabled)")
+		flightDir  = flag.String("flightrec-dir", "", "snapshot the flight recorder here when shed/stale rates spike (empty = no snapshots)")
+
 		// Cache flags switch from eager preload to lazy on-demand serving
 		// through a byte-budgeted hot-sample cache.
 		cacheBytes = flag.Int64("cache-bytes", 0, "serve lazily through a cache of this many bytes instead of preloading the range (0 = preload)")
@@ -94,6 +100,7 @@ func main() {
 			cffDir: *cffDir, pffDir: *pffDir, dataset: *dsName, n: *n, bins: *bins,
 			writeTimeout: *writeTimeout, idleTimeout: *idleTimeout,
 			debugAddr: *debugAddr, chaos: chaos,
+			flightCap: *flightCap, slowThresh: *slowThresh,
 		})
 		return
 	}
@@ -118,6 +125,10 @@ func main() {
 		QueueDepth:      *queueDepth,
 		FrontendWorkers: *feWorkers,
 		DrainTimeout:    *drainTimeout,
+
+		FlightRecCap:  *flightCap,
+		SlowThreshold: *slowThresh,
+		FlightRecDir:  *flightDir,
 	}
 	cfg.Chaos = chaos
 
@@ -129,7 +140,7 @@ func main() {
 	srvLo, srvHi := inst.Range()
 	fmt.Printf("serving samples [%d,%d) on %s (ctrl-c to stop)\n", srvLo, srvHi, inst.Addr())
 	if dbg := inst.DebugAddr(); dbg != "" {
-		fmt.Printf("debug server on http://%s (/metrics, /healthz, /debug/pprof/)\n", dbg)
+		fmt.Printf("debug server on http://%s (/metrics, /healthz, /readyz, /debug/flightrecorder, /debug/pprof/)\n", dbg)
 	}
 	if pol := inst.CachePolicy(); pol != "" {
 		fmt.Printf("lazy mode: %s cache, %d byte budget\n", pol, *cacheBytes)
@@ -173,6 +184,8 @@ type elasticFlags struct {
 	idleTimeout  time.Duration
 	debugAddr    string
 	chaos        *faultnet.Scenario
+	flightCap    int
+	slowThresh   time.Duration
 }
 
 // runElastic boots an in-process owner cluster behind a live shard map
@@ -187,18 +200,20 @@ func runElastic(f elasticFlags) {
 		}
 	}
 	c, err := serveboot.BootCluster(serveboot.ElasticConfig{
-		CFFDir:       f.cffDir,
-		PFFDir:       f.pffDir,
-		Dataset:      f.dataset,
-		N:            f.n,
-		Bins:         f.bins,
-		Owners:       f.owners,
-		Addrs:        addrs,
-		Width:        f.width,
-		WriteTimeout: f.writeTimeout,
-		IdleTimeout:  f.idleTimeout,
-		DebugAddr:    f.debugAddr,
-		Chaos:        f.chaos,
+		CFFDir:        f.cffDir,
+		PFFDir:        f.pffDir,
+		Dataset:       f.dataset,
+		N:             f.n,
+		Bins:          f.bins,
+		Owners:        f.owners,
+		Addrs:         addrs,
+		Width:         f.width,
+		WriteTimeout:  f.writeTimeout,
+		IdleTimeout:   f.idleTimeout,
+		DebugAddr:     f.debugAddr,
+		Chaos:         f.chaos,
+		FlightRecCap:  f.flightCap,
+		SlowThreshold: f.slowThresh,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ddstore-serve: %v\n", err)
@@ -210,7 +225,7 @@ func runElastic(f elasticFlags) {
 		fmt.Printf("  %s on %s\n", id, c.Owner(id).Addr())
 	}
 	if dbg := c.DebugAddr(); dbg != "" {
-		fmt.Printf("debug server on http://%s (/metrics, /healthz, /admin/reshard?owners=N)\n", dbg)
+		fmt.Printf("debug server on http://%s (/metrics, /healthz, /readyz, /debug/flightrecorder, /admin/reshard?owners=N)\n", dbg)
 	}
 	if f.chaos != nil {
 		fmt.Printf("chaos mode: %+v\n", *f.chaos)

@@ -128,6 +128,17 @@ func (b *Buf) Len() int {
 	return b.n
 }
 
+// Truncate shortens the buffer's visible length to n (0 <= n <= Len), so
+// a consumer can strip trailing framing — e.g. a response timing trailer —
+// before aliasing the data in front of it. The discarded capacity stays
+// with the buffer and is recycled with it.
+func (b *Buf) Truncate(n int) {
+	if n < 0 || n > b.n {
+		panic(fmt.Sprintf("bufarena: Truncate(%d) of a %d-byte buffer", n, b.n))
+	}
+	b.n = n
+}
+
 // Refs returns the current reference count (for tests).
 func (b *Buf) Refs() int32 {
 	if b == nil {

@@ -7,6 +7,8 @@ import (
 	"ddstore/internal/core"
 	"ddstore/internal/fetch"
 	"ddstore/internal/graph"
+	"ddstore/internal/obs"
+	"ddstore/internal/obs/tracectx"
 )
 
 // Loader is how a rank materializes a batch of samples by global id. The
@@ -31,11 +33,27 @@ type DataPlane interface {
 	LatencyStats() fetch.LatencySummary
 }
 
+// TracedDataPlane is a DataPlane whose lazy loads can carry a distributed
+// trace context down the fan-out (transport.Group implements it).
+type TracedDataPlane interface {
+	DataPlane
+	LoadLazyTraced(ids []int64, tc tracectx.Context) ([]*graph.Lazy, []time.Duration, error)
+}
+
 // PlaneLoader serves batches from either DDStore data plane. It replaces
 // the former per-plane StoreLoader/GroupLoader pair — one adapter, two
 // planes.
 type PlaneLoader struct {
 	Plane DataPlane
+	// Trace opens a sampled root trace per lazy batch when the plane
+	// supports traced loads: every per-owner wire request propagates a
+	// child context to the servers, whose timing trailers come back as
+	// nested "server" spans.
+	Trace bool
+	// Spans, when non-nil with Trace set, receives one client-side root
+	// span per traced batch ("load-batch", category "train"), the parent of
+	// the fetch and server spans sharing its trace id.
+	Spans *obs.SpanRing
 }
 
 // Len returns the dataset size.
@@ -52,7 +70,21 @@ func (l *PlaneLoader) LoadBatch(ids []int64) ([]*graph.Graph, []time.Duration, e
 // once: Graph() to materialize (which releases the underlying buffer
 // reference) or Release() to drop it.
 func (l *PlaneLoader) LoadBatchLazy(ids []int64) ([]*graph.Lazy, []time.Duration, error) {
-	return l.Plane.LoadLazy(ids)
+	tp, ok := l.Plane.(TracedDataPlane)
+	if !l.Trace || !ok {
+		return l.Plane.LoadLazy(ids)
+	}
+	tc := tracectx.New(true)
+	start := obs.EpochNow()
+	out, lat, err := tp.LoadLazyTraced(ids, tc)
+	if l.Spans != nil {
+		l.Spans.Record(obs.Span{
+			Name: "load-batch", Cat: "train", Owner: -1, Samples: len(ids),
+			Start: start, Dur: obs.EpochNow() - start,
+			TraceID: tc.TraceID, SpanID: tc.SpanID,
+		})
+	}
+	return out, lat, err
 }
 
 // CacheStats reports the plane's sample-cache counters — the zero Stats

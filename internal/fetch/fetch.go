@@ -35,6 +35,7 @@ import (
 	"ddstore/internal/cache"
 	"ddstore/internal/graph"
 	"ddstore/internal/obs"
+	"ddstore/internal/obs/tracectx"
 	"ddstore/internal/stats"
 )
 
@@ -78,6 +79,19 @@ type EpochPlane interface {
 	BeginEpoch(owner int) (time.Duration, error)
 	// EndEpoch closes the epoch opened by BeginEpoch.
 	EndEpoch(owner int) error
+}
+
+// TracedPlane is the optional distributed-tracing hook: when a plane
+// implements it and a load carries a valid trace context, the engine mints
+// a child context per owner fan-out and hands it to FetchOwnerTraced, so
+// the plane can propagate it over the wire and merge the server's timing
+// feedback into the span tree. Planes without the hook (or loads without a
+// context) use plain FetchOwner and tracing stays off.
+type TracedPlane interface {
+	Plane
+	// FetchOwnerTraced is FetchOwner carrying the child trace context the
+	// engine minted for this owner's sub-request.
+	FetchOwnerTraced(owner int, ids []int64, tc tracectx.Context, deliver Deliver) error
 }
 
 // Config assembles an Engine.
@@ -128,7 +142,8 @@ type LatencySummary struct {
 // concurrent Loads.
 type Engine struct {
 	plane   Plane
-	epochs  EpochPlane // nil when the plane has no lock hooks
+	epochs  EpochPlane  // nil when the plane has no lock hooks
+	traced  TracedPlane // nil when the plane has no tracing hook
 	cache   *cache.Cache
 	par     int
 	serial  bool
@@ -168,9 +183,14 @@ func New(cfg Config) *Engine {
 	if ep, ok := cfg.Plane.(EpochPlane); ok {
 		e.epochs = ep
 	}
+	if tp, ok := cfg.Plane.(TracedPlane); ok {
+		e.traced = tp
+	}
 	if e.now == nil {
-		start := time.Now()
-		e.now = func() time.Duration { return time.Since(start) }
+		// Real-time engines record on the shared wall-clock epoch, so span
+		// rings from different processes merge into one aligned Chrome
+		// trace. Machine models pass their own virtual clocks instead.
+		e.now = obs.EpochNow
 	}
 	if e.prefix == "" {
 		e.prefix = "fetch"
@@ -286,6 +306,19 @@ func (e *Engine) Load(ids []int64) ([]*graph.Graph, []time.Duration, error) {
 // its own independent view (each holding its own buffer reference), so
 // callers consume strictly by position.
 func (e *Engine) LoadLazy(ids []int64) ([]*graph.Lazy, []time.Duration, error) {
+	return e.loadLazy(ids, tracectx.Context{})
+}
+
+// LoadLazyTraced is LoadLazy under a distributed trace: tc is the caller's
+// span (the batch's root, or an intermediate), and when the plane
+// implements TracedPlane every per-owner fan-out propagates a child
+// context minted from it. With an invalid context this is exactly
+// LoadLazy.
+func (e *Engine) LoadLazyTraced(ids []int64, tc tracectx.Context) ([]*graph.Lazy, []time.Duration, error) {
+	return e.loadLazy(ids, tc)
+}
+
+func (e *Engine) loadLazy(ids []int64, tc tracectx.Context) ([]*graph.Lazy, []time.Duration, error) {
 	out := make([]*graph.Lazy, len(ids))
 	lats := make([]time.Duration, len(ids))
 	if len(ids) == 0 {
@@ -388,6 +421,7 @@ func (e *Engine) LoadLazy(ids []int64) ([]*graph.Lazy, []time.Duration, error) {
 			Name: "cache-hits", Cat: "fetch", Owner: -1,
 			Samples: len(resolved), Bytes: hitBytes, CacheHit: true,
 			Start: hitStart, Dur: e.now() - hitStart,
+			TraceID: tc.TraceID, ParentID: tc.SpanID,
 		})
 	}
 
@@ -402,7 +436,7 @@ func (e *Engine) LoadLazy(ids []int64) ([]*graph.Lazy, []time.Duration, error) {
 			keys = append(keys, owner)
 		}
 		sort.Ints(keys)
-		if err := e.forEachOwner(keys, byOwner, res); err != nil {
+		if err := e.forEachOwner(keys, byOwner, res, tc); err != nil {
 			return nil, nil, fail(err)
 		}
 		for _, id := range toFetch {
@@ -466,8 +500,14 @@ func (e *Engine) LoadLazy(ids []int64) ([]*graph.Lazy, []time.Duration, error) {
 // fetchOwner brackets one owner's transfer in its epoch (when the plane
 // has one) and folds the lock cost into the first delivered sample. With
 // span tracing on, the whole owner transfer becomes one "fetch-owner" span
-// carrying the owner token, sample count, and delivered byte volume.
-func (e *Engine) fetchOwner(owner int, ids []int64, res *results) error {
+// carrying the owner token, sample count, and delivered byte volume. Under
+// a distributed trace, each owner's sub-request gets its own child context
+// — the span id the server's segments hang off in the merged trace.
+func (e *Engine) fetchOwner(owner int, ids []int64, res *results, tc tracectx.Context) error {
+	child := tracectx.Context{}
+	if tc.Valid() && e.traced != nil {
+		child = tc.Child()
+	}
 	var start time.Duration
 	var fetchedBytes int64 // written only by this owner's deliver chain
 	if e.spans != nil {
@@ -490,7 +530,12 @@ func (e *Engine) fetchOwner(owner int, ids []int64, res *results) error {
 		fetchedBytes += int64(len(raw))
 		res.deliver(id, raw, lz, lat)
 	}
-	err := e.plane.FetchOwner(owner, ids, deliver)
+	var err error
+	if child.Valid() {
+		err = e.traced.FetchOwnerTraced(owner, ids, child, deliver)
+	} else {
+		err = e.plane.FetchOwner(owner, ids, deliver)
+	}
 	if e.epochs != nil {
 		if uerr := e.epochs.EndEpoch(owner); uerr != nil && err == nil {
 			err = uerr
@@ -501,6 +546,7 @@ func (e *Engine) fetchOwner(owner int, ids []int64, res *results) error {
 			Name: "fetch-owner", Cat: "fetch", Owner: owner,
 			Samples: len(ids), Bytes: fetchedBytes,
 			Start: start, Dur: e.now() - start,
+			TraceID: child.TraceID, SpanID: child.SpanID, ParentID: tc.SpanID,
 		})
 	}
 	return err
@@ -526,11 +572,11 @@ func (e *Engine) parallelism(n int) int {
 // returned — the same deterministic choice the serial loop makes — but
 // every owner still completes, so its flights are delivered or failed
 // either way.
-func (e *Engine) forEachOwner(keys []int, byOwner map[int][]int64, res *results) error {
+func (e *Engine) forEachOwner(keys []int, byOwner map[int][]int64, res *results, tc tracectx.Context) error {
 	par := e.parallelism(len(keys))
 	if par <= 1 {
 		for _, owner := range keys {
-			if err := e.fetchOwner(owner, byOwner[owner], res); err != nil {
+			if err := e.fetchOwner(owner, byOwner[owner], res, tc); err != nil {
 				return err
 			}
 		}
@@ -544,7 +590,7 @@ func (e *Engine) forEachOwner(keys []int, byOwner map[int][]int64, res *results)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				errs[i] = e.fetchOwner(keys[i], byOwner[keys[i]], res)
+				errs[i] = e.fetchOwner(keys[i], byOwner[keys[i]], res, tc)
 			}
 		}()
 	}

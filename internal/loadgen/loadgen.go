@@ -19,12 +19,15 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ddstore/internal/bufarena"
 	"ddstore/internal/graph"
 	"ddstore/internal/obs"
+	"ddstore/internal/obs/tracectx"
 	"ddstore/internal/stats"
 	"ddstore/internal/transport"
 )
@@ -110,6 +113,17 @@ type Config struct {
 	// bootstrapped map (Lo/Hi still override it), and Meta probes are
 	// skipped.
 	Elastic bool
+	// Trace opens a sampled distributed trace per request: clients
+	// negotiate tracing at hello, every request carries a fresh root
+	// context over the wire, and the servers' timing trailers come back
+	// as merged "server" spans (see TraceSpans). Slowest exemplars in the
+	// artifact then carry trace ids, so a tail-latency outlier in
+	// BENCH_*.json links straight to its spans in the Chrome trace.
+	Trace bool
+	// TraceSpans, when non-nil with Trace set, receives the client root
+	// span of every traced request plus the synthesized server segments —
+	// the ring behind ddstore-bench's -trace-out merged Chrome trace.
+	TraceSpans *obs.SpanRing
 }
 
 // PhaseResult is the measured outcome of one phase. Field names and types
@@ -150,7 +164,28 @@ type PhaseResult struct {
 	// Server holds the post-phase /metrics scrape (ddstore_* families),
 	// keyed by series name including labels.
 	Server map[string]float64 `json:"server_metrics,omitempty"`
+	// Slowest holds the phase's worst-latency exemplars (up to
+	// slowestPerPhase, worst first). With Config.Trace each carries its
+	// trace id and the server's reported service time, so the artifact's
+	// tail links straight to spans in the merged Chrome trace.
+	Slowest []SlowRequest `json:"slowest,omitempty"`
 }
+
+// SlowRequest is one tail-latency exemplar in a phase artifact.
+type SlowRequest struct {
+	LatencyMs float64 `json:"latency_ms"`
+	Op        string  `json:"op"` // "get", "batch", or "elastic-load"
+	Samples   int64   `json:"samples"`
+	Bytes     int64   `json:"bytes"`
+	TraceID   string  `json:"trace_id,omitempty"`
+	// ServerMs is the server-reported service time from the timing
+	// trailer; the gap to LatencyMs is network plus client overhead.
+	ServerMs float64 `json:"server_ms,omitempty"`
+}
+
+// slowestPerPhase bounds the exemplar list kept per phase (and per worker
+// while the phase runs).
+const slowestPerPhase = 5
 
 // Result is a completed (or cancelled) load run.
 type Result struct {
@@ -242,6 +277,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Counters: sink,
 		Dialer:   cfg.Dialer,
 		Tenant:   cfg.Tenant,
+		Tracing:  cfg.Trace,
 	})
 	defer pool.Close()
 
@@ -254,7 +290,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		group, err = transport.NewElasticGroup(cfg.Addrs, transport.GroupOptions{
 			Client: transport.ClientOptions{
 				Policy: cfg.Policy, Counters: sink, Dialer: cfg.Dialer, Tenant: cfg.Tenant,
+				Tracing: cfg.Trace,
 			},
+			Spans: cfg.TraceSpans,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("loadgen: elastic bootstrap: %w", err)
@@ -311,7 +349,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		if ph.Seed != 0 {
 			phaseSeed = ph.Seed
 		}
-		pr := runPhase(ctx, ph, targets, pool, group, sink, gauge, phaseSeed)
+		pr := runPhase(ctx, ph, targets, pool, group, sink, gauge, phaseSeed, cfg.Trace, cfg.TraceSpans)
 		pr.Tenant = cfg.Tenant
 		if cfg.MetricsURL != "" {
 			if m, err := ScrapeMetrics(cfg.MetricsURL); err == nil {
@@ -332,10 +370,43 @@ type workerStats struct {
 	shed    int64
 	bytes   int64
 	samples int64
+	slow    []SlowRequest // worst-first, at most slowestPerPhase
+}
+
+// noteSlow offers one finished request as a tail exemplar, keeping the
+// worker's worst slowestPerPhase in descending latency order.
+func (ws *workerStats) noteSlow(sr SlowRequest) {
+	i := len(ws.slow)
+	for i > 0 && ws.slow[i-1].LatencyMs < sr.LatencyMs {
+		i--
+	}
+	if i >= slowestPerPhase {
+		return
+	}
+	ws.slow = append(ws.slow, SlowRequest{})
+	copy(ws.slow[i+1:], ws.slow[i:])
+	ws.slow[i] = sr
+	if len(ws.slow) > slowestPerPhase {
+		ws.slow = ws.slow[:slowestPerPhase]
+	}
+}
+
+// mergeSlow folds every worker's exemplars into one worst-first list.
+func mergeSlow(perWorker []workerStats) []SlowRequest {
+	var all []SlowRequest
+	for i := range perWorker {
+		all = append(all, perWorker[i].slow...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].LatencyMs > all[b].LatencyMs })
+	if len(all) > slowestPerPhase {
+		all = all[:slowestPerPhase]
+	}
+	return all
 }
 
 func runPhase(ctx context.Context, ph Phase, targets []target, pool *transport.ClientPool,
-	group *transport.Group, sink *counterSink, gauge *obs.Gauge, seed uint64) PhaseResult {
+	group *transport.Group, sink *counterSink, gauge *obs.Gauge, seed uint64,
+	traced bool, spans *obs.SpanRing) PhaseResult {
 
 	batch := ph.BatchSize
 	if batch <= 0 {
@@ -426,11 +497,19 @@ func runPhase(ctx context.Context, ph Phase, targets []target, pool *transport.C
 				span := t.hi - t.lo
 				var nbytes, nsamples int64
 				var err error
+				var tc tracectx.Context
+				var timing *transport.ServerTiming
+				if traced {
+					tc = tracectx.New(true)
+				}
+				op := "get"
+				reqStart := obs.EpochNow()
 				switch {
 				case group != nil:
 					// Elastic: the group resolves each id's owner under the
 					// live map, coalesces, fails over, and refreshes on stale
 					// generations; the worker only draws ids.
+					op = "elastic-load"
 					n := int64(1)
 					if rng.Float64() < ph.Mix {
 						n = int64(batch)
@@ -440,7 +519,12 @@ func runPhase(ctx context.Context, ph Phase, targets []target, pool *transport.C
 						ids[i] = t.lo + rng.Int63n(span)
 					}
 					var lzs []*graph.Lazy
-					if lzs, _, err = group.LoadLazy(ids); err == nil {
+					if traced {
+						lzs, _, err = group.LoadLazyTraced(ids, tc)
+					} else {
+						lzs, _, err = group.LoadLazy(ids)
+					}
+					if err == nil {
 						for _, lz := range lzs {
 							nbytes += int64(lz.EncodedSize())
 							lz.Release()
@@ -457,20 +541,39 @@ func runPhase(ctx context.Context, ph Phase, targets []target, pool *transport.C
 						clients[t.addr] = cl
 					}
 					if rng.Float64() < ph.Mix {
+						op = "batch"
 						ids := make([]int64, batch)
 						for i := range ids {
 							ids[i] = t.lo + rng.Int63n(span)
 						}
-						var parts [][]byte
-						if parts, err = cl.GetBatchRaw(ids); err == nil {
-							for _, p := range parts {
-								nbytes += int64(len(p))
+						if traced {
+							var buf *bufarena.Buf
+							var parts [][]byte
+							if buf, parts, timing, err = cl.GetBatchBufsTraced(ids, tc); err == nil {
+								for _, p := range parts {
+									nbytes += int64(len(p))
+								}
+								nsamples = int64(len(parts))
+								buf.Release()
 							}
-							nsamples = int64(len(parts))
+						} else {
+							var parts [][]byte
+							if parts, err = cl.GetBatchRaw(ids); err == nil {
+								for _, p := range parts {
+									nbytes += int64(len(p))
+								}
+								nsamples = int64(len(parts))
+							}
 						}
 					} else {
+						id := t.lo + rng.Int63n(span)
 						var raw []byte
-						if raw, err = cl.GetRaw(t.lo + rng.Int63n(span)); err == nil {
+						if traced {
+							raw, timing, err = cl.GetRawTraced(id, tc)
+						} else {
+							raw, err = cl.GetRaw(id)
+						}
+						if err == nil {
 							nbytes = int64(len(raw))
 							nsamples = 1
 						}
@@ -486,9 +589,35 @@ func runPhase(ctx context.Context, ph Phase, targets []target, pool *transport.C
 					}
 					return
 				}
-				ws.lats = append(ws.lats, time.Since(issuedAt))
+				lat := time.Since(issuedAt)
+				ws.lats = append(ws.lats, lat)
 				ws.bytes += nbytes
 				ws.samples += nsamples
+				sr := SlowRequest{
+					LatencyMs: lat.Seconds() * 1e3, Op: op,
+					Samples: nsamples, Bytes: nbytes,
+				}
+				if traced {
+					sr.TraceID = tracectx.IDString(tc.TraceID)
+					if timing != nil {
+						sr.ServerMs = timing.Service.Seconds() * 1e3
+					}
+				}
+				ws.noteSlow(sr)
+				if traced && spans != nil {
+					end := obs.EpochNow()
+					spans.Record(obs.Span{
+						Name: op, Cat: "loadgen", Owner: -1,
+						Samples: int(nsamples), Bytes: nbytes,
+						Start: reqStart, Dur: end - reqStart,
+						TraceID: tc.TraceID, SpanID: tc.SpanID,
+					})
+					// The elastic group records its own server segments; the
+					// pooled-client paths surface theirs here.
+					if timing != nil {
+						recordServerSpans(spans, tc, timing, end)
+					}
+				}
 			}
 
 			switch ph.Mode {
@@ -548,6 +677,7 @@ func runPhase(ctx context.Context, ph Phase, targets []target, pool *transport.C
 		pr.Bytes += ws.bytes
 		pr.Samples += ws.samples
 	}
+	pr.Slowest = mergeSlow(perWorker)
 	pr.Requests = int64(len(all)) + pr.Errors + pr.Shed
 	pr.Retries = delta.retries - before.retries
 	pr.Reconnects = delta.reconnects - before.reconnects
@@ -571,6 +701,36 @@ func runPhase(ctx context.Context, ph Phase, targets []target, pool *transport.C
 		pr.MaxMs = msOf(max)
 	}
 	return pr
+}
+
+// recordServerSpans merges one timing trailer into the span ring, anchored
+// to the client's view of the request end (the trailer carries durations,
+// so clocks need not agree) — the same synthesis the transport group does
+// for its per-owner chunks, here for the pooled single-client paths.
+func recordServerSpans(r *obs.SpanRing, tc tracectx.Context, t *transport.ServerTiming, reqEnd time.Duration) {
+	serverStart := reqEnd - t.Service
+	sub := tc.Child()
+	base := obs.Span{
+		Cat: "server", Owner: -1, Tenant: t.Tenant, Gen: t.Generation,
+		TraceID: sub.TraceID, SpanID: sub.SpanID, ParentID: tc.SpanID,
+	}
+	req := base
+	req.Name, req.Start, req.Dur, req.Bytes = "server-request", serverStart, t.Service, t.Bytes
+	spans := make([]obs.Span, 1, 3)
+	spans[0] = req
+	if t.QueueWait > 0 {
+		qw := base
+		qw.SpanID, qw.ParentID = tc.Child().SpanID, sub.SpanID
+		qw.Name, qw.Start, qw.Dur = "server-queue-wait", serverStart, t.QueueWait
+		spans = append(spans, qw)
+	}
+	if t.Source > 0 {
+		src := base
+		src.SpanID, src.ParentID = tc.Child().SpanID, sub.SpanID
+		src.Name, src.Start, src.Dur = "server-chunk-source", serverStart+t.QueueWait, t.Source
+		spans = append(spans, src)
+	}
+	r.RecordAll(spans...)
 }
 
 // tokenQueueCap bounds the open-loop arrival queue. A server that falls

@@ -133,6 +133,15 @@ func (r *Result) Report() *bench.Report {
 			rep.AddNote("%s: dropped %d open-loop tokens (server saturated beyond the %d-deep arrival queue)",
 				ph.Name, ph.Dropped, tokenQueueCap)
 		}
+		if len(ph.Slowest) > 0 {
+			worst := ph.Slowest[0]
+			if worst.TraceID != "" {
+				rep.AddNote("%s: slowest %s %.2fms (server %.2fms) trace %s",
+					ph.Name, worst.Op, worst.LatencyMs, worst.ServerMs, worst.TraceID)
+			} else {
+				rep.AddNote("%s: slowest %s %.2fms", ph.Name, worst.Op, worst.LatencyMs)
+			}
+		}
 	}
 	rep.AddNote("pool: %d dials, %d reuses across %d phases", r.Pool.Dials, r.Pool.Reuses, len(r.Phases))
 	return rep

@@ -1,0 +1,136 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"ddstore/internal/datasets"
+	"ddstore/internal/obs"
+	"ddstore/internal/serveboot"
+)
+
+// TestTracedRunMergesServerSpansAndExemplars drives a traced quick run
+// against a live server and checks the whole observability chain: client
+// root spans and synthesized server segments share trace ids in one ring,
+// the merged Chrome trace carries both categories, and the artifact's
+// slowest exemplars link to trace ids with server-reported service times.
+func TestTracedRunMergesServerSpansAndExemplars(t *testing.T) {
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 200})
+	inst, err := serveboot.Boot(serveboot.Config{
+		Source: ds, Lo: 0, Hi: 200, WriteTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	ring := obs.NewSpanRing(4096, 0)
+	ring.SetLabel("loadgen")
+	res, err := Run(context.Background(), Config{
+		Addrs: []string{inst.Addr()},
+		Seed:  7,
+		Phases: []Phase{{
+			Name: "traced", Mode: Closed, Workers: 2,
+			MaxRequests: 64, Duration: 30 * time.Second,
+			Mix: 0.5, BatchSize: 4,
+		}},
+		Tenant:     "bench",
+		Trace:      true,
+		TraceSpans: ring,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := res.Phases[0]
+	if ph.Errors != 0 || ph.Requests != 64 {
+		t.Fatalf("phase = %+v", ph)
+	}
+
+	// Every request produced a client root span; server segments pair up
+	// by trace id with tenant attribution from the trailer.
+	roots := map[uint64]bool{}
+	serverByTrace := map[uint64]int{}
+	for _, s := range ring.Spans() {
+		switch s.Cat {
+		case "loadgen":
+			if s.TraceID == 0 || s.SpanID == 0 {
+				t.Fatalf("untraced root span %+v", s)
+			}
+			roots[s.TraceID] = true
+		case "server":
+			serverByTrace[s.TraceID]++
+			if s.Name == "server-request" && s.Tenant != "bench" {
+				t.Fatalf("server span tenant %q, want bench", s.Tenant)
+			}
+		}
+	}
+	if len(roots) != 64 {
+		t.Fatalf("%d distinct root traces, want 64", len(roots))
+	}
+	if len(serverByTrace) == 0 {
+		t.Fatal("no server spans merged")
+	}
+	for tid := range serverByTrace {
+		if !roots[tid] {
+			t.Fatalf("server span trace %016x has no client root", tid)
+		}
+	}
+
+	// The merged Chrome trace serializes both sides.
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, ring); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"server-request"`, `"trace_id"`, `"tenant":"bench"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome trace missing %s", want)
+		}
+	}
+
+	// Artifact exemplars: worst-first, trace-linked, with server timing.
+	if len(ph.Slowest) == 0 || len(ph.Slowest) > slowestPerPhase {
+		t.Fatalf("slowest exemplars = %d", len(ph.Slowest))
+	}
+	for i := 1; i < len(ph.Slowest); i++ {
+		if ph.Slowest[i].LatencyMs > ph.Slowest[i-1].LatencyMs {
+			t.Fatalf("exemplars not worst-first: %+v", ph.Slowest)
+		}
+	}
+	worst := ph.Slowest[0]
+	if worst.TraceID == "" || worst.ServerMs <= 0 || worst.LatencyMs < worst.ServerMs {
+		t.Fatalf("worst exemplar = %+v", worst)
+	}
+}
+
+// TestUntracedRunStillCollectsExemplars pins that exemplars don't depend
+// on tracing: an untraced run records latencies without trace ids.
+func TestUntracedRunStillCollectsExemplars(t *testing.T) {
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 50})
+	inst, err := serveboot.Boot(serveboot.Config{Source: ds, Hi: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	res, err := Run(context.Background(), Config{
+		Addrs: []string{inst.Addr()},
+		Phases: []Phase{{
+			Name: "plain", Mode: Closed, Workers: 1,
+			MaxRequests: 16, Duration: 30 * time.Second,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := res.Phases[0]
+	if len(ph.Slowest) == 0 {
+		t.Fatal("no exemplars on untraced run")
+	}
+	if ph.Slowest[0].TraceID != "" || ph.Slowest[0].ServerMs != 0 {
+		t.Fatalf("untraced exemplar carries trace fields: %+v", ph.Slowest[0])
+	}
+}

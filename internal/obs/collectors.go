@@ -71,7 +71,31 @@ const (
 	// MetricMigrationSeconds is the per-generation migration duration
 	// histogram, from planning to publishing the new generation.
 	MetricMigrationSeconds = "ddstore_shardmap_migration_seconds"
+
+	// MetricBuildInfo is the constant-1 build identity gauge
+	// (ddstore_build_info{version=...,go=...}); dashboards join it to pin
+	// which binary produced a metric series.
+	MetricBuildInfo = "ddstore_build_info"
+	// MetricUptime gauges seconds since the process registered its
+	// collectors — the scrape-side signal for restart detection.
+	MetricUptime = "ddstore_process_uptime_seconds"
 )
+
+// Version identifies the build in ddstore_build_info. Overridable at link
+// time: -ldflags "-X ddstore/internal/obs.Version=v1.2.3".
+var Version = "dev"
+
+// CollectBuildInfo registers the build-identity gauge (constant 1, with
+// the version and Go runtime as labels) and the process-uptime gauge.
+func CollectBuildInfo(reg *Registry) {
+	reg.Help(MetricBuildInfo, "Build identity: constant 1 with version/go labels.")
+	reg.Help(MetricUptime, "Seconds since this process registered its collectors.")
+	reg.Gauge(MetricBuildInfo, "version", Version, "go", runtime.Version()).Set(1)
+	start := time.Now()
+	reg.AddCollector(func() {
+		reg.Gauge(MetricUptime).Set(time.Since(start).Seconds())
+	})
+}
 
 // DrainingGauge returns the canonical draining gauge of a registry,
 // registering its help text on first use.

@@ -29,6 +29,9 @@ func NewDebugMux(reg *Registry, traces *TraceSink) *http.ServeMux {
 			log.Printf("obs: /metrics write: %v", err)
 		}
 	})
+	// /healthz is pure liveness: the process is up and serving HTTP. It
+	// never reports load or lifecycle state — restart policies key off it.
+	// Readiness (drain, migration) is the separate /readyz, see AddReadyz.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -48,6 +51,27 @@ func NewDebugMux(reg *Registry, traces *TraceSink) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// AddReadyz mounts /readyz on the mux: 200 "ok" when check returns ready,
+// 503 with the reason otherwise. Load balancers and rolling restarts key
+// off readiness — a draining server or one mid-migration answers 503 here
+// while /healthz keeps saying "ok", so traffic steers away without the
+// process being declared dead and restarted.
+func AddReadyz(mux *http.ServeMux, check func() (ready bool, reason string)) {
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		ready, reason := check()
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			if reason == "" {
+				reason = "not ready"
+			}
+			fmt.Fprintln(w, reason)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
 }
 
 // StartDebug listens on addr (e.g. "127.0.0.1:9090", or ":0" for an

@@ -20,7 +20,7 @@ import (
 // comparable.
 type Span struct {
 	Name     string        `json:"name"`
-	Cat      string        `json:"cat"` // "train" (DDP loop) or "fetch" (engine)
+	Cat      string        `json:"cat"` // "train" (DDP), "fetch" (engine), "server" (remote timing)
 	Rank     int           `json:"rank"`
 	Epoch    int           `json:"epoch"`
 	Step     int           `json:"step"`
@@ -30,7 +30,31 @@ type Span struct {
 	CacheHit bool          `json:"cache_hit"`
 	Start    time.Duration `json:"start"`
 	Dur      time.Duration `json:"dur"`
+
+	// Distributed-tracing identity (zero when the span is untraced): which
+	// request tree the span belongs to, its own id, and its parent's.
+	TraceID  uint64 `json:"trace_id,omitempty"`
+	SpanID   uint64 `json:"span_id,omitempty"`
+	ParentID uint64 `json:"parent_id,omitempty"`
+	// Server-reported attribution, merged from the timing trailer: the
+	// tenant queue the request was charged to and the shard map generation
+	// it was served under. ShardLo is the lower bound of the shard the
+	// request's first sample routed through (meaningful with Gen set).
+	Tenant  string `json:"tenant,omitempty"`
+	Gen     uint64 `json:"gen,omitempty"`
+	ShardLo int64  `json:"shard_lo,omitempty"`
 }
+
+// EpochNow returns the wall clock as an offset from the Unix epoch — the
+// shared clock origin for real-time span recording. Rings filled against
+// EpochNow from different processes (a trainer and the owners it fetched
+// from, loadgen on another machine) line up when merged into one Chrome
+// trace, because every timestamp is absolute: Ts = unix time in
+// microseconds. Chrome's float64 microsecond timestamps carry ~53 bits of
+// precision, which holds sub-microsecond resolution for wall-clock values
+// through this century. Machine-model runs keep their virtual clocks; only
+// real-time recording anchors here.
+func EpochNow() time.Duration { return time.Duration(time.Now().UnixNano()) }
 
 // SpanRing is a bounded ring of spans for one rank. When full, the oldest
 // span is overwritten (and counted as dropped), so a long run retains its
@@ -99,6 +123,28 @@ func (r *SpanRing) Record(s Span) {
 	}
 	r.buf[r.idx] = s
 	r.idx = (r.idx + 1) % len(r.buf)
+	r.mu.Unlock()
+}
+
+// RecordAll appends several spans under one lock acquisition. The traced
+// fetch path synthesizes a few server segments per request; batching them
+// keeps ring contention flat as request rate grows.
+func (r *SpanRing) RecordAll(spans ...Span) {
+	epoch := int(r.epoch.Load())
+	step := int(r.step.Load())
+	r.mu.Lock()
+	for _, s := range spans {
+		s.Rank = r.rank
+		s.Epoch = epoch
+		s.Step = step
+		if r.n == len(r.buf) {
+			r.dropped++
+		} else {
+			r.n++
+		}
+		r.buf[r.idx] = s
+		r.idx = (r.idx + 1) % len(r.buf)
+	}
 	r.mu.Unlock()
 }
 
@@ -193,6 +239,22 @@ func WriteChromeTrace(w io.Writer, rings ...*SpanRing) error {
 				args["bytes"] = s.Bytes
 			}
 			args["cache_hit"] = s.CacheHit
+			if s.TraceID != 0 {
+				args["trace_id"] = fmt.Sprintf("%016x", s.TraceID)
+				if s.SpanID != 0 {
+					args["span_id"] = fmt.Sprintf("%016x", s.SpanID)
+				}
+				if s.ParentID != 0 {
+					args["parent_id"] = fmt.Sprintf("%016x", s.ParentID)
+				}
+			}
+			if s.Tenant != "" {
+				args["tenant"] = s.Tenant
+			}
+			if s.Gen != 0 {
+				args["gen"] = s.Gen
+				args["shard_lo"] = s.ShardLo
+			}
 			if err := emit(chromeEvent{
 				Name: s.Name, Cat: s.Cat, Ph: "X", Pid: ring.pid, Tid: tid,
 				Ts: float64(s.Start) / us, Dur: float64(s.Dur) / us, Args: args,

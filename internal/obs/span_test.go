@@ -45,6 +45,36 @@ func TestSpanRingWrapsAndCountsDrops(t *testing.T) {
 	}
 }
 
+func TestSpanRingRecordAll(t *testing.T) {
+	r := NewSpanRing(4, 2)
+	r.SetContext(1, 9)
+	r.RecordAll(
+		Span{Name: "a", Start: 0},
+		Span{Name: "b", Start: 1},
+		Span{Name: "c", Start: 2},
+	)
+	spans := r.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("len = %d, want 3", len(spans))
+	}
+	for i, s := range spans {
+		if s.Start != time.Duration(i) {
+			t.Fatalf("span[%d].Start = %v: batch order not preserved", i, s.Start)
+		}
+		if s.Rank != 2 || s.Epoch != 1 || s.Step != 9 {
+			t.Fatalf("context not stamped on batched span: %+v", s)
+		}
+	}
+	// Overflow inside one batch drops oldest, same as Record.
+	r.RecordAll(Span{Name: "d", Start: 3}, Span{Name: "e", Start: 4})
+	if r.Len() != 4 || r.Dropped() != 1 {
+		t.Fatalf("after overflow batch: len=%d dropped=%d, want 4/1", r.Len(), r.Dropped())
+	}
+	if got := r.Spans()[0].Start; got != 1 {
+		t.Fatalf("oldest retained = %v, want 1", got)
+	}
+}
+
 func TestSpanRingDefaultCap(t *testing.T) {
 	r := NewSpanRing(0, 0)
 	if len(r.buf) != DefaultSpanCap {

@@ -21,6 +21,7 @@ import (
 
 	"ddstore/internal/faultnet"
 	"ddstore/internal/obs"
+	"ddstore/internal/obs/flightrec"
 	"ddstore/internal/shardmap"
 	"ddstore/internal/transport"
 )
@@ -68,6 +69,13 @@ type ElasticConfig struct {
 	// injector, so both client traffic and migration pulls cross a faulty
 	// fabric (resilience drills).
 	Chaos *faultnet.Scenario
+
+	// FlightRecCap sizes the cluster-wide flight recorder shared by every
+	// owner (0 = default 256, negative disables it).
+	FlightRecCap int
+	// SlowThreshold flight-records successful requests slower than this
+	// (0 = default 250ms, negative disables slow capture).
+	SlowThreshold time.Duration
 }
 
 // elasticChunk is a ChunkSource over a dynamic sample set: LocalRange
@@ -162,19 +170,26 @@ func (o *Owner) Generation() uint64 { return o.maps.Generation() }
 // All membership operations serialize on the cluster lock; serving and
 // migration overlap freely.
 type Cluster struct {
-	src     SampleSource
-	total   int64
-	width   int
-	net     transport.RetryPolicy
-	wt, it  time.Duration
-	chaos   *faultnet.Scenario
-	reg     *obs.Registry
-	dbg     *obs.DebugServer
-	gen     *obs.Gauge
-	moved   *obs.Counter
-	migB    *obs.Histogram
-	migS    *obs.Histogram
-	closers []func() error
+	src    SampleSource
+	total  int64
+	width  int
+	net    transport.RetryPolicy
+	wt, it time.Duration
+	chaos  *faultnet.Scenario
+	reg    *obs.Registry
+	dbg    *obs.DebugServer
+	rec    *flightrec.Recorder
+	slow   time.Duration
+	// migrating counts in-flight membership transitions and closing
+	// latches on shutdown; /readyz reads both without touching the
+	// cluster lock (which a migration holds for its whole duration).
+	migrating atomic.Int32
+	closing   atomic.Bool
+	gen       *obs.Gauge
+	moved     *obs.Counter
+	migB      *obs.Histogram
+	migS      *obs.Histogram
+	closers   []func() error
 
 	mu     sync.Mutex
 	cur    *shardmap.Map
@@ -223,6 +238,17 @@ func BootCluster(cfg ElasticConfig) (*Cluster, error) {
 		owners:  make(map[string]*Owner),
 		pulls:   make(map[string]*transport.Client),
 	}
+	if cfg.FlightRecCap >= 0 {
+		c.rec = flightrec.New(cfg.FlightRecCap)
+		c.slow = cfg.SlowThreshold
+		if c.slow == 0 {
+			c.slow = 250 * time.Millisecond
+		}
+		if c.slow < 0 {
+			c.slow = 0
+		}
+	}
+	obs.CollectBuildInfo(reg)
 
 	// Listeners first: member addresses go into the map, so they must be
 	// resolved before generation 1 exists.
@@ -271,6 +297,21 @@ func BootCluster(cfg ElasticConfig) (*Cluster, error) {
 	if cfg.DebugAddr != "" {
 		mux := obs.NewDebugMux(reg, nil)
 		mux.HandleFunc("/admin/reshard", c.handleReshard)
+		// Mid-migration the cluster still answers every request (that is
+		// the point of gainers-first publishing), but readiness dips so
+		// orchestrators hold rolling operations until the cutover lands.
+		obs.AddReadyz(mux, func() (bool, string) {
+			switch {
+			case c.closing.Load():
+				return false, "draining"
+			case c.migrating.Load() > 0:
+				return false, "migrating"
+			}
+			return true, ""
+		})
+		if c.rec != nil {
+			mux.Handle("/debug/flightrecorder", c.rec.Handler())
+		}
 		dbg, err := obs.StartDebugHandler(cfg.DebugAddr, mux)
 		if err != nil {
 			c.Close()
@@ -322,10 +363,12 @@ func (c *Cluster) startOwner(ln net.Listener, id string, initial *shardmap.Map) 
 	}
 	o := &Owner{ID: id, addr: ln.Addr().String(), chunk: chunk, maps: st}
 	o.srv = transport.ServeListener(ln, chunk, transport.ServerOptions{
-		WriteTimeout: c.wt,
-		IdleTimeout:  c.it,
-		Metrics:      c.reg,
-		ShardMap:     mapView{st: st, id: id},
+		WriteTimeout:   c.wt,
+		IdleTimeout:    c.it,
+		Metrics:        c.reg,
+		ShardMap:       mapView{st: st, id: id},
+		FlightRecorder: c.rec, // shared cluster-wide; stale records carry the op
+		SlowThreshold:  c.slow,
 	})
 	return o, nil
 }
@@ -478,6 +521,8 @@ func (c *Cluster) Reshard(n int) error {
 // serving), publish the next generation to the gainers first and the
 // rest after, then release the bytes the losers no longer own.
 func (c *Cluster) migrateAndPublish(next *shardmap.Map, moves []shardmap.Move) error {
+	c.migrating.Add(1)
+	defer c.migrating.Add(-1)
 	start := time.Now()
 	var bytes int64
 	gainers := make(map[string]bool)
@@ -678,6 +723,10 @@ func (c *Cluster) Len() int64 { return c.total }
 // Registry returns the cluster's shared metrics registry.
 func (c *Cluster) Registry() *obs.Registry { return c.reg }
 
+// FlightRecorder returns the cluster-wide flight recorder, or nil when
+// ElasticConfig.FlightRecCap was negative.
+func (c *Cluster) FlightRecorder() *flightrec.Recorder { return c.rec }
+
 // DebugAddr returns the debug/admin endpoint address, or "".
 func (c *Cluster) DebugAddr() string {
 	if c.dbg == nil {
@@ -697,6 +746,7 @@ func (c *Cluster) MetricsURL() string {
 // Close shuts the whole cluster down: admin endpoint, every owner, the
 // migration pull clients, and the backing source.
 func (c *Cluster) Close() error {
+	c.closing.Store(true) // /readyz answers 503 from here on
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()

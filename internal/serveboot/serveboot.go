@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ddstore/internal/cache"
@@ -19,6 +20,7 @@ import (
 	"ddstore/internal/frontend"
 	"ddstore/internal/graph"
 	"ddstore/internal/obs"
+	"ddstore/internal/obs/flightrec"
 	"ddstore/internal/pff"
 	"ddstore/internal/transport"
 )
@@ -86,6 +88,19 @@ type Config struct {
 	// the instance misbehaves deterministically (resilience drills and
 	// the fault-mix load tests).
 	Chaos *faultnet.Scenario
+
+	// FlightRecCap sizes the always-on flight recorder's bounded ring of
+	// slow/errored/shed/stale request records (0 = default 256, negative
+	// disables the recorder entirely).
+	FlightRecCap int
+	// SlowThreshold is the service time above which a successful request
+	// is flight-recorded as slow (0 = default 250ms, negative disables
+	// slow capture while keeping error/shed/stale records).
+	SlowThreshold time.Duration
+	// FlightRecDir, when set, arms the spike watcher: a shed- or
+	// stale-rate spike snapshots the recorder's contents as a JSON file
+	// in this directory, so the evidence survives the incident.
+	FlightRecDir string
 }
 
 // Instance is a booted server and its attached subsystems.
@@ -96,6 +111,9 @@ type Instance struct {
 	reg          *obs.Registry
 	hot          *cache.Cache
 	injector     *faultnet.Injector
+	rec          *flightrec.Recorder
+	stopWatch    func()
+	draining     atomic.Bool
 	lo, hi       int64
 	drainTimeout time.Duration
 	closers      []func() error
@@ -216,6 +234,24 @@ func Boot(cfg Config) (*Instance, error) {
 
 	opts := transport.ServerOptions{WriteTimeout: cfg.WriteTimeout, IdleTimeout: cfg.IdleTimeout}
 
+	// The flight recorder runs whether or not the debug endpoint does —
+	// always-on means the last window of anomalies is in memory the moment
+	// anyone asks, not only after someone enabled debugging.
+	if cfg.FlightRecCap >= 0 {
+		inst.rec = flightrec.New(cfg.FlightRecCap)
+		opts.FlightRecorder = inst.rec
+		slow := cfg.SlowThreshold
+		if slow == 0 {
+			slow = 250 * time.Millisecond
+		}
+		if slow > 0 {
+			opts.SlowThreshold = slow
+		}
+		if cfg.FlightRecDir != "" {
+			inst.stopWatch = inst.rec.Watch(flightrec.WatchConfig{Dir: cfg.FlightRecDir})
+		}
+	}
+
 	// The debug endpoint exports the server's request/latency metrics plus
 	// cache and runtime gauges. Known resilience counters are pre-registered
 	// at zero so a scrape shows the full schema before any traffic.
@@ -228,6 +264,7 @@ func Boot(cfg Config) (*Instance, error) {
 			transport.CounterFailovers, transport.CounterGiveUps, transport.CounterOverloads)
 		obs.FetchLatencyHistogram(inst.reg)
 		obs.CollectGoRuntime(inst.reg)
+		obs.CollectBuildInfo(inst.reg)
 		obs.DrainingGauge(inst.reg)
 		if inst.hot != nil {
 			obs.CollectCache(inst.reg, inst.hot.Stats)
@@ -282,7 +319,20 @@ func Boot(cfg Config) (*Instance, error) {
 	inst.srv = transport.ServeListener(ln, chunk, opts)
 
 	if inst.reg != nil {
-		dbg, err := obs.StartDebug(cfg.DebugAddr, inst.reg, nil)
+		mux := obs.NewDebugMux(inst.reg, nil)
+		// Liveness stays /healthz inside the mux; readiness flips to 503
+		// the moment Close begins draining, so balancers steer away while
+		// in-flight work finishes.
+		obs.AddReadyz(mux, func() (bool, string) {
+			if inst.draining.Load() {
+				return false, "draining"
+			}
+			return true, ""
+		})
+		if inst.rec != nil {
+			mux.Handle("/debug/flightrecorder", inst.rec.Handler())
+		}
+		dbg, err := obs.StartDebugHandler(cfg.DebugAddr, mux)
 		if err != nil {
 			inst.srv.Close()
 			closeAll()
@@ -352,6 +402,10 @@ func (i *Instance) FaultStats() (st faultnet.Stats, ok bool) {
 	return i.injector.Stats(), true
 }
 
+// FlightRecorder returns the instance's always-on flight recorder, or nil
+// when Config.FlightRecCap was negative.
+func (i *Instance) FlightRecorder() *flightrec.Recorder { return i.rec }
+
 // FrontendStats snapshots the serving front end; ok is false when the
 // instance was booted without one.
 func (i *Instance) FrontendStats() (st frontend.Stats, ok bool) {
@@ -370,6 +424,10 @@ func (i *Instance) FrontendStats() (st frontend.Stats, ok bool) {
 // released at the end. Idempotent.
 func (i *Instance) Close() error {
 	i.closeOnce.Do(func() {
+		i.draining.Store(true) // /readyz flips to 503 before the drain starts
+		if i.stopWatch != nil {
+			i.stopWatch()
+		}
 		if i.reg != nil {
 			obs.DrainingGauge(i.reg).Set(1)
 		}

@@ -13,6 +13,7 @@ import (
 
 	"ddstore/internal/bufarena"
 	"ddstore/internal/graph"
+	"ddstore/internal/obs/tracectx"
 )
 
 // ErrChecksum marks a response whose payload failed CRC32 verification.
@@ -82,6 +83,14 @@ type ClientOptions struct {
 	// charge this client's traffic to the right quota. Servers without a
 	// front end acknowledge and ignore it.
 	Tenant string
+	// Tracing opts this client into distributed tracing: the hello
+	// handshake advertises the tracing feature, and when the server
+	// advertises it back, requests carrying a valid sampled trace context
+	// (the *Traced methods) use the traced wire ops and return the server's
+	// timing trailer. Against an older server the feature never activates
+	// and the same calls silently run untraced. Tracing with no Tenant
+	// declares DefaultTracedTenant, since negotiation rides on hello.
+	Tracing bool
 }
 
 // Client is a connection to one chunk server. Safe for concurrent use:
@@ -93,12 +102,14 @@ type Client struct {
 	counters Counters
 	dialer   DialFunc
 	tenant   string
+	tracing  bool
 
-	mu      sync.Mutex
-	conn    net.Conn
-	helloed bool // tenant declared on the current connection
-	rng     *rand.Rand
-	closed  bool
+	mu       sync.Mutex
+	conn     net.Conn
+	helloed  bool   // tenant declared on the current connection
+	features uint64 // server feature word from the current connection's hello
+	rng      *rand.Rand
+	closed   bool
 }
 
 // Dial connects to a server with default options.
@@ -119,6 +130,12 @@ func DialOptions(addr string, opts ClientOptions) (*Client, error) {
 		counters: opts.Counters,
 		dialer:   opts.Dialer,
 		tenant:   opts.Tenant,
+		tracing:  opts.Tracing,
+	}
+	if c.tracing && c.tenant == "" {
+		// Feature negotiation rides on the hello handshake, which requires
+		// a tenant name; fall back to the front end's catch-all tenant.
+		c.tenant = DefaultTracedTenant
 	}
 	if c.counters == nil {
 		c.counters = nopCounters{}
@@ -173,19 +190,31 @@ func (c *Client) Close() error {
 // callers that hand plain []byte to the outside world keep it alive by
 // simply never releasing (the buffer degrades to ordinary GC-owned memory).
 func (c *Client) roundTrip(op byte, a, b int64, extra []byte) (*bufarena.Buf, error) {
+	buf, _, err := c.do(op, a, b, extra, tracectx.Context{})
+	return buf, err
+}
+
+// do is roundTrip plus tracing: when tc is a valid sampled context, the
+// client negotiated the tracing feature on this connection, and the op has
+// a traced variant, the request goes out as the traced op carrying the
+// context, and the server's timing trailer is stripped from the payload
+// and returned. Otherwise the request runs untraced and timing is nil —
+// including mid-call, if a reconnect lands on a server that does not
+// advertise tracing.
+func (c *Client) do(op byte, a, b int64, extra []byte, tc tracectx.Context) (*bufarena.Buf, *ServerTiming, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.counters.Inc(CounterRoundTrips, 1)
 	var lastErr error
 	for attempt := 0; attempt < c.policy.MaxAttempts; attempt++ {
 		if c.closed {
-			return nil, ErrClosed
+			return nil, nil, ErrClosed
 		}
 		if attempt > 0 {
 			c.counters.Inc(CounterRetries, 1)
 			time.Sleep(c.policy.delay(attempt, c.rng))
 			if c.closed {
-				return nil, ErrClosed
+				return nil, nil, ErrClosed
 			}
 		}
 		if c.conn == nil {
@@ -196,33 +225,59 @@ func (c *Client) roundTrip(op byte, a, b int64, extra []byte) (*bufarena.Buf, er
 			}
 			c.conn = conn
 			c.helloed = false
+			c.features = 0
 			if attempt > 0 {
 				c.counters.Inc(CounterReconnects, 1)
 			}
 		}
 		// Declare the tenant once per connection before the first real
-		// request, so admission control charges the right quota.
+		// request, so admission control charges the right quota. The b
+		// field advertises this client's feature bits; the ack payload is
+		// the server's feature word (empty from an older server).
 		if c.tenant != "" && !c.helloed && op != opHello {
-			ack, err := c.exchange(opHello, int64(len(c.tenant)), 0, []byte(c.tenant))
+			var feats uint64
+			if c.tracing {
+				feats = featureTracing
+			}
+			ack, err := c.exchange(opHello, int64(len(c.tenant)), int64(feats), []byte(c.tenant))
 			if err != nil {
 				if herr := c.classify(err, &lastErr); herr != nil {
-					return nil, herr
+					return nil, nil, herr
 				}
 				continue
+			}
+			if ack.Len() >= 8 {
+				c.features = binary.LittleEndian.Uint64(ack.Bytes())
 			}
 			ack.Release()
 			c.helloed = true
 		}
-		payload, err := c.exchange(op, a, b, extra)
+		// The traced-op decision is per attempt: negotiation is per
+		// connection, and a retry may have reconnected to an older server.
+		sendOp, sendExtra, traced := op, extra, false
+		if top := tracedOp(op); top != 0 && tc.Valid() && tc.Sampled &&
+			c.tracing && c.features&featureTracing != 0 {
+			sendOp, sendExtra, traced = top, tracedBody(tc, extra), true
+		}
+		payload, err := c.exchange(sendOp, a, b, sendExtra)
 		if err == nil {
-			return payload, nil
+			if !traced {
+				return payload, nil, nil
+			}
+			dataLen, timing, terr := parseTimingTrailer(payload.Bytes())
+			if terr != nil {
+				payload.Release()
+				return nil, nil, terr
+			}
+			payload.Truncate(dataLen)
+			return payload, &timing, nil
 		}
 		if ferr := c.classify(err, &lastErr); ferr != nil {
-			return nil, ferr
+			return nil, nil, ferr
 		}
 	}
 	c.counters.Inc(CounterGiveUps, 1)
-	return nil, fmt.Errorf("transport: op %d to %s failed after %d attempts: %w",
+	return nil, nil, fmt.Errorf("transport: op %d to %s failed after %d attempts: %w",
 		op, c.addr, c.policy.MaxAttempts, lastErr)
 }
 
@@ -431,6 +486,47 @@ func (c *Client) GetBatchBufs(ids []int64) (*bufarena.Buf, [][]byte, error) {
 		return nil, nil, fmt.Errorf("transport: got %d payloads for %d requested ids", len(parts), len(ids))
 	}
 	return buf, parts, nil
+}
+
+// GetRawTraced is GetRaw carrying a trace context: when tracing is
+// negotiated on the connection and tc is valid and sampled, the returned
+// timing holds the server's breakdown for this request; otherwise the
+// request runs untraced and timing is nil. The bytes follow GetRaw's
+// ownership rules.
+func (c *Client) GetRawTraced(id int64, tc tracectx.Context) ([]byte, *ServerTiming, error) {
+	buf, timing, err := c.do(opGet, id, 0, nil, tc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return buf.Bytes(), timing, nil
+}
+
+// GetBatchBufsTraced is GetBatchBufs carrying a trace context: when
+// tracing is negotiated and tc is valid and sampled, timing holds the
+// server's breakdown (queue wait, service, chunk-source time, tenant,
+// generation) for the whole batch; otherwise the request runs untraced
+// and timing is nil. Buffer ownership follows GetBatchBufs.
+func (c *Client) GetBatchBufsTraced(ids []int64, tc tracectx.Context) (*bufarena.Buf, [][]byte, *ServerTiming, error) {
+	if len(ids) == 0 {
+		return nil, nil, nil, nil
+	}
+	if len(ids) > maxBatchIDs {
+		return nil, nil, nil, fmt.Errorf("transport: batch of %d ids exceeds the %d-id limit", len(ids), maxBatchIDs)
+	}
+	buf, timing, err := c.do(opGetBatch, int64(len(ids)), 0, encodeBatchIDs(ids), tc)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	parts, err := decodeBatchPayload(buf.Bytes())
+	if err != nil {
+		buf.Release()
+		return nil, nil, nil, err
+	}
+	if len(parts) != len(ids) {
+		buf.Release()
+		return nil, nil, nil, fmt.Errorf("transport: got %d payloads for %d requested ids", len(parts), len(ids))
+	}
+	return buf, parts, timing, nil
 }
 
 // GetBatchRaw fetches the encoded bytes of an arbitrary id list in one

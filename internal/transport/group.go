@@ -7,11 +7,13 @@ import (
 	"sync"
 	"time"
 
+	"ddstore/internal/bufarena"
 	"ddstore/internal/cache"
 	"ddstore/internal/fetch"
 	"ddstore/internal/graph"
 	"ddstore/internal/health"
 	"ddstore/internal/obs"
+	"ddstore/internal/obs/tracectx"
 	"ddstore/internal/shardmap"
 )
 
@@ -76,6 +78,7 @@ type Group struct {
 	maps       *shardmap.Store
 	health     *health.Tracker[string]
 	clientOpts ClientOptions
+	spans      *obs.SpanRing // nil without GroupOptions.Spans
 	elastic    bool
 	replicas   int // static replica count; 0 for elastic groups
 
@@ -96,6 +99,7 @@ func newGroup(opts GroupOptions) *Group {
 		maxBatch:   opts.MaxBatch,
 		clientOpts: opts.Client,
 		health:     health.NewTracker[string](opts.FailoverCooldown),
+		spans:      opts.Spans,
 		clients:    map[string]*Client{},
 	}
 	if g.counters == nil {
@@ -453,6 +457,19 @@ func (g *Group) LoadLazy(ids []int64) ([]*graph.Lazy, []time.Duration, error) {
 	return g.engine.LoadLazy(ids)
 }
 
+// LoadLazyTraced is LoadLazy under a distributed trace: tc is the caller's
+// span, each per-owner fan-out propagates a child context over the wire
+// (when the peers negotiated tracing — GroupOptions.Client.Tracing), and
+// the servers' timing trailers come back as "server" category spans in the
+// group's span ring, nested inside the request window. With an invalid
+// context this is exactly LoadLazy.
+func (g *Group) LoadLazyTraced(ids []int64, tc tracectx.Context) ([]*graph.Lazy, []time.Duration, error) {
+	if g.maps == nil {
+		return nil, nil, errors.New("transport: group has no replicas")
+	}
+	return g.engine.LoadLazyTraced(ids, tc)
+}
+
 // groupPlane adapts the Group to the shared fetch engine. The owner token
 // packs (generation, preferred member index); nothing is ever local to a
 // TCP client, so every id goes through the cache and the wire.
@@ -478,6 +495,16 @@ func (p groupPlane) Local(int) bool { return false }
 // back to the current one (and the stale-generation protocol corrects any
 // resulting misroute).
 func (p groupPlane) FetchOwner(owner int, ids []int64, deliver fetch.Deliver) error {
+	return p.fetchOwner(owner, ids, tracectx.Context{}, deliver)
+}
+
+// FetchOwnerTraced implements fetch.TracedPlane: the engine-minted child
+// context rides every wire chunk of this owner's transfer.
+func (p groupPlane) FetchOwnerTraced(owner int, ids []int64, tc tracectx.Context, deliver fetch.Deliver) error {
+	return p.fetchOwner(owner, ids, tc, deliver)
+}
+
+func (p groupPlane) fetchOwner(owner int, ids []int64, tc tracectx.Context, deliver fetch.Deliver) error {
 	g := p.g
 	gen, _, err := shardmap.UnpackOwner(owner)
 	if err != nil {
@@ -494,7 +521,7 @@ func (p groupPlane) FetchOwner(owner int, ids []int64, deliver fetch.Deliver) er
 		if n > g.maxBatch {
 			n = g.maxBatch
 		}
-		if err := g.fetchChunk(m, chunk[:n], deliver, 0); err != nil {
+		if err := g.fetchChunk(m, chunk[:n], deliver, 0, tc); err != nil {
 			return err
 		}
 		chunk = chunk[n:]
@@ -515,7 +542,7 @@ const maxStaleRetries = 2
 // single-sample path used to do. A stale-generation response installs the
 // newer map carried in the reply and re-resolves the leftovers against
 // it.
-func (g *Group) fetchChunk(m *shardmap.Map, ids []int64, deliver fetch.Deliver, depth int) error {
+func (g *Group) fetchChunk(m *shardmap.Map, ids []int64, deliver fetch.Deliver, depth int, tc tracectx.Context) error {
 	missing := make(map[int64]bool, len(ids))
 	width := 0
 	for _, id := range ids {
@@ -564,8 +591,18 @@ func (g *Group) fetchChunk(m *shardmap.Map, ids []int64, deliver fetch.Deliver, 
 					continue
 				}
 				before := time.Now()
-				buf, raws, err := cl.GetBatchBufs(want)
+				var buf *bufarena.Buf
+				var raws [][]byte
+				var timing *ServerTiming
+				if tc.Valid() {
+					buf, raws, timing, err = cl.GetBatchBufsTraced(want, tc)
+				} else {
+					buf, raws, err = cl.GetBatchBufs(want)
+				}
 				per := time.Since(before) / time.Duration(len(want))
+				if timing != nil {
+					g.recordServerSpans(tc, timing, m, mi, want)
+				}
 				if err != nil {
 					lastErr = err
 					if errors.Is(err, ErrOverloaded) {
@@ -645,13 +682,72 @@ func (g *Group) fetchChunk(m *shardmap.Map, ids []int64, deliver fetch.Deliver, 
 					left = append(left, id)
 				}
 				sort.Slice(left, func(a, b int) bool { return left[a] < left[b] })
-				return g.fetchChunk(g.maps.Current(), left, deliver, depth+1)
+				if tc.Valid() && g.spans != nil {
+					// Mark the extra hop on the trace: the chunk re-resolved
+					// against a newer generation mid-request.
+					g.spans.Record(obs.Span{
+						Name: "stale-retry", Cat: "fetch", Owner: -1,
+						Samples: len(left), Start: obs.EpochNow(),
+						TraceID: tc.TraceID, ParentID: tc.SpanID,
+						Gen: g.maps.Generation(),
+					})
+				}
+				return g.fetchChunk(g.maps.Current(), left, deliver, depth+1, tc)
 			}
 		}
 		return fmt.Errorf("transport: %d of %d samples failed on all %d replicas: %w",
 			len(missing), len(ids), width, lastErr)
 	}
 	return nil
+}
+
+// recordServerSpans merges one timing trailer into the span ring as
+// "server" category spans nested inside the client's request window. The
+// trailer carries durations, not timestamps — server and client clocks
+// need not agree — so the server window is anchored to the client's view
+// of the request end: it ended Service ago, from which the queue-wait and
+// chunk-source segments lay out in order.
+func (g *Group) recordServerSpans(tc tracectx.Context, t *ServerTiming, m *shardmap.Map, mi int, want []int64) {
+	if g.spans == nil {
+		return
+	}
+	reqEnd := obs.EpochNow()
+	serverStart := reqEnd - t.Service
+	gen := t.Generation
+	if gen == 0 {
+		// A standalone chunk server carries no shard map; attribute the
+		// request to the generation the client routed it under.
+		gen = m.Gen
+	}
+	var shardLo int64
+	if len(want) > 0 {
+		if sh, err := m.ShardOf(want[0]); err == nil {
+			shardLo = sh.Lo
+		}
+	}
+	sub := tc.Child()
+	base := obs.Span{
+		Cat: "server", Owner: mi, Samples: len(want), Tenant: t.Tenant,
+		Gen: gen, ShardLo: shardLo,
+		TraceID: sub.TraceID, SpanID: sub.SpanID, ParentID: tc.SpanID,
+	}
+	req := base
+	req.Name, req.Start, req.Dur, req.Bytes = "server-request", serverStart, t.Service, t.Bytes
+	spans := make([]obs.Span, 1, 3)
+	spans[0] = req
+	if t.QueueWait > 0 {
+		qw := base
+		qw.SpanID, qw.ParentID = tc.Child().SpanID, sub.SpanID
+		qw.Name, qw.Start, qw.Dur = "server-queue-wait", serverStart, t.QueueWait
+		spans = append(spans, qw)
+	}
+	if t.Source > 0 {
+		src := base
+		src.SpanID, src.ParentID = tc.Child().SpanID, sub.SpanID
+		src.Name, src.Start, src.Dur = "server-chunk-source", serverStart+t.QueueWait, t.Source
+		spans = append(spans, src)
+	}
+	g.spans.RecordAll(spans...)
 }
 
 // CacheStats returns the group's cache counters; the zero Stats when the

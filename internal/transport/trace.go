@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"ddstore/internal/obs/tracectx"
+)
+
+// Feature bits exchanged in the hello handshake. The client sends its
+// supported features in the hello header's b field; the server answers
+// with its own feature word as an 8-byte little-endian hello payload. A
+// feature is active only when both sides advertise it, so either side
+// running older code silently degrades: an old client ignores the ack
+// payload it never looks at, and an old server's empty ack reads as
+// "no features", keeping the client on the untraced ops.
+const (
+	featureTracing = uint64(1) << 0
+)
+
+// DefaultTracedTenant is the tenant a tracing client declares when it has
+// none of its own: negotiation rides on the hello handshake, and the wire
+// protocol requires hello to carry a non-empty tenant name. It matches the
+// serving front end's catch-all tenant, and servers without a front end
+// acknowledge and ignore it.
+const DefaultTracedTenant = "default"
+
+// Timing trailer layout. Traced requests with a valid, sampled context get
+// a trailer appended to their success payload — after the op's normal
+// response bytes, inside the length/CRC frame — carrying the server-side
+// timing breakdown. It is parsed from the END of the payload so the data
+// framing in front of it stays untouched:
+//
+//	... op payload ...
+//	queue-wait ns   u64   time spent in the admission queue
+//	service ns      u64   total handler time (header parse to trailer build)
+//	source ns       u64   time reading the chunk source
+//	generation      u64   shard map generation that served the request
+//	payload bytes   u64   op payload length (trailer excluded) — cross-check
+//	reserved        u64   zero
+//	tenant          tenantLen bytes
+//	tenantLen       u8
+//	version         u8    trailerVersion (the very last payload byte)
+//
+// All integers little-endian. The trailer carries durations, not
+// timestamps: client and server clocks are not comparable, so the client
+// reconstructs the server window inside its own measured request span.
+const (
+	trailerVersion   = 1
+	trailerFixedSize = 48
+	trailerMinSize   = trailerFixedSize + 2
+)
+
+// ServerTiming is the decoded timing trailer of one traced request.
+type ServerTiming struct {
+	// QueueWait is the time the request spent queued in admission control.
+	QueueWait time.Duration
+	// Service is the server's total handler time for the request.
+	Service time.Duration
+	// Source is the time spent reading sample bytes from the chunk source.
+	Source time.Duration
+	// Bytes is the op payload size the server served (trailer excluded).
+	Bytes int64
+	// Generation is the shard map generation the request was served under
+	// (0 on a non-elastic server).
+	Generation uint64
+	// Tenant is the tenant queue the request was charged to ("" when the
+	// server runs no front end).
+	Tenant string
+}
+
+// appendTimingTrailer renders a trailer for a traced response.
+func appendTimingTrailer(dst []byte, t ServerTiming) []byte {
+	var fixed [trailerFixedSize]byte
+	binary.LittleEndian.PutUint64(fixed[0:], uint64(t.QueueWait))
+	binary.LittleEndian.PutUint64(fixed[8:], uint64(t.Service))
+	binary.LittleEndian.PutUint64(fixed[16:], uint64(t.Source))
+	binary.LittleEndian.PutUint64(fixed[24:], t.Generation)
+	binary.LittleEndian.PutUint64(fixed[32:], uint64(t.Bytes))
+	dst = append(dst, fixed[:]...)
+	tenant := t.Tenant
+	if len(tenant) > maxTenantName {
+		tenant = tenant[:maxTenantName]
+	}
+	dst = append(dst, tenant...)
+	dst = append(dst, byte(len(tenant)), trailerVersion)
+	return dst
+}
+
+// parseTimingTrailer splits a traced response payload into its data length
+// and the decoded trailer. The server only appends trailers it built
+// itself and the CRC already vouched for the bytes, so a malformed trailer
+// is a protocol bug, not line noise — it fails the request.
+func parseTimingTrailer(p []byte) (dataLen int, t ServerTiming, err error) {
+	if len(p) < trailerMinSize {
+		return 0, t, fmt.Errorf("transport: traced response too short for timing trailer (%d bytes)", len(p))
+	}
+	if v := p[len(p)-1]; v != trailerVersion {
+		return 0, t, fmt.Errorf("transport: unknown timing trailer version %d", v)
+	}
+	tenantLen := int(p[len(p)-2])
+	size := trailerMinSize + tenantLen
+	if len(p) < size {
+		return 0, t, fmt.Errorf("transport: timing trailer truncated (%d bytes, tenant %d)", len(p), tenantLen)
+	}
+	fixed := p[len(p)-size:]
+	t.QueueWait = time.Duration(binary.LittleEndian.Uint64(fixed[0:]))
+	t.Service = time.Duration(binary.LittleEndian.Uint64(fixed[8:]))
+	t.Source = time.Duration(binary.LittleEndian.Uint64(fixed[16:]))
+	t.Generation = binary.LittleEndian.Uint64(fixed[24:])
+	t.Bytes = int64(binary.LittleEndian.Uint64(fixed[32:]))
+	t.Tenant = string(fixed[trailerFixedSize : trailerFixedSize+tenantLen])
+	dataLen = len(p) - size
+	if t.Bytes != int64(dataLen) {
+		return 0, t, fmt.Errorf("transport: timing trailer byte count %d does not match %d payload bytes", t.Bytes, dataLen)
+	}
+	return dataLen, t, nil
+}
+
+// tracedOp maps an op to its traced variant (0 when the op has none).
+func tracedOp(op byte) byte {
+	switch op {
+	case opGet:
+		return opGetTraced
+	case opGetBatch:
+		return opGetBatchTraced
+	default:
+		return 0
+	}
+}
+
+// tracedBody prepends the encoded trace context to an op body.
+func tracedBody(tc tracectx.Context, extra []byte) []byte {
+	body := make([]byte, 0, tracectx.Size+len(extra))
+	body = tc.AppendTo(body)
+	return append(body, extra...)
+}

@@ -1,0 +1,362 @@
+package transport_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"ddstore/internal/datasets"
+	"ddstore/internal/obs/flightrec"
+	"ddstore/internal/obs/tracectx"
+	"ddstore/internal/transport"
+)
+
+func TestTracedBatchCarriesServerTiming(t *testing.T) {
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 32})
+	srv, err := transport.Serve("127.0.0.1:0", chunkFor(t, ds, 0, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := transport.DialOptions(srv.Addr(), transport.ClientOptions{Tracing: true, Tenant: "alpha"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tc := tracectx.New(true)
+	ids := []int64{3, 9, 27}
+	buf, parts, timing, err := cl.GetBatchBufsTraced(ids, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer buf.Release()
+	if len(parts) != len(ids) {
+		t.Fatalf("got %d parts for %d ids", len(parts), len(ids))
+	}
+	if timing == nil {
+		t.Fatal("traced batch returned no server timing")
+	}
+	if timing.Service <= 0 {
+		t.Errorf("server service time %v, want > 0", timing.Service)
+	}
+	if timing.Source <= 0 || timing.Source > timing.Service {
+		t.Errorf("chunk-source time %v outside (0, service=%v]", timing.Source, timing.Service)
+	}
+	var want int64
+	for _, p := range parts {
+		want += int64(len(p)) + 4 // each part plus its length prefix
+	}
+	if timing.Bytes != want {
+		t.Errorf("trailer bytes %d, want %d (trailer must not count itself)", timing.Bytes, want)
+	}
+	if timing.Tenant != "alpha" {
+		t.Errorf("trailer tenant %q, want alpha", timing.Tenant)
+	}
+
+	// The trailer was stripped: the parts decode to the right samples.
+	for i, id := range ids {
+		wantG, _ := ds.Sample(id)
+		if string(parts[i]) != string(wantG.Encode()) {
+			t.Fatalf("sample %d bytes corrupted by trailer stripping", id)
+		}
+	}
+
+	// Single-sample traced path.
+	raw, timing2, err := cl.GetRawTraced(5, tc.Child())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timing2 == nil || timing2.Bytes != int64(len(raw)) {
+		t.Fatalf("GetRawTraced timing = %+v for %d bytes", timing2, len(raw))
+	}
+}
+
+func TestUnsampledOrInvalidContextRunsUntraced(t *testing.T) {
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 8})
+	srv, err := transport.Serve("127.0.0.1:0", chunkFor(t, ds, 0, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := transport.DialOptions(srv.Addr(), transport.ClientOptions{Tracing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for name, tc := range map[string]tracectx.Context{
+		"unsampled": tracectx.New(false),
+		"invalid":   {},
+	} {
+		raw, timing, err := cl.GetRawTraced(2, tc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if timing != nil {
+			t.Errorf("%s context produced server timing %+v", name, timing)
+		}
+		if len(raw) == 0 {
+			t.Errorf("%s: empty payload", name)
+		}
+	}
+}
+
+// TestTracingOffClientAgainstNewServer pins the old-client→new-server
+// direction: a client that never asks for tracing (today's default) talks
+// to a feature-announcing server and everything behaves as before.
+func TestTracingOffClientAgainstNewServer(t *testing.T) {
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 8})
+	srv, err := transport.Serve("127.0.0.1:0", chunkFor(t, ds, 0, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Tenant set, tracing not: the hello ack now carries a feature word the
+	// old client code released unread — same call sequence here.
+	cl, err := transport.DialOptions(srv.Addr(), transport.ClientOptions{Tenant: "legacy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	gs, err := cl.GetBatch([]int64{1, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 3 || gs[2].ID != 6 {
+		t.Fatalf("batch = %v", gs)
+	}
+}
+
+// oldWireServer speaks the pre-tracing protocol from first principles:
+// 17-byte request header, 9-byte response head, hello acked with an EMPTY
+// payload, and unknown ops answered with an error status. It pins the
+// new-client→old-server direction without depending on the current server
+// implementation.
+func oldWireServer(t *testing.T, encoded [][]byte) (addr string, shutdown func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply := func(conn net.Conn, status byte, payload []byte) error {
+		head := make([]byte, 9)
+		head[0] = status
+		binary.LittleEndian.PutUint32(head[1:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(head[5:], crc32.ChecksumIEEE(payload))
+		if _, err := conn.Write(head); err != nil {
+			return err
+		}
+		_, err := conn.Write(payload)
+		return err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				header := make([]byte, 17)
+				for {
+					if _, err := io.ReadFull(conn, header); err != nil {
+						return
+					}
+					op := header[0]
+					a := int64(binary.LittleEndian.Uint64(header[1:]))
+					switch op {
+					case 5: // hello: drain the name, ack empty (the old way)
+						if _, err := io.CopyN(io.Discard, conn, a); err != nil {
+							return
+						}
+						if reply(conn, 0, nil) != nil {
+							return
+						}
+					case 2: // get
+						if a < 0 || a >= int64(len(encoded)) {
+							if reply(conn, 1, []byte("out of range")) != nil {
+								return
+							}
+							continue
+						}
+						if reply(conn, 0, encoded[a]) != nil {
+							return
+						}
+					case 4: // getbatch
+						idb := make([]byte, 8*a)
+						if _, err := io.ReadFull(conn, idb); err != nil {
+							return
+						}
+						var payload []byte
+						for i := int64(0); i < a; i++ {
+							id := int64(binary.LittleEndian.Uint64(idb[8*i:]))
+							one := encoded[id]
+							var pre [4]byte
+							binary.LittleEndian.PutUint32(pre[:], uint32(len(one)))
+							payload = append(payload, pre[:]...)
+							payload = append(payload, one...)
+						}
+						if reply(conn, 0, payload) != nil {
+							return
+						}
+					default: // an old server has never heard of traced ops
+						if reply(conn, 1, []byte("unknown op")) != nil {
+							return
+						}
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+func TestTracedClientAgainstOldServerFallsBack(t *testing.T) {
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 8})
+	encoded := make([][]byte, 8)
+	for id := int64(0); id < 8; id++ {
+		g, _ := ds.Sample(id)
+		encoded[id] = g.Encode()
+	}
+	addr, shutdown := oldWireServer(t, encoded)
+	defer shutdown()
+
+	cl, err := transport.DialOptions(addr, transport.ClientOptions{Tracing: true, Tenant: "alpha"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// The empty hello ack reads as "no features": the sampled context must
+	// not push the client onto traced ops the server would reject.
+	tc := tracectx.New(true)
+	buf, parts, timing, err := cl.GetBatchBufsTraced([]int64{1, 6}, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer buf.Release()
+	if timing != nil {
+		t.Fatalf("old server produced server timing %+v", timing)
+	}
+	if len(parts) != 2 || string(parts[1]) != string(encoded[6]) {
+		t.Fatal("fallback batch returned wrong bytes")
+	}
+	raw, timing, err := cl.GetRawTraced(3, tc)
+	if err != nil || timing != nil || string(raw) != string(encoded[3]) {
+		t.Fatalf("fallback get: err=%v timing=%v", err, timing)
+	}
+}
+
+// TestCorruptContextOverRawWire drives a hostile traced request straight
+// onto the socket: a garbage trace context must not fail the request or
+// desync the stream — the server serves it untraced.
+func TestCorruptContextOverRawWire(t *testing.T) {
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 8})
+	srv, err := transport.Serve("127.0.0.1:0", chunkFor(t, ds, 0, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	send := func(op byte, a int64, body []byte) (status byte, payload []byte) {
+		t.Helper()
+		req := make([]byte, 17+len(body))
+		req[0] = op
+		binary.LittleEndian.PutUint64(req[1:], uint64(a))
+		copy(req[17:], body)
+		if _, err := conn.Write(req); err != nil {
+			t.Fatal(err)
+		}
+		head := make([]byte, 9)
+		if _, err := io.ReadFull(conn, head); err != nil {
+			t.Fatal(err)
+		}
+		payload = make([]byte, binary.LittleEndian.Uint32(head[1:]))
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			t.Fatal(err)
+		}
+		return head[0], payload
+	}
+
+	// op 7 = traced get, with 24 bytes of garbage where the context goes.
+	garbage := make([]byte, 24)
+	for i := range garbage {
+		garbage[i] = 0xA5
+	}
+	status, payload := send(7, 3, garbage)
+	want, _ := ds.Sample(3)
+	if status != 0 || string(payload) != string(want.Encode()) {
+		t.Fatalf("garbage context: status %d, %d payload bytes", status, len(payload))
+	}
+	// The stream is still aligned: a normal request follows cleanly.
+	status, payload = send(2, 5, nil)
+	want, _ = ds.Sample(5)
+	if status != 0 || string(payload) != string(want.Encode()) {
+		t.Fatalf("follow-up request after garbage context: status %d", status)
+	}
+}
+
+func TestServerFlightRecorderCapturesSlowAndError(t *testing.T) {
+	ds := datasets.HomoLumo(datasets.Config{NumGraphs: 8})
+	rec := flightrec.New(16)
+	srv, err := transport.ServeWith("127.0.0.1:0", chunkFor(t, ds, 0, 8), transport.ServerOptions{
+		FlightRecorder: rec,
+		SlowThreshold:  time.Nanosecond, // everything is slow: deterministic capture
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := transport.DialOptions(srv.Addr(), transport.ClientOptions{Tracing: true, Tenant: "bravo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tc := tracectx.New(true)
+	if _, _, err := cl.GetRawTraced(2, tc); err != nil {
+		t.Fatal(err)
+	}
+	var rerr *transport.RemoteError
+	if _, err := cl.Get(99); !errors.As(err, &rerr) {
+		t.Fatalf("out-of-range get: %v", err)
+	}
+
+	var slow, errored *flightrec.Record
+	for _, r := range rec.Records() {
+		r := r
+		switch r.Kind {
+		case flightrec.KindSlow:
+			slow = &r
+		case flightrec.KindError:
+			errored = &r
+		}
+	}
+	if slow == nil {
+		t.Fatal("no slow record captured")
+	}
+	if slow.Op != "get-traced" || slow.Tenant != "bravo" || slow.TraceID != tracectx.IDString(tc.TraceID) {
+		t.Fatalf("slow record = %+v", *slow)
+	}
+	if slow.DurMs <= 0 || slow.Bytes <= 0 || slow.Samples != 1 {
+		t.Fatalf("slow record breakdown = %+v", *slow)
+	}
+	if errored == nil || errored.Err == "" {
+		t.Fatalf("error record = %+v", errored)
+	}
+}

@@ -33,6 +33,8 @@ import (
 
 	"ddstore/internal/graph"
 	"ddstore/internal/obs"
+	"ddstore/internal/obs/flightrec"
+	"ddstore/internal/obs/tracectx"
 )
 
 // Protocol constants. Every request is a fixed 17-byte header
@@ -45,8 +47,14 @@ const (
 	opGet      = 2 // request sample a; response payload: encoded graph
 	opMulti    = 3 // request samples [a, b); response payload: concatenated graphs
 	opGetBatch = 4 // request a ids (listed in the body); response: length-prefixed graphs
-	opHello    = 5 // declare tenant identity: a name bytes in the body; response: empty
+	opHello    = 5 // declare tenant identity + feature bits (b); response: server feature word
 	opShardMap = 6 // request the current shard map; response payload: encoded shardmap.Map
+
+	// Traced variants, negotiated via the hello feature word (trace.go):
+	// the body starts with a 24-byte trace context (tracectx.Size), and a
+	// success response to a sampled context ends with a timing trailer.
+	opGetTraced      = 7 // opGet + trace context body
+	opGetBatchTraced = 8 // opGetBatch, body = trace context then the ids
 
 	statusOK         = 0
 	statusError      = 1
@@ -91,10 +99,35 @@ func (c Class) String() string {
 
 // classOf maps a wire op to its priority class.
 func classOf(op byte) Class {
-	if op == opMulti || op == opGetBatch {
+	if op == opMulti || op == opGetBatch || op == opGetBatchTraced {
 		return ClassBulk
 	}
 	return ClassLookup
+}
+
+// opName returns the label value an op is metered and flight-recorded
+// under.
+func opName(op byte) string {
+	switch op {
+	case opMeta:
+		return "meta"
+	case opGet:
+		return "get"
+	case opMulti:
+		return "multi"
+	case opGetBatch:
+		return "getbatch"
+	case opHello:
+		return "hello"
+	case opShardMap:
+		return "shardmap"
+	case opGetTraced:
+		return "get-traced"
+	case opGetBatchTraced:
+		return "getbatch-traced"
+	default:
+		return fmt.Sprintf("op-%d", op)
+	}
 }
 
 // ConnGate is the per-connection handle a serving front end returns from
@@ -208,12 +241,19 @@ type ServerOptions struct {
 	// canonical fetch-latency histogram plus per-op request, error, and
 	// payload-byte counters — what ddstore-serve exposes on /metrics.
 	Metrics *obs.Registry
+	// FlightRecorder, when non-nil, receives a structured record for every
+	// errored, shed, or stale-answered request, and — when SlowThreshold is
+	// set — every successful request slower than the threshold.
+	FlightRecorder *flightrec.Recorder
+	// SlowThreshold is the service time above which a successful request is
+	// flight-recorded as slow. 0 disables slow recording.
+	SlowThreshold time.Duration
 }
 
 // serverMetrics holds the server's pre-resolved instrument handles so the
 // request loop never touches the registry's lookup path.
 type serverMetrics struct {
-	reqs        [7]*obs.Counter // indexed by op; 0 unused
+	reqs        [9]*obs.Counter // indexed by op; 0 unused
 	errors      *obs.Counter
 	bytes       *obs.Counter
 	stales      *obs.Counter
@@ -237,8 +277,8 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	}
 	reg.Help(obs.MetricAcceptRejected, "Accepted connections closed because the MaxConns goroutine cap was reached.")
 	reg.Help(obs.MetricConnRejected, "Connections refused by admission control with an overloaded status.")
-	for op, name := range map[byte]string{opMeta: "meta", opGet: "get", opMulti: "multi", opGetBatch: "getbatch", opHello: "hello", opShardMap: "shardmap"} {
-		m.reqs[op] = reg.Counter("ddstore_serve_requests_total", "op", name)
+	for _, op := range []byte{opMeta, opGet, opMulti, opGetBatch, opHello, opShardMap, opGetTraced, opGetBatchTraced} {
+		m.reqs[op] = reg.Counter("ddstore_serve_requests_total", "op", opName(op))
 	}
 	return m
 }
@@ -464,10 +504,21 @@ func (s *Server) rejectConn(conn net.Conn, cause error) {
 			if _, err := io.CopyN(io.Discard, conn, 8*a); err != nil {
 				return
 			}
+		case op == opGetBatchTraced && a >= 1 && a <= maxBatchIDs:
+			if _, err := io.CopyN(io.Discard, conn, tracectx.Size+8*a); err != nil {
+				return
+			}
+		case op == opGetTraced:
+			if _, err := io.CopyN(io.Discard, conn, tracectx.Size); err != nil {
+				return
+			}
 		case op == opHello && a >= 1 && a <= maxTenantName:
 			if _, err := io.CopyN(io.Discard, conn, a); err != nil {
 				return
 			}
+		}
+		if s.rec() != nil && op != opHello {
+			s.rec().Add(flightrec.Record{Kind: flightrec.KindShed, Op: opName(op), Err: cause.Error()})
 		}
 		if s.writeFrame(conn, nil, cause) != nil {
 			return
@@ -483,7 +534,7 @@ func (s *Server) checkHeader(op byte, a, b int64) error {
 	switch op {
 	case opMeta:
 		return nil
-	case opGet:
+	case opGet, opGetTraced:
 		if a < 0 {
 			return fmt.Errorf("negative sample id %d", a)
 		}
@@ -502,7 +553,7 @@ func (s *Server) checkHeader(op byte, a, b int64) error {
 			return fmt.Errorf("range [%d,%d) outside chunk [%d,%d)", a, b, lo, hi)
 		}
 		return nil
-	case opGetBatch:
+	case opGetBatch, opGetBatchTraced:
 		// a is the id count; the ids themselves follow the header and are
 		// range-checked after they are read. b is reserved.
 		if a < 1 || a > maxBatchIDs {
@@ -527,6 +578,7 @@ func (s *Server) checkHeader(op byte, a, b int64) error {
 
 func (s *Server) handle(conn net.Conn, st *connState, gate ConnGate) {
 	var header [reqHeaderSize]byte
+	tenant := "" // declared by the connection's most recent hello
 	for {
 		if s.draining.Load() {
 			return
@@ -543,7 +595,7 @@ func (s *Server) handle(conn net.Conn, st *connState, gate ConnGate) {
 		b := int64(binary.LittleEndian.Uint64(header[9:]))
 		start := time.Now()
 		err := s.checkHeader(op, a, b)
-		if err != nil && (op == opGetBatch || op == opHello) {
+		if err != nil && (op == opGetBatch || op == opGetBatchTraced || op == opHello) {
 			// An invalid body count means the length of the request body is
 			// unknown, so the stream cannot be resynchronized: report the
 			// error, then drop the connection.
@@ -552,17 +604,31 @@ func (s *Server) handle(conn net.Conn, st *connState, gate ConnGate) {
 			return
 		}
 		// Ops with a body consume it before admission, so a shed response
-		// leaves the stream aligned on the next request header.
+		// leaves the stream aligned on the next request header. The traced
+		// single-get's body is fixed-size, so it is drained even when the
+		// header was invalid and the request will answer with an error.
 		var body []byte
-		if err == nil && (op == opGetBatch || op == opHello) {
-			n := a
-			if op == opGetBatch {
-				n = 8 * a
-			}
-			body = make([]byte, n)
+		switch {
+		case op == opGetTraced:
+			body = make([]byte, tracectx.Size)
+		case err == nil && op == opGetBatchTraced:
+			body = make([]byte, tracectx.Size+8*a)
+		case err == nil && op == opGetBatch:
+			body = make([]byte, 8*a)
+		case err == nil && op == opHello:
+			body = make([]byte, a)
+		}
+		if len(body) > 0 {
 			if _, rerr := io.ReadFull(conn, body); rerr != nil {
 				return
 			}
+		}
+		// A corrupt or truncated trace context never fails the request: it
+		// decodes invalid and merely disables tracing for it (tracectx's
+		// documented contract, pinned by its fuzz test).
+		var tc tracectx.Context
+		if err == nil && (op == opGetTraced || op == opGetBatchTraced) {
+			tc, _ = tracectx.Decode(body)
 		}
 		// The request is fully read: an idle-timeout deadline (or a Drain
 		// nudge that raced the header) must not cut the in-flight request
@@ -572,19 +638,29 @@ func (s *Server) handle(conn net.Conn, st *connState, gate ConnGate) {
 		}
 		// Admission: hello switches tenant identity; data ops pass through
 		// the front end's rate limits and priority queues, blocking here
-		// while queued and failing with an overloaded status when shed.
+		// while queued and failing with an overloaded status when shed. The
+		// queue wait is measured here and reported in the timing trailer.
 		var release func(int64)
-		if err == nil && gate != nil {
-			if op == opHello {
+		var queueWait time.Duration
+		if err == nil && gate != nil && op != opHello {
+			admitStart := time.Now()
+			release, err = gate.Admit(classOf(op))
+			queueWait = time.Since(admitStart)
+		}
+		if err == nil && op == opHello {
+			if gate != nil {
 				err = gate.Hello(string(body))
-			} else {
-				release, err = gate.Admit(classOf(op))
+			}
+			if err == nil {
+				tenant = string(body)
 			}
 		}
 		// Each op produces a list of payload parts that are written with one
 		// vectored write — the source's cached sample slices are referenced
 		// in place, never concatenated into a scratch payload.
 		var parts [][]byte
+		samples := 0
+		srcStart := time.Now()
 		if err == nil {
 			switch op {
 			case opMeta:
@@ -593,7 +669,8 @@ func (s *Server) handle(conn net.Conn, st *connState, gate ConnGate) {
 				binary.LittleEndian.PutUint64(meta[0:], uint64(lo))
 				binary.LittleEndian.PutUint64(meta[8:], uint64(hi))
 				parts = [][]byte{meta}
-			case opGet:
+			case opGet, opGetTraced:
+				samples = 1
 				if err = s.ownsAll(a, a+1); err == nil {
 					var one []byte
 					if one, err = s.src.LocalSampleBytes(a); err == nil {
@@ -604,6 +681,7 @@ func (s *Server) handle(conn net.Conn, st *connState, gate ConnGate) {
 				if err = s.ownsAll(a, b); err != nil {
 					break
 				}
+				samples = int(b - a)
 				parts = make([][]byte, 0, b-a)
 				for id := a; id < b; id++ {
 					var one []byte
@@ -613,15 +691,25 @@ func (s *Server) handle(conn net.Conn, st *connState, gate ConnGate) {
 					}
 					parts = append(parts, one)
 				}
-			case opGetBatch:
+			case opGetBatch, opGetBatchTraced:
 				// The count is validated, so the body length is trusted and
 				// the connection stays usable even if an id is out of range.
-				ids := decodeBatchIDs(body, int(a))
+				idBytes := body
+				if op == opGetBatchTraced {
+					idBytes = body[tracectx.Size:]
+				}
+				ids := decodeBatchIDs(idBytes, int(a))
+				samples = len(ids)
 				if err = s.ownsBatch(ids); err == nil {
 					parts, err = s.batchParts(ids)
 				}
 			case opHello:
-				// Acknowledged with an empty payload.
+				// Acknowledge with the server's feature word, so both sides
+				// know which protocol extensions are safe to use on this
+				// connection. Old clients release the payload unread.
+				feat := make([]byte, 8)
+				binary.LittleEndian.PutUint64(feat, featureTracing)
+				parts = [][]byte{feat}
 			case opShardMap:
 				var mb []byte
 				if mb, err = s.opts.ShardMap.Encoded(); err == nil {
@@ -629,20 +717,88 @@ func (s *Server) handle(conn net.Conn, st *connState, gate ConnGate) {
 				}
 			}
 		}
+		sourceTime := time.Since(srcStart)
 		var total int
 		for _, p := range parts {
 			total += len(p)
+		}
+		// Traced success responses carry the server's timing breakdown as a
+		// trailer inside the same frame; its bytes ride the existing
+		// length/CRC envelope.
+		if err == nil && tc.Valid() && tc.Sampled {
+			gen := uint64(0)
+			if s.opts.ShardMap != nil {
+				gen = s.opts.ShardMap.Generation()
+			}
+			trailer := appendTimingTrailer(nil, ServerTiming{
+				QueueWait:  queueWait,
+				Service:    time.Since(start),
+				Source:     sourceTime,
+				Bytes:      int64(total),
+				Generation: gen,
+				Tenant:     tenant,
+			})
+			parts = append(parts, trailer)
+			total += len(trailer)
 		}
 		werr := s.writeFrame(conn, parts, err)
 		if release != nil {
 			release(int64(total))
 		}
-		s.metrics.observe(op, total, err, time.Since(start))
+		dur := time.Since(start)
+		s.metrics.observe(op, total, err, dur)
+		s.recordRequest(op, tenant, tc, samples, total, queueWait, sourceTime, dur, err)
 		st.busy.Store(false)
 		if werr != nil {
 			return
 		}
 	}
+}
+
+// rec returns the configured flight recorder (nil when absent).
+func (s *Server) rec() *flightrec.Recorder { return s.opts.FlightRecorder }
+
+// recordRequest feeds the flight recorder: errored, shed, and
+// stale-answered requests always, successful ones only when they exceeded
+// the slow threshold. Hello handshakes are administrative and never
+// recorded.
+func (s *Server) recordRequest(op byte, tenant string, tc tracectx.Context, samples, total int, queueWait, source, dur time.Duration, err error) {
+	rec := s.rec()
+	if rec == nil || op == opHello {
+		return
+	}
+	var kind flightrec.Kind
+	var sg *staleGenError
+	switch {
+	case errors.As(err, &sg):
+		kind = flightrec.KindStale
+	case errors.Is(err, ErrOverloaded):
+		kind = flightrec.KindShed
+	case err != nil:
+		kind = flightrec.KindError
+	case s.opts.SlowThreshold > 0 && dur >= s.opts.SlowThreshold:
+		kind = flightrec.KindSlow
+	default:
+		return
+	}
+	r := flightrec.Record{
+		Kind:        kind,
+		Op:          opName(op),
+		Tenant:      tenant,
+		TraceID:     tracectx.IDString(tc.TraceID),
+		DurMs:       flightrec.Ms(dur),
+		QueueWaitMs: flightrec.Ms(queueWait),
+		SourceMs:    flightrec.Ms(source),
+		Bytes:       int64(total),
+		Samples:     samples,
+	}
+	if s.opts.ShardMap != nil {
+		r.Generation = s.opts.ShardMap.Generation()
+	}
+	if err != nil {
+		r.Err = err.Error()
+	}
+	rec.Add(r)
 }
 
 // ownsAll checks every id in [lo, hi) against the shard map (a no-op
